@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's Tables 1 and 2 plus the ablations
+described in DESIGN.md.  To keep wall-clock time reasonable the
+expensive measurements (the full four-configuration grids) are computed
+once per session and cached; the pytest-benchmark timings wrap the
+per-configuration journey itself.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+try:  # pragma: no cover - import guard for uninstalled checkouts
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro.bench.harness import run_measurement_grid  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def plain_grid():
+    """Table 1 measurements (plain agents), computed once per session."""
+    return run_measurement_grid(protected=False)
+
+
+@pytest.fixture(scope="session")
+def protected_grid():
+    """Table 2 measurements (protected agents), computed once per session."""
+    return run_measurement_grid(protected=True)
+
+
+def write_report(name: str, text: str) -> None:
+    """Drop a human-readable report next to the benchmark results."""
+    directory = os.path.join(os.path.dirname(os.path.abspath(__file__)), "reports")
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,90 @@
+"""Ablation A — moment of checking (Section 4.1 bandwidth, DESIGN.md).
+
+Compares per-session checking against after-task checking for the same
+workload and the same re-execution algorithm:
+
+* cost: after-task checking defers all checking work to the last host,
+  per-session checking spreads it over the journey (total work similar);
+* detection latency: per-session checking catches the attack at the very
+  next hop, after-task checking only when the journey is over — the
+  compromised agent keeps acting in the meantime, which is exactly the
+  drawback the paper attributes to the weak end of the bandwidth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.injector import DataTamperInjector
+from repro.core.attributes import CheckMoment, ReferenceDataKind
+from repro.core.checkers.reexecution import ReExecutionChecker
+from repro.core.framework import CheckingFramework
+from repro.core.policy import ProtectionPolicy
+from repro.workloads.generators import build_shopping_scenario
+
+from conftest import write_report
+
+
+def _policy(moment: CheckMoment) -> ProtectionPolicy:
+    return ProtectionPolicy(
+        name="ablation-%s" % moment.value,
+        moments=frozenset({moment}),
+        data_kinds=frozenset({
+            ReferenceDataKind.INITIAL_STATE,
+            ReferenceDataKind.RESULTING_STATE,
+            ReferenceDataKind.INPUT,
+        }),
+        checkers=(ReExecutionChecker(),),
+    )
+
+
+def _run(moment: CheckMoment, malicious: bool):
+    scenario, agent = build_shopping_scenario(
+        num_shops=4,
+        malicious_shop=2 if malicious else None,
+        injectors=[DataTamperInjector("cheapest_total", 1.0)] if malicious else None,
+    )
+    framework = CheckingFramework(policy=_policy(moment),
+                                  trusted_hosts=scenario.trusted_host_names)
+    result = scenario.system.launch(agent, scenario.itinerary,
+                                    protection=framework)
+    return result
+
+
+@pytest.mark.parametrize("moment", [CheckMoment.AFTER_SESSION,
+                                    CheckMoment.AFTER_TASK],
+                         ids=lambda m: m.value)
+def test_checking_moment_cost(benchmark, moment):
+    """Wall-clock cost of an honest journey under each checking moment."""
+    result = benchmark.pedantic(lambda: _run(moment, malicious=False),
+                                rounds=1, iterations=3)
+    assert not result.detected_attack()
+
+
+def test_checking_moment_detection_latency():
+    """Per-session checking detects earlier than after-task checking."""
+    session_result = _run(CheckMoment.AFTER_SESSION, malicious=True)
+    task_result = _run(CheckMoment.AFTER_TASK, malicious=True)
+
+    assert session_result.detected_attack()
+    assert task_result.detected_attack()
+    assert session_result.blamed_hosts() == ("shop-2",)
+    assert task_result.blamed_hosts() == ("shop-2",)
+
+    # Detection latency in hops: index of the verdict-producing hop relative
+    # to the attacked hop.  Per-session: the next hop (shop-3).  After-task:
+    # the final hop (home).
+    session_attack = next(v for v in session_result.verdicts if v.is_attack)
+    task_attack = next(v for v in task_result.verdicts if v.is_attack)
+    assert session_attack.checking_host == "shop-3"
+    assert task_attack.checking_host == "home"
+    assert session_attack.moment is CheckMoment.AFTER_SESSION
+    assert task_attack.moment is CheckMoment.AFTER_TASK
+
+    write_report("ablation_check_moment.txt", "\n".join([
+        "Ablation A - moment of checking",
+        "after-session: detected by %s (next hop after the attacker)"
+        % session_attack.checking_host,
+        "after-task:    detected by %s (only when the task finished)"
+        % task_attack.checking_host,
+    ]))

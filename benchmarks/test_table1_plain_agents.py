@@ -1,0 +1,72 @@
+"""Benchmark regenerating **Table 1** — plain agents.
+
+Paper reference (times in ms on 1999 hardware, DSA-512 via IAIK-JCE):
+
+=======================  ===========  ======  =========  =======
+configuration            sign&verify  cycle   remainder  overall
+=======================  ===========  ======  =========  =======
+1 input, 1 cycle                 209       2         93      304
+100 inputs, 1 cycle              409       3        153      564
+1 input, 10000 cycles            217   27158         93    27468
+100 inputs, 10000 cycles         400   27235        155    27789
+=======================  ===========  ======  =========  =======
+
+The benchmark runs the identical four configurations on this machine
+(absolute numbers differ; the column structure and the fact that the
+cycle column dominates the two 10000-cycle rows must hold) and writes
+the regenerated table to ``benchmarks/reports/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import measure_generic_agent
+from repro.bench.tables import PAPER_TABLE_1, format_table
+from repro.workloads.generators import paper_parameter_grid
+
+from conftest import write_report
+
+_GRID = paper_parameter_grid()
+
+
+@pytest.mark.parametrize("cell", _GRID, ids=lambda cell: cell["label"])
+def test_table1_row(benchmark, cell):
+    """Measure one plain-agent configuration of Table 1."""
+
+    def run():
+        return measure_generic_agent(
+            cycles=cell["cycles"], inputs=cell["inputs"], protected=False,
+            label=cell["label"],
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    breakdown = result.breakdown
+
+    # Structural checks mirroring the paper's table.
+    assert not result.detected_attack
+    assert breakdown.overall_ms > 0
+    assert breakdown.overall_ms >= breakdown.cycle_ms
+    if cell["cycles"] >= 10000:
+        # computation dominates the heavy rows, as in the paper
+        assert breakdown.cycle_ms > 0.5 * breakdown.overall_ms
+    benchmark.extra_info.update(breakdown.as_dict())
+    benchmark.extra_info["paper_ms"] = PAPER_TABLE_1[cell["label"]]
+
+
+def test_table1_report(plain_grid):
+    """Render the regenerated Table 1 and check its global shape."""
+    breakdowns = [result.breakdown for result in plain_grid]
+    text = format_table(breakdowns, "Table 1: plain agents [ms]")
+    write_report("table1.txt", text)
+
+    by_label = {row.label: row for row in breakdowns}
+    light = by_label["1 input, 1 cycle"]
+    heavy = by_label["1 input, 10000 cycles"]
+    many_inputs = by_label["100 inputs, 1 cycle"]
+
+    # Shape of Table 1: more cycles cost much more overall; more inputs cost
+    # somewhat more; sign&verify is roughly constant per configuration pair.
+    assert heavy.overall_ms > 10 * light.overall_ms
+    assert many_inputs.overall_ms > light.overall_ms
+    assert heavy.cycle_ms > 100 * light.cycle_ms

@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``repro`` package under ``src/`` is importable even when the
+project has not been installed (e.g. on offline machines where editable
+installs are unavailable).  When the package is installed normally this
+is a no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+try:  # pragma: no cover - trivial import guard
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)

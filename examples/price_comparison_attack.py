@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: a shopping agent and a malicious shop.
+
+An agent tours three shops comparing flight prices.  The last shop is
+malicious: after the agent's session it overwrites the agent's best
+offer with its own inflated price, so that the purchase the agent
+commits to back home goes to the attacker at a worse price.
+
+The script runs the journey twice:
+
+* **unprotected** — the manipulation silently succeeds and the owner
+  overpays;
+* **protected** with the reference-state protocol — the next shop's
+  check re-executes the malicious shop's session from the committed
+  initial state and recorded input, notices the state difference,
+  blames the malicious shop, and the verdict carries the full state
+  diff the owner can use as evidence.
+
+Run with::
+
+    python examples/price_comparison_attack.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.attacks import DataTamperInjector
+from repro.core import ReferenceStateProtocol
+from repro.workloads import build_shopping_scenario
+
+PRICES = {
+    "shop-1": {"flight": 420.0},
+    "shop-2": {"flight": 380.0},   # the genuine best offer on the route
+    "shop-3": {"flight": 610.0},   # the malicious shop's own (worse) price
+}
+
+
+def run_journey(protected: bool):
+    scenario, agent = build_shopping_scenario(
+        num_shops=3,
+        prices=PRICES,
+        budget=1000.0,
+        malicious_shop=3,
+        injectors=[
+            # after its session, shop-3 (the last stop before home) makes
+            # itself the "best" offer at an inflated price
+            DataTamperInjector(
+                "best_offers", {"flight": {"price": 610.0, "host": "shop-3"}},
+                name="steal-the-order",
+            ),
+        ],
+    )
+    protection = None
+    if protected:
+        protection = ReferenceStateProtocol(
+            code_registry=scenario.system.code_registry,
+            trusted_hosts=scenario.trusted_host_names,
+        )
+    return scenario.system.launch(agent, scenario.itinerary,
+                                  protection=protection)
+
+
+def main() -> int:
+    print("=== unprotected journey ===")
+    unprotected = run_journey(protected=False)
+    order = unprotected.final_state.data["order"]
+    genuine_best = min(price["flight"] for price in PRICES.values())
+    print("genuine best price :", genuine_best, "(at shop-2)")
+    print("order placed with  :", order["items"]["flight"]["host"])
+    print("price paid         :", order["items"]["flight"]["price"])
+    print("attack detected    :", unprotected.detected_attack())
+    print("  -> the manipulation went through silently; the owner overpaid "
+          "by %.2f." % (order["items"]["flight"]["price"] - genuine_best))
+    print()
+
+    print("=== journey under the reference-state protocol ===")
+    protected = run_journey(protected=True)
+    print("attack detected    :", protected.detected_attack())
+    print("blamed host(s)     :", ", ".join(protected.blamed_hosts()))
+    attack_verdict = next(v for v in protected.verdicts if v.is_attack)
+    print("detected by        :", attack_verdict.checking_host,
+          "(the next host on the route)")
+    print("failed checkers    :", ", ".join(attack_verdict.failed_checkers))
+    if attack_verdict.state_difference:
+        print("evidence (state diff vs reference execution):")
+        for variable, change in attack_verdict.state_difference["changed"].items():
+            print("  %-15s reference=%r observed=%r" % (
+                variable, change["reference"], change["observed"],
+            ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

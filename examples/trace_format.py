@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Figure 3, executable: the trace format and what it is good for.
+
+The paper's Figure 3 shows a five statement code fragment and the trace
+a host records for it — only the statements whose effect depends on
+input from outside the agent carry assignments:
+
+    10 read(x)          ->  10 x=5
+    11 y=x+z
+    12 m=y+1
+    13 k=cryptInput     ->  13 k=2
+    14 m=m+k
+
+The script builds that trace, shows the size-optimized variant without
+statement identifiers, and then demonstrates what traces are used for in
+the Vigna baseline: committing to an execution with a hash so the owner
+can later re-execute and identify a cheating host.
+
+Run with::
+
+    python examples/trace_format.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.agents import ExecutionLog
+from repro.attacks import DataTamperInjector
+from repro.baselines import VignaTracesMechanism
+from repro.workloads import build_shopping_scenario
+
+
+def figure3_trace() -> ExecutionLog:
+    """Recreate the trace of the paper's Figure 3."""
+    trace = ExecutionLog()
+    trace.append("10", {"x": 5})      # read(x): external input
+    trace.append("11")                # y = x + z: internal, no assignment logged
+    trace.append("12")                # m = y + 1: internal
+    trace.append("13", {"k": 2})      # k = cryptInput: external input
+    trace.append("14")                # m = m + k: internal
+    return trace
+
+
+def main() -> int:
+    trace = figure3_trace()
+    print("Figure 3 trace (statement, recorded assignments):")
+    for entry in trace:
+        assignments = ", ".join("%s=%r" % kv for kv in entry.assignments.items())
+        print("  %-4s %s" % (entry.statement, assignments or "-"))
+    print("trace commitment (chain hash):", trace.digest().hex()[:32], "...")
+
+    stripped = trace.strip_statements()
+    print("\nOptimized trace without statement identifiers "
+          "(identifiers prove nothing by themselves):")
+    for entry in stripped.input_dependent_entries():
+        print("  %s" % entry.assignments)
+
+    # What traces are for: the owner-side investigation of the Vigna baseline.
+    print("\nVigna-style investigation of a tampered shopping journey:")
+    scenario, agent = build_shopping_scenario(
+        num_shops=3, malicious_shop=2,
+        injectors=[DataTamperInjector("cheapest_total", 1.0)],
+    )
+    mechanism = VignaTracesMechanism(code_registry=scenario.system.code_registry)
+    initial_state = agent.capture_state()
+    result = scenario.system.launch(agent, scenario.itinerary,
+                                    protection=mechanism)
+    print("  detected during the journey :", result.detected_attack())
+    report = mechanism.investigate(scenario.host("home"), initial_state,
+                                   result.final_protocol_data)
+    print("  detected by investigation   :", report.detected_attack)
+    print("  first cheating host         :", report.first_cheating_host)
+    for verdict in report.verdicts:
+        print("    hop %s at %-8s -> %s" % (
+            verdict.hop_index, verdict.checked_host, verdict.status.value,
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

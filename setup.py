@@ -1,0 +1,11 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+only exists so that ``python setup.py develop`` / legacy editable
+installs keep working on offline machines that lack the ``wheel``
+package required by PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

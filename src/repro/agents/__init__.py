@@ -1,0 +1,72 @@
+"""Mobile agent substrate: agents, states, inputs, logs, migration.
+
+This package models the agent side of the paper's execution model
+(Section 2.1): agents with code / data state / execution state, weak
+migration along an itinerary, recorded input, and execution traces.
+"""
+
+from repro.agents.agent import (
+    AgentCodeRegistry,
+    MobileAgent,
+    default_registry,
+    register_agent,
+)
+from repro.agents.context import ExecutionContext, NullMetrics, OutwardAction
+from repro.agents.execution_log import ExecutionLog, TraceEntry
+from repro.agents.input import (
+    EnvironmentInputSource,
+    INPUT_KIND_HOST_DATA,
+    INPUT_KIND_MESSAGE,
+    INPUT_KIND_SERVICE,
+    INPUT_KIND_SYSTEM,
+    InputLog,
+    InputRecord,
+    InputSource,
+    ReplayInputSource,
+)
+from repro.agents.itinerary import Itinerary, RouteEntry, RouteRecord
+from repro.agents.messaging import (
+    Mailbox,
+    MessageBoard,
+    PartnerMessage,
+    verify_signed_message,
+)
+from repro.agents.migration import MigrationEngine, UnpackedAgent
+from repro.agents.replay import ReExecutionResult, ReExecutor
+from repro.agents.state import AgentState, DataState, ExecutionState, state_diff
+
+__all__ = [
+    "AgentCodeRegistry",
+    "MobileAgent",
+    "default_registry",
+    "register_agent",
+    "ExecutionContext",
+    "NullMetrics",
+    "OutwardAction",
+    "ExecutionLog",
+    "TraceEntry",
+    "EnvironmentInputSource",
+    "INPUT_KIND_HOST_DATA",
+    "INPUT_KIND_MESSAGE",
+    "INPUT_KIND_SERVICE",
+    "INPUT_KIND_SYSTEM",
+    "InputLog",
+    "InputRecord",
+    "InputSource",
+    "ReplayInputSource",
+    "Itinerary",
+    "RouteEntry",
+    "RouteRecord",
+    "Mailbox",
+    "MessageBoard",
+    "PartnerMessage",
+    "verify_signed_message",
+    "MigrationEngine",
+    "UnpackedAgent",
+    "ReExecutionResult",
+    "ReExecutor",
+    "AgentState",
+    "DataState",
+    "ExecutionState",
+    "state_diff",
+]

@@ -1,0 +1,139 @@
+"""Re-execution of an agent session from recorded reference data.
+
+This is the mechanical heart of both the paper's example mechanism and
+the Vigna traces baseline: given the *initial state*, the *agent code*,
+and the recorded *input*, a reference host re-runs the session and
+obtains a reference state to compare against the state the checked host
+claims to have produced.
+
+Output actions are suppressed during replay and the replayed input log /
+execution log are returned so callers can additionally verify that the
+checked host's trace commitment matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.agents.agent import AgentCodeRegistry, MobileAgent
+from repro.agents.context import ExecutionContext, OutwardAction
+from repro.agents.execution_log import ExecutionLog
+from repro.agents.input import InputLog, ReplayInputSource
+from repro.agents.state import AgentState
+from repro.exceptions import ExecutionError, InputReplayError
+
+__all__ = ["ReExecutionResult", "ReExecutor"]
+
+
+@dataclass
+class ReExecutionResult:
+    """Outcome of replaying one execution session on a reference host."""
+
+    #: The reference state produced by the replay.
+    resulting_state: AgentState
+    #: The execution log the replay produced (input-dependent assignments).
+    execution_log: ExecutionLog
+    #: The input the replay consumed (should equal the recorded log).
+    consumed_input: InputLog
+    #: Outward actions the agent attempted (suppressed, but recorded).
+    suppressed_actions: Tuple[OutwardAction, ...]
+    #: Whether every recorded input element was consumed by the replay.
+    input_fully_consumed: bool
+    #: Error message if the replay itself failed (``None`` on success).
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the replay ran to completion without errors."""
+        return self.error is None
+
+
+class ReExecutor:
+    """Re-runs agent sessions from reference data.
+
+    Parameters
+    ----------
+    registry:
+        Code registry used to re-instantiate the reference agent code.
+    strict_input_keys:
+        Whether replay requires the exact same (kind, source, key)
+        sequence as recorded.  Strict mode (default) detects a host that
+        fabricated a log whose shape does not match the reference code's
+        actual input requests.
+    """
+
+    def __init__(self, registry: AgentCodeRegistry,
+                 strict_input_keys: bool = True) -> None:
+        self._registry = registry
+        self._strict_input_keys = strict_input_keys
+
+    def re_execute(
+        self,
+        code_name: str,
+        initial_state: AgentState,
+        recorded_input: InputLog,
+        host_name: str,
+        hop_index: int,
+        is_final_hop: bool = False,
+        owner: str = "owner",
+        agent_id: str = "re-execution",
+        metrics: Optional[Any] = None,
+    ) -> ReExecutionResult:
+        """Replay one session and return the reference state it produces.
+
+        The replay is *fail-soft*: if the agent code raises, if the
+        recorded input does not match the code's requests, or if the
+        code is not registered, the result carries an ``error``
+        description instead of raising — a checker treats a failed
+        replay as "cannot confirm the host's claim", which is itself a
+        meaningful verdict.
+        """
+        try:
+            agent = self._registry.instantiate(
+                code_name, initial_state, owner=owner, agent_id=agent_id
+            )
+        except Exception as exc:
+            return self._failure("cannot instantiate reference code: %s" % exc)
+
+        replay_source = ReplayInputSource(
+            recorded_input, strict_keys=self._strict_input_keys
+        )
+        context = ExecutionContext(
+            host_name=host_name,
+            hop_index=hop_index,
+            is_final_hop=is_final_hop,
+            input_source=replay_source,
+            output_handler=None,  # suppress outward actions
+            metrics=metrics,
+        )
+        try:
+            agent.run(context)
+        except InputReplayError as exc:
+            return self._failure("input replay diverged: %s" % exc,
+                                 context=context, replay_source=replay_source)
+        except Exception as exc:  # noqa: BLE001 - attacker-influenced code path
+            return self._failure(
+                "reference execution raised %s: %s" % (type(exc).__name__, exc),
+                context=context,
+                replay_source=replay_source,
+            )
+
+        return ReExecutionResult(
+            resulting_state=agent.capture_state(),
+            execution_log=context.execution_log,
+            consumed_input=replay_source.log,
+            suppressed_actions=context.actions,
+            input_fully_consumed=replay_source.exhausted,
+        )
+
+    def _failure(self, message: str, context: Optional[ExecutionContext] = None,
+                 replay_source: Optional[ReplayInputSource] = None) -> ReExecutionResult:
+        return ReExecutionResult(
+            resulting_state=AgentState(),
+            execution_log=context.execution_log if context else ExecutionLog(),
+            consumed_input=replay_source.log if replay_source else InputLog(),
+            suppressed_actions=context.actions if context else (),
+            input_fully_consumed=False,
+            error=message,
+        )

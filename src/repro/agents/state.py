@@ -1,0 +1,219 @@
+"""Agent state: the "variable parts" of a mobile agent.
+
+The paper's agent model (Section 2.1) splits an agent into *code*, a
+*data state* (e.g. instance variables), and an *execution state*.  With
+weak migration — the migration style the framework targets — the
+execution state is not captured automatically; the programmer encodes it
+manually into variables that are transported with the data state.
+
+:class:`AgentState` is therefore the reproduction's notion of a
+**reference state**: the combination of the variable parts of an agent
+after an execution session.  States snapshot to plain dictionaries of
+canonical values, hash deterministically, and compare exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from repro.crypto.canonical import canonical_encode, canonical_equal
+from repro.crypto.hashing import StateDigest, hash_value
+from repro.exceptions import AgentStateError
+
+__all__ = ["DataState", "ExecutionState", "AgentState", "state_diff"]
+
+
+class DataState:
+    """The agent's data variables (instance variables in the paper).
+
+    Behaves like a dictionary restricted to canonical values.  Values
+    are deep-copied on snapshot so that later mutation by the agent (or
+    by a malicious host) cannot retroactively change a captured
+    reference state.
+    """
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None) -> None:
+        self._variables: Dict[str, Any] = dict(initial or {})
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._variables[key]
+        except KeyError as exc:
+            raise AgentStateError("agent data variable %r is not set" % key) from exc
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if not isinstance(key, str):
+            raise AgentStateError("agent data variables must have string names")
+        self._variables[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        self._variables.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._variables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._variables))
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return a variable or ``default`` if it is not set."""
+        return self._variables.get(key, default)
+
+    def set_default(self, key: str, default: Any) -> Any:
+        """Set ``key`` to ``default`` if missing; return its value."""
+        return self._variables.setdefault(key, default)
+
+    def update(self, values: Dict[str, Any]) -> None:
+        """Bulk-set variables from a dictionary."""
+        for key, value in values.items():
+            self[key] = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a deep copy of the variables as a plain dictionary."""
+        return copy.deepcopy(self._variables)
+
+    def to_canonical(self) -> Dict[str, Any]:
+        return self.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "DataState(%r)" % (self._variables,)
+
+
+class ExecutionState:
+    """Manually encoded execution state (weak migration).
+
+    The framework only needs two well-known fields — which hop the agent
+    is on and whether it considers its task finished — but agents may
+    store arbitrary additional fields (e.g. a phase marker for a
+    multi-phase protocol).
+    """
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None) -> None:
+        self._fields: Dict[str, Any] = {"hop_index": 0, "finished": False}
+        if initial:
+            self._fields.update(initial)
+
+    @property
+    def hop_index(self) -> int:
+        """Zero-based index of the current hop along the itinerary."""
+        return int(self._fields["hop_index"])
+
+    @hop_index.setter
+    def hop_index(self, value: int) -> None:
+        self._fields["hop_index"] = int(value)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the agent has declared its task complete."""
+        return bool(self._fields["finished"])
+
+    @finished.setter
+    def finished(self, value: bool) -> None:
+        self._fields["finished"] = bool(value)
+
+    def __getitem__(self, key: str) -> Any:
+        return self._fields[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._fields[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return a field or ``default`` if it is not set."""
+        return self._fields.get(key, default)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a deep copy of all fields."""
+        return copy.deepcopy(self._fields)
+
+    def to_canonical(self) -> Dict[str, Any]:
+        return self.snapshot()
+
+
+@dataclass(frozen=True)
+class AgentState:
+    """An immutable snapshot of an agent's variable parts.
+
+    This is exactly the object the paper calls a *state* — and, when it
+    was produced by a reference host, a *reference state*.
+    """
+
+    data: Dict[str, Any] = field(default_factory=dict)
+    execution: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, data: DataState, execution: ExecutionState) -> "AgentState":
+        """Snapshot live data + execution state into an immutable value."""
+        return cls(data=data.snapshot(), execution=execution.snapshot())
+
+    def restore(self) -> tuple:
+        """Materialize fresh live state objects from this snapshot."""
+        return (
+            DataState(copy.deepcopy(self.data)),
+            ExecutionState(copy.deepcopy(self.execution)),
+        )
+
+    def to_canonical(self) -> Dict[str, Any]:
+        return {"data": self.data, "execution": self.execution}
+
+    @classmethod
+    def from_canonical(cls, value: Dict[str, Any]) -> "AgentState":
+        try:
+            return cls(
+                data=dict(value["data"]), execution=dict(value["execution"])
+            )
+        except (KeyError, TypeError) as exc:
+            raise AgentStateError("malformed agent state snapshot") from exc
+
+    def digest(self) -> StateDigest:
+        """Secure hash of the snapshot (what hosts sign and compare)."""
+        return hash_value(self.to_canonical())
+
+    def equals(self, other: "AgentState") -> bool:
+        """Exact (canonical) equality with another snapshot."""
+        return canonical_equal(self.to_canonical(), other.to_canonical())
+
+    def size_bytes(self) -> int:
+        """Size of the canonical encoding, for transfer accounting."""
+        return len(canonical_encode(self.to_canonical()))
+
+
+def state_diff(reference: AgentState, observed: AgentState) -> Dict[str, Any]:
+    """Describe how ``observed`` deviates from ``reference``.
+
+    Returns a dictionary with three keys:
+
+    ``missing``
+        variables present in the reference state but absent in the
+        observed state,
+    ``unexpected``
+        variables present only in the observed state,
+    ``changed``
+        variables present in both with differing values, mapped to a
+        ``{"reference": ..., "observed": ...}`` pair.
+
+    Execution-state fields are compared under keys prefixed with
+    ``"execution."`` so a single report covers both parts.
+    """
+    report: Dict[str, Any] = {"missing": [], "unexpected": [], "changed": {}}
+
+    def compare(ref: Dict[str, Any], obs: Dict[str, Any], prefix: str) -> None:
+        for key in sorted(set(ref) | set(obs)):
+            label = prefix + key
+            if key not in obs:
+                report["missing"].append(label)
+            elif key not in ref:
+                report["unexpected"].append(label)
+            elif not canonical_equal(ref[key], obs[key]):
+                report["changed"][label] = {
+                    "reference": ref[key],
+                    "observed": obs[key],
+                }
+
+    compare(reference.data, observed.data, "")
+    compare(reference.execution, observed.execution, "execution.")
+    return report

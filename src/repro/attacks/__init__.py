@@ -1,0 +1,46 @@
+"""Attack model: Figure-2 areas, injectors, scenarios, and detection metrics."""
+
+from repro.attacks.detection import DetectionOutcome, DetectionReport
+from repro.attacks.injector import (
+    AttackInjector,
+    DataTamperInjector,
+    DropInputRecordInjector,
+    ExecutionLogForgeryInjector,
+    IncorrectExecutionInjector,
+    InitialStateTamperInjector,
+    InputLyingInjector,
+    ProtocolDataTamperInjector,
+    ReadAttackInjector,
+    StateFieldOverwriteInjector,
+    WrongSystemCallInjector,
+)
+from repro.attacks.model import (
+    AttackArea,
+    AttackDescriptor,
+    BLACKBOX_SET,
+    Detectability,
+)
+from repro.attacks.scenarios import AttackScenario, scenario_by_name, standard_catalogue
+
+__all__ = [
+    "DetectionOutcome",
+    "DetectionReport",
+    "AttackInjector",
+    "DataTamperInjector",
+    "DropInputRecordInjector",
+    "ExecutionLogForgeryInjector",
+    "IncorrectExecutionInjector",
+    "InitialStateTamperInjector",
+    "InputLyingInjector",
+    "ProtocolDataTamperInjector",
+    "ReadAttackInjector",
+    "StateFieldOverwriteInjector",
+    "WrongSystemCallInjector",
+    "AttackArea",
+    "AttackDescriptor",
+    "BLACKBOX_SET",
+    "Detectability",
+    "AttackScenario",
+    "scenario_by_name",
+    "standard_catalogue",
+]

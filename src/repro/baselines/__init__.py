@@ -1,0 +1,29 @@
+"""Runnable implementations of the four existing approaches (Section 3)."""
+
+from repro.baselines.execution_traces import (
+    InvestigationReport,
+    StoredTrace,
+    TraceCommitment,
+    VignaTracesMechanism,
+)
+from repro.baselines.proof_verification import ProofVerificationMechanism
+from repro.baselines.server_replication import (
+    ReplicatedJourneyResult,
+    ReplicationStage,
+    ServerReplicationProtocol,
+    StageOutcome,
+)
+from repro.baselines.state_appraisal import StateAppraisalMechanism
+
+__all__ = [
+    "InvestigationReport",
+    "StoredTrace",
+    "TraceCommitment",
+    "VignaTracesMechanism",
+    "ProofVerificationMechanism",
+    "ReplicatedJourneyResult",
+    "ReplicationStage",
+    "ServerReplicationProtocol",
+    "StageOutcome",
+    "StateAppraisalMechanism",
+]

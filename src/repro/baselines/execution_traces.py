@@ -1,0 +1,374 @@
+"""Cryptographic execution traces (Vigna — Section 3.3).
+
+Every host records a trace of the statements whose effect depends on
+input from outside the agent.  After the session, the host signs a hash
+of the trace and a hash of the resulting agent state and forwards those
+hashes with the agent; the trace itself stays stored at the host.  Only
+when the owner *suspects* a fraud does it request the traces and
+re-execute the journey hop by hop, comparing each re-executed resulting
+state with the hash the host committed to.
+
+Differences from the paper's example mechanism (Section 6), reproduced
+faithfully because they are exactly what motivates the example
+mechanism:
+
+* checking is **suspicion-driven and happens after the task**, so a
+  compromised agent keeps working on later hosts before the fraud is
+  found;
+* only **hashes** of the resulting states travel with the agent, so the
+  owner can identify *which* host cheated but cannot present the
+  complete tampered state as evidence;
+* hosts must **cooperate during the investigation** by handing over
+  their stored traces; a host that refuses stalls the investigation at
+  its hop (the investigation reports it as unresolvable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
+from repro.agents.input import InputLog
+from repro.agents.itinerary import Itinerary
+from repro.agents.replay import ReExecutor
+from repro.agents.state import AgentState
+from repro.core.attributes import CheckMoment
+from repro.core.verdict import CheckResult, Verdict, VerdictStatus
+from repro.crypto.dsa import DSASignature
+from repro.crypto.hashing import hash_value
+from repro.crypto.signing import SignedEnvelope
+from repro.platform.host import Host
+from repro.platform.registry import ProtectionMechanism
+from repro.platform.session import SessionRecord
+
+__all__ = ["StoredTrace", "TraceCommitment", "InvestigationReport",
+           "VignaTracesMechanism"]
+
+
+@dataclass
+class StoredTrace:
+    """What the executing host keeps locally for a possible investigation."""
+
+    host: str
+    hop_index: int
+    input_log: InputLog
+    trace_digest: str
+    resulting_state_digest: str
+
+
+@dataclass(frozen=True)
+class TraceCommitment:
+    """The signed hashes that travel with the agent (one per session)."""
+
+    host: str
+    hop_index: int
+    code_name: str
+    owner: str
+    agent_id: str
+    initial_state_digest: str
+    trace_digest: str
+    resulting_state_digest: str
+    envelope: Dict[str, Any]
+    is_final_hop: bool = False
+
+    def to_canonical(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "hop_index": self.hop_index,
+            "code_name": self.code_name,
+            "owner": self.owner,
+            "agent_id": self.agent_id,
+            "initial_state_digest": self.initial_state_digest,
+            "trace_digest": self.trace_digest,
+            "resulting_state_digest": self.resulting_state_digest,
+            "envelope": self.envelope,
+            "is_final_hop": self.is_final_hop,
+        }
+
+    @classmethod
+    def from_canonical(cls, data: Dict[str, Any]) -> "TraceCommitment":
+        return cls(
+            host=data["host"],
+            hop_index=int(data["hop_index"]),
+            code_name=data["code_name"],
+            owner=data["owner"],
+            agent_id=data["agent_id"],
+            initial_state_digest=data["initial_state_digest"],
+            trace_digest=data["trace_digest"],
+            resulting_state_digest=data["resulting_state_digest"],
+            envelope=dict(data["envelope"]),
+            is_final_hop=bool(data.get("is_final_hop", False)),
+        )
+
+
+@dataclass
+class InvestigationReport:
+    """Outcome of an owner-triggered investigation of a journey."""
+
+    verdicts: List[Verdict] = field(default_factory=list)
+    first_cheating_host: Optional[str] = None
+    stalled_at_host: Optional[str] = None
+
+    @property
+    def detected_attack(self) -> bool:
+        """Whether the investigation identified at least one cheater."""
+        return self.first_cheating_host is not None
+
+    def blamed_hosts(self) -> Tuple[str, ...]:
+        """All hosts blamed by the investigation."""
+        return tuple(sorted({
+            v.checked_host for v in self.verdicts
+            if v.is_attack and v.checked_host
+        }))
+
+
+class VignaTracesMechanism(ProtectionMechanism):
+    """Traces recording during the journey plus owner-side investigation."""
+
+    name = "vigna-traces"
+
+    def __init__(self, code_registry: Optional[AgentCodeRegistry] = None) -> None:
+        self.code_registry = code_registry or default_registry
+        #: Traces kept by the executing hosts, keyed by (host, hop index).
+        #: In a deployment each host would store its own trace; the
+        #: single-process simulation centralizes them here and the
+        #: ``trace_provider`` of :meth:`investigate` models the request.
+        self.stored_traces: Dict[Tuple[str, int], StoredTrace] = {}
+
+    # -- journey-time hooks -------------------------------------------------------
+
+    def prepare_launch(self, agent: MobileAgent, itinerary: Itinerary,
+                       home_host: Host) -> Dict[str, Any]:
+        return {
+            "mechanism": self.name,
+            "launch_state_digest": agent.capture_state().digest().hex(),
+            "commitments": [],
+        }
+
+    def after_session(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        hop_index: int,
+        record: SessionRecord,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        data = protocol_data or self.prepare_launch(agent, itinerary, host)
+
+        trace_digest = record.execution_log.digest().hex()
+        resulting_digest = record.resulting_state.digest().hex()
+        initial_digest = record.initial_state.digest().hex()
+
+        # The trace itself stays at the host (here: in the mechanism's
+        # host-keyed store); only the signed hashes travel.
+        self.stored_traces[(host.name, hop_index)] = StoredTrace(
+            host=host.name,
+            hop_index=hop_index,
+            input_log=record.input_log.copy(),
+            trace_digest=trace_digest,
+            resulting_state_digest=resulting_digest,
+        )
+
+        envelope = host.sign({
+            "role": "trace-commitment",
+            "agent_id": record.agent_id,
+            "hop_index": hop_index,
+            "initial_state_digest": initial_digest,
+            "trace_digest": trace_digest,
+            "resulting_state_digest": resulting_digest,
+        })
+        commitment = TraceCommitment(
+            host=host.name,
+            hop_index=hop_index,
+            code_name=record.code_name,
+            owner=record.owner,
+            agent_id=record.agent_id,
+            initial_state_digest=initial_digest,
+            trace_digest=trace_digest,
+            resulting_state_digest=resulting_digest,
+            envelope=envelope.to_canonical(),
+            is_final_hop=record.is_final_hop,
+        )
+        data.setdefault("commitments", []).append(commitment.to_canonical())
+        return data
+
+    # -- owner-side investigation ----------------------------------------------------
+
+    def investigate(
+        self,
+        owner_host: Host,
+        initial_state: AgentState,
+        protocol_data: Dict[str, Any],
+        trace_provider: Optional[Callable[[str, int], Optional[StoredTrace]]] = None,
+        suspicious: bool = True,
+    ) -> InvestigationReport:
+        """Re-execute the whole journey from stored traces.
+
+        Parameters
+        ----------
+        owner_host:
+            The owner's (home) host: provides the keystore to verify the
+            commitments and the signer identity of the investigation.
+        initial_state:
+            The agent state as it was originally launched (the owner
+            knows it — it created the agent).
+        protocol_data:
+            The protocol payload the agent returned with (the chain of
+            signed commitments).
+        trace_provider:
+            How to obtain the stored trace of a host; defaults to this
+            mechanism's own store.  Returning ``None`` models a host
+            refusing to cooperate.
+        suspicious:
+            The paper's precondition: the owner only investigates when a
+            fraud is suspected.  Passing ``False`` returns an empty
+            report — this models the mechanism's main weakness.
+        """
+        report = InvestigationReport()
+        if not suspicious:
+            return report
+
+        provider = trace_provider or (
+            lambda host, hop: self.stored_traces.get((host, hop))
+        )
+        commitments = [
+            TraceCommitment.from_canonical(entry)
+            for entry in protocol_data.get("commitments", [])
+        ]
+        executor = ReExecutor(self.code_registry)
+        current_state = initial_state
+
+        for commitment in sorted(commitments, key=lambda c: c.hop_index):
+            results: List[CheckResult] = []
+
+            envelope_ok = self._verify_commitment(owner_host, commitment, results)
+            stored = provider(commitment.host, commitment.hop_index)
+            if stored is None:
+                report.stalled_at_host = commitment.host
+                results.append(CheckResult(
+                    checker="trace-request",
+                    status=VerdictStatus.INCONCLUSIVE,
+                    details={"reason": "host did not provide its stored trace"},
+                ))
+                report.verdicts.append(self._verdict(owner_host, commitment, results))
+                break
+
+            # The host commits on its trace: a provided trace whose hash
+            # does not match the committed hash is itself an attack.
+            if envelope_ok and stored.trace_digest != commitment.trace_digest:
+                results.append(CheckResult(
+                    checker="trace-hash",
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={"reason": "provided trace does not match the committed hash"},
+                ))
+
+            if commitment.initial_state_digest != current_state.digest().hex():
+                results.append(CheckResult(
+                    checker="initial-state-hash",
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={"reason": (
+                        "the host started from a different initial state than "
+                        "the previous host produced"
+                    )},
+                ))
+
+            replay = executor.re_execute(
+                code_name=commitment.code_name,
+                initial_state=current_state,
+                recorded_input=stored.input_log,
+                host_name=commitment.host,
+                hop_index=commitment.hop_index,
+                is_final_hop=commitment.is_final_hop,
+                owner=commitment.owner,
+                agent_id=commitment.agent_id,
+                metrics=owner_host.metrics,
+            )
+            if not replay.succeeded:
+                results.append(CheckResult(
+                    checker="re-execution",
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={"reason": "the recorded input cannot reproduce the session",
+                             "replay_error": replay.error},
+                ))
+            else:
+                replay_digest = replay.resulting_state.digest().hex()
+                if replay_digest != commitment.resulting_state_digest:
+                    results.append(CheckResult(
+                        checker="re-execution",
+                        status=VerdictStatus.ATTACK_DETECTED,
+                        details={"reason": (
+                            "re-executed resulting state does not match the hash "
+                            "the host signed"
+                        )},
+                    ))
+                else:
+                    results.append(CheckResult(
+                        checker="re-execution", status=VerdictStatus.OK
+                    ))
+                # The re-executed state (matching or not) is the reference
+                # the next hop must have started from.
+                current_state = replay.resulting_state
+
+            verdict = self._verdict(owner_host, commitment, results)
+            report.verdicts.append(verdict)
+            if verdict.is_attack and report.first_cheating_host is None:
+                report.first_cheating_host = commitment.host
+                # The paper's procedure stops once the cheating host is
+                # identified: later states are derived from a compromised
+                # execution anyway.
+                break
+
+        return report
+
+    # -- internals -----------------------------------------------------------------
+
+    def _verify_commitment(self, owner_host: Host, commitment: TraceCommitment,
+                           results: List[CheckResult]) -> bool:
+        envelope_data = commitment.envelope
+        try:
+            envelope = SignedEnvelope(
+                payload=envelope_data["payload"],
+                signer=envelope_data["signer"],
+                signature=DSASignature.from_canonical(envelope_data["signature"]),
+            )
+        except Exception:
+            results.append(CheckResult(
+                checker="commitment-signature",
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "trace commitment is malformed"},
+            ))
+            return False
+        if not owner_host.verify(envelope, expected_signer=commitment.host):
+            results.append(CheckResult(
+                checker="commitment-signature",
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "trace commitment signature does not verify"},
+            ))
+            return False
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        consistent = (
+            payload.get("trace_digest") == commitment.trace_digest
+            and payload.get("resulting_state_digest") == commitment.resulting_state_digest
+            and payload.get("initial_state_digest") == commitment.initial_state_digest
+        )
+        if not consistent:
+            results.append(CheckResult(
+                checker="commitment-signature",
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "commitment fields do not match the signed payload"},
+            ))
+            return False
+        return True
+
+    def _verdict(self, owner_host: Host, commitment: TraceCommitment,
+                 results: List[CheckResult]) -> Verdict:
+        return Verdict.from_results(
+            results,
+            mechanism=self.name,
+            moment=CheckMoment.AFTER_TASK,
+            checking_host=owner_host.name,
+            checked_host=commitment.host,
+            hop_index=commitment.hop_index,
+        )

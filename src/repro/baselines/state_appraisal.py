@@ -1,0 +1,139 @@
+"""State appraisal (Farmer, Guttman, Swarup — Section 3.1).
+
+The state appraisal mechanism "checks the validity of the state of an
+agent as the first step of executing an agent arrived at a host".  The
+reference data is structured as a set of rules formulated by the agent
+programmer; the check is done by the receiving host, which has its own
+interest in executing only untampered agents.
+
+Properties reproduced here (and asserted by the tests):
+
+* only the *current* state of the arrived agent is considered — no
+  input, no initial state, no execution log;
+* attacks that keep the state consistent with the rules go undetected
+  (the paper's lowest-price example: without the used prices, no
+  inconsistency can be found);
+* if the receiving host does not check (e.g. because it collaborates
+  with the attacker), nothing is detected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.agents.agent import MobileAgent
+from repro.agents.itinerary import Itinerary
+from repro.core.attributes import CheckMoment
+from repro.core.checkers.base import CheckContext
+from repro.core.checkers.rules import Rule, RuleChecker
+from repro.core.reference_data import ReferenceDataSet
+from repro.core.verdict import Verdict, VerdictStatus
+from repro.platform.host import Host
+from repro.platform.registry import ProtectionMechanism
+from repro.platform.session import SessionRecord
+
+__all__ = ["StateAppraisalMechanism"]
+
+
+class StateAppraisalMechanism(ProtectionMechanism):
+    """Rule-based appraisal of the arrived agent state at every host.
+
+    Parameters
+    ----------
+    rules:
+        The appraisal rules (postconditions over the agent's data
+        variables).  They are evaluated against the state the agent
+        arrives with.
+    appraise_at_task_end:
+        Also appraise the final state at the last host (on by default,
+        mirroring that the home host certainly wants to appraise the
+        returning agent).
+    """
+
+    name = "state-appraisal"
+
+    def __init__(self, rules: Iterable[Rule],
+                 appraise_at_task_end: bool = True) -> None:
+        self._checker = RuleChecker(list(rules), name="state-appraisal-rules")
+        self.appraise_at_task_end = appraise_at_task_end
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def prepare_launch(self, agent: MobileAgent, itinerary: Itinerary,
+                       home_host: Host) -> Dict[str, Any]:
+        return {"mechanism": self.name}
+
+    def on_arrival(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        hop_index: int,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> Tuple[List[Verdict], Optional[Dict[str, Any]]]:
+        checked_host = itinerary.previous_host(hop_index)
+        collaborates = getattr(host, "collaborates_with", None)
+        if callable(collaborates) and checked_host and collaborates(checked_host):
+            verdict = Verdict(
+                status=VerdictStatus.SKIPPED,
+                mechanism=self.name,
+                moment=CheckMoment.AFTER_SESSION,
+                checking_host=host.name,
+                checked_host=checked_host,
+                hop_index=hop_index - 1,
+            )
+            return [verdict], protocol_data
+        verdict = self._appraise(
+            host, agent, checked_host, hop_index - 1, CheckMoment.AFTER_SESSION
+        )
+        return [verdict], protocol_data
+
+    def after_task(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> List[Verdict]:
+        if not self.appraise_at_task_end:
+            return []
+        previous = itinerary.previous_host(len(itinerary) - 1)
+        return [
+            self._appraise(host, agent, previous, len(itinerary) - 1,
+                           CheckMoment.AFTER_TASK)
+        ]
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _appraise(self, host: Host, agent: MobileAgent,
+                  checked_host: Optional[str], hop_index: int,
+                  moment: CheckMoment) -> Verdict:
+        observed = agent.capture_state()
+        # State appraisal has no transported reference data: the bundle
+        # contains only the observed state itself.
+        reference = ReferenceDataSet(
+            session_host=checked_host or host.name,
+            hop_index=max(hop_index, 0),
+            agent_id=agent.agent_id,
+            code_name=agent.get_code_name(),
+            owner=agent.owner,
+            resulting_state=observed,
+        )
+        context = CheckContext(
+            reference_data=reference,
+            observed_state=observed,
+            checked_host=checked_host or host.name,
+            checking_host=host.name,
+            hop_index=max(hop_index, 0),
+            keystore=host.keystore,
+            metrics=host.metrics,
+        )
+        result = self._checker.check(context)
+        return Verdict.from_results(
+            [result],
+            mechanism=self.name,
+            moment=moment,
+            checking_host=host.name,
+            checked_host=checked_host,
+            hop_index=hop_index if hop_index >= 0 else None,
+        )

@@ -1,0 +1,191 @@
+"""Rendering Tables 1 and 2 (and the paper's reference values).
+
+``python -m repro.bench.tables --table 1`` regenerates Table 1 (plain
+agents), ``--table 2`` regenerates Table 2 (protected agents, with the
+overhead factors relative to a freshly measured Table 1), and
+``--table both`` prints both plus a side-by-side comparison of measured
+overall overhead factors against the paper's.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import MeasurementResult, run_measurement_grid
+from repro.bench.metrics import TimingBreakdown
+
+__all__ = [
+    "PAPER_TABLE_1",
+    "PAPER_TABLE_2",
+    "PAPER_OVERALL_FACTORS",
+    "format_table",
+    "format_overhead_table",
+    "overall_factors",
+    "main",
+]
+
+#: Table 1 of the paper: plain agents, times in milliseconds.
+PAPER_TABLE_1: Dict[str, Dict[str, float]] = {
+    "1 input, 1 cycle": {
+        "sign_verify_ms": 209, "cycle_ms": 2, "remainder_ms": 93, "overall_ms": 304,
+    },
+    "100 inputs, 1 cycle": {
+        "sign_verify_ms": 409, "cycle_ms": 3, "remainder_ms": 153, "overall_ms": 564,
+    },
+    "1 input, 10000 cycles": {
+        "sign_verify_ms": 217, "cycle_ms": 27158, "remainder_ms": 93,
+        "overall_ms": 27468,
+    },
+    "100 inputs, 10000 cycles": {
+        "sign_verify_ms": 400, "cycle_ms": 27235, "remainder_ms": 155,
+        "overall_ms": 27789,
+    },
+}
+
+#: Table 2 of the paper: protected agents, times in milliseconds.
+PAPER_TABLE_2: Dict[str, Dict[str, float]] = {
+    "1 input, 1 cycle": {
+        "sign_verify_ms": 237, "cycle_ms": 3, "remainder_ms": 345, "overall_ms": 584,
+    },
+    "100 inputs, 1 cycle": {
+        "sign_verify_ms": 560, "cycle_ms": 4, "remainder_ms": 670, "overall_ms": 1234,
+    },
+    "1 input, 10000 cycles": {
+        "sign_verify_ms": 235, "cycle_ms": 36353, "remainder_ms": 341,
+        "overall_ms": 36929,
+    },
+    "100 inputs, 10000 cycles": {
+        "sign_verify_ms": 472, "cycle_ms": 36272, "remainder_ms": 1983,
+        "overall_ms": 38727,
+    },
+}
+
+#: The paper's overall overhead factors (Table 2, bracketed values).
+PAPER_OVERALL_FACTORS: Dict[str, float] = {
+    "1 input, 1 cycle": 1.9,
+    "100 inputs, 1 cycle": 2.2,
+    "1 input, 10000 cycles": 1.3,
+    "100 inputs, 10000 cycles": 1.4,
+}
+
+_COLUMNS = ("sign_verify_ms", "cycle_ms", "remainder_ms", "overall_ms")
+_COLUMN_TITLES = ("sign & verify", "cycle", "remainder", "overall")
+
+
+def format_table(breakdowns: Sequence[TimingBreakdown], title: str) -> str:
+    """Render measured breakdowns as a fixed-width text table (in ms)."""
+    header = "%-28s %14s %14s %14s %14s" % ((title,) + _COLUMN_TITLES)
+    lines = [header, "-" * len(header)]
+    for row in breakdowns:
+        lines.append(
+            "%-28s %14.1f %14.1f %14.1f %14.1f" % (
+                row.label, row.sign_verify_ms, row.cycle_ms,
+                row.remainder_ms, row.overall_ms,
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_overhead_table(
+    protected: Sequence[TimingBreakdown],
+    plain: Sequence[TimingBreakdown],
+    title: str = "protected agents (overhead factor vs plain)",
+) -> str:
+    """Render protected breakdowns annotated with overhead factors."""
+    plain_by_label = {row.label: row for row in plain}
+    header = "%-28s %20s %20s %20s %20s" % ((title,) + _COLUMN_TITLES)
+    lines = [header, "-" * len(header)]
+    for row in protected:
+        baseline = plain_by_label.get(row.label)
+        factors = row.overhead_factors(baseline) if baseline else {}
+
+        def cell(value_ms: float, key: str) -> str:
+            factor = factors.get(key)
+            if factor is None:
+                return "%13.1f ( -- )" % value_ms
+            return "%13.1f (%4.1f)" % (value_ms, factor)
+
+        lines.append("%-28s %s %s %s %s" % (
+            row.label,
+            cell(row.sign_verify_ms, "sign_verify"),
+            cell(row.cycle_ms, "cycle"),
+            cell(row.remainder_ms, "remainder"),
+            cell(row.overall_ms, "overall"),
+        ))
+    return "\n".join(lines)
+
+
+def overall_factors(protected: Sequence[TimingBreakdown],
+                    plain: Sequence[TimingBreakdown]) -> Dict[str, Optional[float]]:
+    """Measured overall overhead factor per configuration label."""
+    plain_by_label = {row.label: row for row in plain}
+    factors: Dict[str, Optional[float]] = {}
+    for row in protected:
+        baseline = plain_by_label.get(row.label)
+        if baseline is None or baseline.overall_ms <= 0:
+            factors[row.label] = None
+        else:
+            factors[row.label] = row.overall_ms / baseline.overall_ms
+    return factors
+
+
+def paper_reference_breakdowns(table: Dict[str, Dict[str, float]]
+                               ) -> List[TimingBreakdown]:
+    """The paper's reference numbers as breakdown rows (for reports)."""
+    rows = []
+    for label, columns in table.items():
+        rows.append(TimingBreakdown(
+            label=label,
+            sign_verify_ms=columns["sign_verify_ms"],
+            cycle_ms=columns["cycle_ms"],
+            remainder_ms=columns["remainder_ms"],
+            overall_ms=columns["overall_ms"],
+        ))
+    return rows
+
+
+def _breakdowns(results: Sequence[MeasurementResult]) -> List[TimingBreakdown]:
+    return [result.breakdown for result in results]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command line entry point: regenerate Table 1 and/or Table 2."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", choices=("1", "2", "both"), default="both",
+                        help="which table to regenerate")
+    parser.add_argument("--fast-cycles", action="store_true",
+                        help="use the C-level cycle loop (JIT ablation)")
+    options = parser.parse_args(argv)
+
+    plain = run_measurement_grid(protected=False,
+                                 use_fast_cycles=options.fast_cycles)
+    output: List[str] = []
+
+    if options.table in ("1", "both"):
+        output.append(format_table(_breakdowns(plain),
+                                   "Table 1: plain agents [ms]"))
+    if options.table in ("2", "both"):
+        protected = run_measurement_grid(protected=True,
+                                         use_fast_cycles=options.fast_cycles)
+        output.append("")
+        output.append(format_overhead_table(
+            _breakdowns(protected), _breakdowns(plain),
+            "Table 2: protected agents [ms]",
+        ))
+        output.append("")
+        output.append("Overall overhead factors (measured vs paper):")
+        measured = overall_factors(_breakdowns(protected), _breakdowns(plain))
+        for label, factor in measured.items():
+            paper_value = PAPER_OVERALL_FACTORS.get(label)
+            output.append("  %-28s measured %.2fx   paper %.1fx" % (
+                label, factor if factor is not None else float("nan"),
+                paper_value if paper_value is not None else float("nan"),
+            ))
+
+    print("\n".join(output))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Callback dispatch: ``checkAfterSession`` / ``checkAfterTask``.
+
+Figure 4 of the paper defines two callbacks the host invokes on the
+agent: ``checkAfterSession`` ("called by the host as the first action
+when arriving") and ``checkAfterTask`` ("called by the last host").  The
+idea of the framework is "to let the agent programmer decide about the
+check mechanism a host has to execute": the agent's callback *is* the
+checking program; the framework merely provides the reference data and
+basic functionality such as signing.
+
+:func:`dispatch_check` performs that invocation.  Agents that do not
+override the callbacks fall back to the checkers configured in the
+active :class:`~repro.core.policy.ProtectionPolicy`, so simple agents
+get protection without writing checking code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.agents.agent import MobileAgent
+from repro.core.attributes import CheckMoment
+from repro.core.checkers.base import Checker, CheckContext
+from repro.core.verdict import CheckResult, VerdictStatus
+
+__all__ = ["agent_overrides_callback", "normalize_callback_result", "dispatch_check"]
+
+
+def agent_overrides_callback(agent: MobileAgent, moment: CheckMoment) -> bool:
+    """Whether the agent class overrides the callback for ``moment``."""
+    if moment is CheckMoment.AFTER_SESSION:
+        return type(agent).check_after_session is not MobileAgent.check_after_session
+    return type(agent).check_after_task is not MobileAgent.check_after_task
+
+
+def normalize_callback_result(value: Any, checker_name: str) -> List[CheckResult]:
+    """Coerce whatever an agent callback returned into check results.
+
+    Supported return values: ``None`` (no statement — an empty list is
+    returned so the framework falls back to its own checkers), a bool, a
+    single :class:`CheckResult`, or a list/tuple of :class:`CheckResult`.
+    """
+    if value is None:
+        return []
+    if isinstance(value, CheckResult):
+        return [value]
+    if isinstance(value, bool):
+        status = VerdictStatus.OK if value else VerdictStatus.ATTACK_DETECTED
+        return [CheckResult(checker=checker_name, status=status)]
+    if isinstance(value, (list, tuple)):
+        results: List[CheckResult] = []
+        for item in value:
+            if isinstance(item, CheckResult):
+                results.append(item)
+            else:
+                results.extend(normalize_callback_result(item, checker_name))
+        return results
+    return [
+        CheckResult(
+            checker=checker_name,
+            status=VerdictStatus.INCONCLUSIVE,
+            details={"reason": "callback returned unsupported value %r" % (value,)},
+        )
+    ]
+
+
+def dispatch_check(
+    agent: MobileAgent,
+    moment: CheckMoment,
+    context: CheckContext,
+    fallback_checkers: Sequence[Checker] = (),
+) -> List[CheckResult]:
+    """Run the check for one moment, honouring the agent's callbacks.
+
+    If the agent overrides the callback for ``moment``, it is invoked
+    with the check context and its result is used (the agent programmer
+    chose the check mechanism).  If the agent does not override the
+    callback — or its callback returns ``None`` — the policy's fallback
+    checkers are executed instead.
+
+    A callback that raises is reported as an inconclusive result; the
+    fallback checkers still run so a buggy custom check does not silence
+    the framework entirely.
+    """
+    results: List[CheckResult] = []
+    callback_name = moment.callback_name
+
+    if agent_overrides_callback(agent, moment):
+        try:
+            if moment is CheckMoment.AFTER_SESSION:
+                value = agent.check_after_session(context)
+            else:
+                value = agent.check_after_task(context)
+        except Exception as exc:  # noqa: BLE001 - agent callback is user code
+            results.append(
+                CheckResult(
+                    checker=callback_name,
+                    status=VerdictStatus.INCONCLUSIVE,
+                    details={
+                        "reason": "agent callback raised %s: %s"
+                        % (type(exc).__name__, exc)
+                    },
+                )
+            )
+            value = None
+        results.extend(normalize_callback_result(value, callback_name))
+
+    if not results:
+        for checker in fallback_checkers:
+            results.append(checker.check(context))
+    return results

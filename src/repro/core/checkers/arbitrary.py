@@ -1,0 +1,160 @@
+"""Arbitrary-program checking.
+
+Section 3.5: "This is the most powerful algorithm as it includes the
+presented ones and allows for more, e.g. a certain compare method for
+resulting states or the possibility to ask a communication partner about
+received messages.  Since this algorithm is not known in advance, the
+system can offer only basic support, i.e. the possibility to execute the
+program at the checking moments."
+
+The :class:`ArbitraryProgramChecker` wraps a user-supplied callable and
+executes it at the checking moment.  The callable receives the full
+:class:`~repro.core.checkers.base.CheckContext` (so it may use any
+reference data) and may return
+
+* a :class:`~repro.core.verdict.CheckResult` (used verbatim),
+* a boolean (``True`` = OK, ``False`` = attack detected),
+* ``None`` (inconclusive), or
+* raise — which is reported as an inconclusive result rather than
+  crashing the checking host.
+
+Two ready-made programs frequently needed by applications are provided:
+:func:`partner_confirmation_program` (ask communication partners whether
+they really sent the recorded input — the extension of Section 4.3) and
+:func:`state_equality_program` (a custom compare method for states that
+ignores selected volatile variables).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.agents.input import INPUT_KIND_MESSAGE
+from repro.agents.messaging import verify_signed_message
+from repro.agents.state import state_diff
+from repro.core.attributes import CheckerKind
+from repro.core.checkers.base import Checker, CheckContext
+from repro.core.verdict import CheckResult, VerdictStatus
+
+__all__ = [
+    "ArbitraryProgramChecker",
+    "partner_confirmation_program",
+    "state_equality_program",
+]
+
+
+class ArbitraryProgramChecker(Checker):
+    """Runs an agent-programmer-supplied checking program."""
+
+    kind = CheckerKind.ARBITRARY_PROGRAM
+    name = "arbitrary-program"
+
+    def __init__(self, program: Callable[[CheckContext], Any],
+                 name: str = "arbitrary-program") -> None:
+        self._program = program
+        self.name = name
+
+    def check(self, context: CheckContext) -> CheckResult:
+        try:
+            outcome = self._program(context)
+        except Exception as exc:  # noqa: BLE001 - user program may do anything
+            return self._inconclusive(
+                "checking program raised %s: %s" % (type(exc).__name__, exc)
+            )
+        if isinstance(outcome, CheckResult):
+            return outcome
+        if outcome is None:
+            return self._inconclusive("checking program returned no verdict")
+        if isinstance(outcome, bool):
+            return self._ok() if outcome else self._attack(
+                reason="checking program reported a violation"
+            )
+        if isinstance(outcome, dict):
+            status = VerdictStatus.OK if outcome.get("ok", False) \
+                else VerdictStatus.ATTACK_DETECTED
+            return CheckResult(checker=self.name, status=status,
+                               details={k: v for k, v in outcome.items() if k != "ok"})
+        return self._inconclusive(
+            "checking program returned an unsupported value of type %r"
+            % type(outcome).__name__
+        )
+
+
+def partner_confirmation_program(keystore_getter: Optional[Callable[[CheckContext], Any]] = None
+                                 ) -> Callable[[CheckContext], Any]:
+    """Build a program that authenticates recorded partner messages.
+
+    This implements the Section 4.3 extension against hosts lying about
+    input: every input record of kind ``message`` must carry a valid
+    signature by the claimed sender.  Unsigned or wrongly signed
+    messages are reported as an attack.
+
+    Parameters
+    ----------
+    keystore_getter:
+        Optional callable extracting the keystore to verify against; by
+        default the context's own keystore is used.
+    """
+
+    def program(context: CheckContext) -> Any:
+        input_log = context.reference_data.input_log
+        if input_log is None:
+            return None
+        keystore = (
+            keystore_getter(context) if keystore_getter else context.keystore
+        )
+        if keystore is None:
+            return None
+        unconfirmed = []
+        for record in input_log:
+            if record.kind != INPUT_KIND_MESSAGE:
+                continue
+            value = record.value
+            if not isinstance(value, dict) or not verify_signed_message(value, keystore):
+                unconfirmed.append(record.sequence)
+        if unconfirmed:
+            return CheckResult(
+                checker="partner-confirmation",
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"unconfirmed_message_records": unconfirmed},
+            )
+        return True
+
+    return program
+
+
+def state_equality_program(ignore_variables: Iterable[str] = ()
+                           ) -> Callable[[CheckContext], Any]:
+    """Build a program comparing observed and committed states.
+
+    ``ignore_variables`` names data variables that are allowed to differ
+    (the "certain compare method for resulting states" the paper
+    mentions, e.g. for values whose ordering is timing dependent).
+    """
+    ignored = frozenset(ignore_variables)
+
+    def program(context: CheckContext) -> Any:
+        committed = context.reference_data.resulting_state
+        observed = context.observed_state
+        if committed is None or observed is None:
+            return None
+        difference = state_diff(committed, observed)
+        relevant_changes = {
+            key: value for key, value in difference["changed"].items()
+            if key not in ignored
+        }
+        missing = [key for key in difference["missing"] if key not in ignored]
+        unexpected = [key for key in difference["unexpected"] if key not in ignored]
+        if relevant_changes or missing or unexpected:
+            return CheckResult(
+                checker="state-equality",
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={
+                    "changed": relevant_changes,
+                    "missing": missing,
+                    "unexpected": unexpected,
+                },
+            )
+        return True
+
+    return program

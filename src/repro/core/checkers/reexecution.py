@@ -1,0 +1,148 @@
+"""Re-execution checking.
+
+Section 3.5: "Re-execution aims at executing an agent according to the
+reference specification given the same set of conditions (i.e. input) as
+the execution to check. ... re-execution needs input, initial agent
+state, and execution log or resulting agent state as reference data."
+
+The checker replays the checked session (initial state + recorded input
+against the *reference code* from the registry) and compares the
+reference state it obtains with the state the checked host claims to
+have produced and/or with the state the agent actually arrived with.
+Output actions are suppressed during the replay.
+
+Because agents in this library are single-threaded and receive every
+external value through the recorded input log, the replay is exact; the
+paper's caveat about racing conditions in multi-threaded agents does not
+apply ("this is no problem for agent systems that allow only one thread
+per agent").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.agents.replay import ReExecutor
+from repro.agents.state import AgentState, state_diff
+from repro.core.attributes import CheckerKind, ReferenceDataKind
+from repro.core.checkers.base import Checker, CheckContext
+from repro.core.verdict import CheckResult
+
+__all__ = ["ReExecutionChecker"]
+
+
+class ReExecutionChecker(Checker):
+    """Replays the checked session and compares resulting states.
+
+    Parameters
+    ----------
+    compare_execution_log:
+        Additionally require the replayed execution log to match the
+        transported one (when the execution log is part of the
+        reference data).
+    strict_input_keys:
+        Passed through to the replay: whether the recorded input must
+        match the code's requests by kind, source, and key.
+    """
+
+    kind = CheckerKind.RE_EXECUTION
+    name = "re-execution"
+
+    def __init__(self, compare_execution_log: bool = False,
+                 strict_input_keys: bool = True,
+                 name: str = "re-execution") -> None:
+        self.compare_execution_log = compare_execution_log
+        self.strict_input_keys = strict_input_keys
+        self.name = name
+
+    def check(self, context: CheckContext) -> CheckResult:
+        data = context.reference_data
+        missing = [
+            kind.value
+            for kind in (ReferenceDataKind.INITIAL_STATE, ReferenceDataKind.INPUT)
+            if kind not in data.available_kinds()
+        ]
+        if missing:
+            return self._inconclusive(
+                "re-execution requires reference data that was not collected",
+                missing=missing,
+            )
+
+        claimed = self._claimed_state(context)
+        if claimed is None:
+            return self._inconclusive(
+                "neither a claimed resulting state nor an observed state is available"
+            )
+
+        executor = ReExecutor(
+            context.code_registry, strict_input_keys=self.strict_input_keys
+        )
+        replay = executor.re_execute(
+            code_name=data.code_name,
+            initial_state=data.initial_state,
+            recorded_input=data.input_log,
+            host_name=data.session_host,
+            hop_index=data.hop_index,
+            is_final_hop=data.is_final_hop,
+            owner=data.owner,
+            agent_id=data.agent_id,
+            metrics=context.metrics,
+        )
+
+        if not replay.succeeded:
+            # A replay failure means the transported reference data does
+            # not explain any faithful execution: either the input log
+            # was tampered with/truncated or the claimed state cannot be
+            # reached.  The checked host cannot substantiate its claim.
+            return self._attack(
+                reason="reference execution could not reproduce the session",
+                replay_error=replay.error,
+            )
+
+        reference_state = replay.resulting_state
+        if not reference_state.equals(claimed):
+            difference = state_diff(reference_state, claimed)
+            return self._attack(
+                reason="resulting state differs from the reference state",
+                state_difference=difference,
+            )
+
+        if not replay.input_fully_consumed:
+            # The recorded input contains elements the reference code
+            # never asked for: the log was padded.  The states match, so
+            # the execution result is fine, but the padded log is still
+            # reported (it could be an attempt to frame another party).
+            unused = len(data.input_log) - len(replay.consumed_input)
+            return self._ok(
+                note="recorded input contains %d unused entries" % unused,
+                unused_input_entries=unused,
+            )
+
+        if self.compare_execution_log and data.execution_log is not None:
+            if not replay.execution_log.matches(data.execution_log):
+                return self._attack(
+                    reason="execution log does not match the reference replay",
+                )
+
+        details = {"reference_state_digest": reference_state.digest().hex()}
+        if context.observed_state is not None and data.resulting_state is not None:
+            # When both are available also confirm the host sent the
+            # same state it signed (inconsistency there is an attack by
+            # the checked host or a transport manipulation).
+            if not context.observed_state.equals(data.resulting_state):
+                return self._attack(
+                    reason=(
+                        "the state the agent arrived with differs from the "
+                        "state the checked host committed to"
+                    ),
+                    state_difference=state_diff(
+                        data.resulting_state, context.observed_state
+                    ),
+                )
+        return self._ok(**details)
+
+    def _claimed_state(self, context: CheckContext) -> Optional[AgentState]:
+        """The state the checked host claims / the agent arrived with."""
+        if context.reference_data.resulting_state is not None:
+            return context.reference_data.resulting_state
+        return context.observed_state

@@ -1,0 +1,597 @@
+"""The example mechanism: per-session checking by the next host.
+
+Section 6 of the paper demonstrates the framework with a mechanism from
+Hohl's technical report 09/99 ("A New Protocol Protecting Mobile Agents
+From Some Modification Attacks").  Its characteristics, all reproduced
+here:
+
+* it is based on Vigna's traces idea but **checks every execution
+  session** instead of waiting for a suspicion;
+* the **next host** checks the session of the current host, regardless
+  of whether that next host is trusted;
+* the reference data is the **initial state**, the **resulting state**,
+  and the **input** of the session;
+* **digital signatures and secure hashes** authenticate the data a host
+  produces; **initial states are signed by both the checking host and
+  the checked host** (dual commitment), so neither can later claim a
+  different state was handed over;
+* sessions on **trusted hosts are not checked** ("trusted hosts will not
+  attack by definition");
+* the mechanism transports the **complete state** of the checked
+  session (not only hashes), so the owner "is able to prove his/her
+  damage in case of a fraud";
+* the known limitation is inherited: **collaboration attacks of two or
+  more consecutive hosts cannot be detected** — the collaborating next
+  host simply skips the check.
+
+The expected cost profile (Table 2) is that the protocol roughly doubles
+the execution cost of light agents and adds ~1/3 for computation-heavy
+agents (the main routine runs once more during checking).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
+from repro.agents.input import InputLog
+from repro.agents.itinerary import Itinerary
+from repro.agents.state import AgentState
+from repro.core.attributes import CheckMoment
+from repro.core.checkers.base import Checker, CheckContext
+from repro.core.checkers.reexecution import ReExecutionChecker
+from repro.core.reference_data import ReferenceDataSet
+from repro.core.verdict import CheckResult, Verdict, VerdictStatus
+from repro.crypto.canonical import canonical_equal
+from repro.crypto.dsa import DSASignature
+from repro.crypto.signing import SignedEnvelope
+from repro.platform.host import Host
+from repro.platform.registry import ProtectionMechanism
+from repro.platform.session import SessionRecord
+
+__all__ = ["ReferenceStateProtocol"]
+
+#: Key under which the protocol stores its payload version.
+_PROTOCOL_VERSION = 1
+
+
+class ReferenceStateProtocol(ProtectionMechanism):
+    """Per-session re-execution checking by the next host.
+
+    Parameters
+    ----------
+    code_registry:
+        Registry providing the reference agent code for re-execution.
+    trusted_hosts:
+        Names of hosts the owner trusts.  Sessions executed on these
+        hosts are not checked.  When ``None``, the checked host's
+        ``trusted`` flag recorded at departure time is used.
+    checker:
+        The checking algorithm applied to untrusted sessions; defaults
+        to :class:`~repro.core.checkers.reexecution.ReExecutionChecker`.
+    check_trusted_hosts:
+        Set to ``True`` to check every session regardless of trust
+        (useful for ablation measurements of the skip optimization).
+    """
+
+    name = "reference-state-protocol"
+
+    def __init__(
+        self,
+        code_registry: Optional[AgentCodeRegistry] = None,
+        trusted_hosts: Optional[Iterable[str]] = None,
+        checker: Optional[Checker] = None,
+        check_trusted_hosts: bool = False,
+    ) -> None:
+        self.code_registry = code_registry or default_registry
+        self.trusted_hosts = (
+            frozenset(trusted_hosts) if trusted_hosts is not None else None
+        )
+        self.checker = checker or ReExecutionChecker()
+        self.check_trusted_hosts = check_trusted_hosts
+
+    # ------------------------------------------------------------------ hooks --
+
+    def prepare_launch(self, agent: MobileAgent, itinerary: Itinerary,
+                       home_host: Host) -> Dict[str, Any]:
+        initial_state = agent.capture_state()
+        commitment = self._make_commitment(
+            home_host, agent, hop_index=0, state=initial_state, sender_envelope=None
+        )
+        return {
+            "mechanism": self.name,
+            "version": _PROTOCOL_VERSION,
+            "prev_session": None,
+            "pending_initial_commitment": commitment,
+            "verdict_history": [],
+        }
+
+    def after_session(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        hop_index: int,
+        record: SessionRecord,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        data = protocol_data or self.prepare_launch(agent, itinerary, host)
+
+        resulting_envelope = host.sign({
+            "agent_id": record.agent_id,
+            "hop_index": hop_index,
+            "role": "resulting-state",
+            "state": record.resulting_state.to_canonical(),
+        })
+        input_envelope = host.sign({
+            "agent_id": record.agent_id,
+            "hop_index": hop_index,
+            "role": "session-input",
+            "input": record.input_log.to_canonical(),
+        })
+
+        data["prev_session"] = {
+            "host": host.name,
+            "hop_index": hop_index,
+            "agent_id": record.agent_id,
+            "code_name": record.code_name,
+            "owner": record.owner,
+            "trusted": host.trusted,
+            "initial_commitment": data.pop("pending_initial_commitment", None),
+            "resulting_envelope": resulting_envelope.to_canonical(),
+            "input_envelope": input_envelope.to_canonical(),
+        }
+        return data
+
+    def on_arrival(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        hop_index: int,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> Tuple[List[Verdict], Optional[Dict[str, Any]]]:
+        observed_state = agent.capture_state()
+        checked_host = itinerary.previous_host(hop_index)
+        verdicts: List[Verdict] = []
+
+        if protocol_data is None or protocol_data.get("prev_session") is None:
+            verdict = self._protocol_data_missing_verdict(host, checked_host, hop_index)
+            data = protocol_data if protocol_data is not None else {
+                "mechanism": self.name,
+                "version": _PROTOCOL_VERSION,
+                "verdict_history": [],
+            }
+            data["prev_session"] = None
+            data["pending_initial_commitment"] = self._make_commitment(
+                host, agent, hop_index, observed_state, sender_envelope=None
+            )
+            self._append_verdict(host, data, verdict)
+            return [verdict], data
+
+        prev = protocol_data["prev_session"]
+        protocol_data["prev_session"] = None
+
+        skip_reason = self._skip_reason(host, prev, checked_host)
+        if skip_reason is not None:
+            verdict = Verdict(
+                status=VerdictStatus.SKIPPED,
+                mechanism=self.name,
+                moment=CheckMoment.AFTER_SESSION,
+                checking_host=host.name,
+                checked_host=checked_host,
+                hop_index=prev.get("hop_index"),
+                results=[CheckResult(
+                    checker="session-check",
+                    status=VerdictStatus.SKIPPED,
+                    details={"reason": skip_reason},
+                )],
+            )
+        else:
+            verdict = self._check_previous_session(
+                host, prev, observed_state, checked_host
+            )
+        verdicts.append(verdict)
+        self._append_verdict(host, protocol_data, verdict)
+
+        # Dual commitment on the current session's initial state: this
+        # (checking) host acknowledges the state it received; the sending
+        # host's signature over the same state is its resulting-state
+        # envelope, which is attached as the sender half.
+        protocol_data["pending_initial_commitment"] = self._make_commitment(
+            host,
+            agent,
+            hop_index,
+            observed_state,
+            sender_envelope=prev.get("resulting_envelope"),
+        )
+        return verdicts, protocol_data
+
+    def after_task(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> List[Verdict]:
+        history = (protocol_data or {}).get("verdict_history", [])
+        attacks = [
+            entry for entry in history
+            if entry.get("verdict", {}).get("status") == VerdictStatus.ATTACK_DETECTED.value
+        ]
+        blamed = sorted({
+            entry["verdict"].get("checked_host")
+            for entry in attacks
+            if entry.get("verdict", {}).get("checked_host")
+        })
+        summary = Verdict(
+            status=(
+                VerdictStatus.ATTACK_DETECTED if attacks else VerdictStatus.OK
+            ),
+            mechanism=self.name,
+            moment=CheckMoment.AFTER_TASK,
+            checking_host=host.name,
+            checked_host=blamed[0] if blamed else None,
+            results=[CheckResult(
+                checker="journey-summary",
+                status=(
+                    VerdictStatus.ATTACK_DETECTED if attacks else VerdictStatus.OK
+                ),
+                details={
+                    "session_verdicts": len(history),
+                    "attacks_detected": len(attacks),
+                    "blamed_hosts": blamed,
+                },
+            )],
+        )
+        return [summary]
+
+    # ------------------------------------------------------------ protocol steps --
+
+    def _make_commitment(
+        self,
+        receiver: Host,
+        agent: MobileAgent,
+        hop_index: int,
+        state: AgentState,
+        sender_envelope: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Build the (dual-signable) commitment on a session's initial state."""
+        payload = {
+            "agent_id": agent.agent_id,
+            "hop_index": hop_index,
+            "role": "initial-state",
+            "state": state.to_canonical(),
+        }
+        receiver_envelope = receiver.sign(payload)
+        return {
+            "payload": payload,
+            "receiver_signature": receiver_envelope.to_canonical(),
+            "sender_envelope": sender_envelope,
+        }
+
+    def _skip_reason(self, checking_host: Host, prev: Dict[str, Any],
+                     checked_host: Optional[str]) -> Optional[str]:
+        """Return why the check is skipped, or ``None`` to check."""
+        collaborates = getattr(checking_host, "collaborates_with", None)
+        if callable(collaborates) and checked_host and collaborates(checked_host):
+            return "checking host collaborates with the checked host"
+        if self.check_trusted_hosts:
+            return None
+        if self._is_trusted(checked_host, prev):
+            return "checked host is trusted; trusted hosts are not checked"
+        return None
+
+    def _is_trusted(self, checked_host: Optional[str], prev: Dict[str, Any]) -> bool:
+        if checked_host is None:
+            return False
+        if self.trusted_hosts is not None:
+            return checked_host in self.trusted_hosts
+        return bool(prev.get("trusted", False))
+
+    def _check_previous_session(
+        self,
+        host: Host,
+        prev: Dict[str, Any],
+        observed_state: AgentState,
+        checked_host: Optional[str],
+    ) -> Verdict:
+        """Verify signatures and re-execute the previous session."""
+        results: List[CheckResult] = []
+        hop_index = prev.get("hop_index")
+        claimed_host = prev.get("host")
+
+        if checked_host is not None and claimed_host != checked_host:
+            results.append(CheckResult(
+                checker="session-metadata",
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={
+                    "reason": "protocol data claims a different executing host",
+                    "claimed_host": claimed_host,
+                    "expected_host": checked_host,
+                },
+            ))
+
+        resulting = self._verify_envelope(
+            host, prev.get("resulting_envelope"), checked_host, "resulting-state",
+            results,
+        )
+        session_input = self._verify_envelope(
+            host, prev.get("input_envelope"), checked_host, "session-input", results
+        )
+        initial_state = self._verify_commitment(
+            host, prev.get("initial_commitment"), results
+        )
+
+        resulting_state: Optional[AgentState] = None
+        if resulting is not None:
+            try:
+                resulting_state = AgentState.from_canonical(resulting.get("state"))
+            except Exception:
+                results.append(CheckResult(
+                    checker="resulting-state",
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={"reason": "malformed committed resulting state"},
+                ))
+
+        input_log: Optional[InputLog] = None
+        if session_input is not None:
+            try:
+                input_log = InputLog.from_canonical(session_input.get("input"))
+            except Exception:
+                results.append(CheckResult(
+                    checker="session-input",
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={"reason": "malformed committed input log"},
+                ))
+
+        # Consistency between what the host signed and what it actually sent.
+        if resulting_state is not None and not resulting_state.equals(observed_state):
+            results.append(CheckResult(
+                checker="arrival-consistency",
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={
+                    "reason": (
+                        "the agent state that arrived differs from the state "
+                        "the checked host signed"
+                    ),
+                },
+            ))
+
+        if not any(result.is_attack for result in results):
+            reference = ReferenceDataSet(
+                session_host=claimed_host or (checked_host or "unknown"),
+                hop_index=hop_index if hop_index is not None else 0,
+                agent_id=prev.get("agent_id", "unknown"),
+                code_name=prev.get("code_name", "unknown"),
+                owner=prev.get("owner", "unknown"),
+                initial_state=initial_state,
+                resulting_state=resulting_state,
+                input_log=input_log,
+            )
+            context = CheckContext(
+                reference_data=reference,
+                observed_state=observed_state,
+                checked_host=checked_host or claimed_host or "unknown",
+                checking_host=host.name,
+                hop_index=hop_index if hop_index is not None else 0,
+                keystore=host.keystore,
+                code_registry=self.code_registry,
+                metrics=host.metrics,
+            )
+            results.append(self.checker.check(context))
+
+        state_difference = None
+        for result in results:
+            if result.is_attack and "state_difference" in result.details:
+                state_difference = result.details["state_difference"]
+                break
+
+        return Verdict.from_results(
+            results,
+            mechanism=self.name,
+            moment=CheckMoment.AFTER_SESSION,
+            checking_host=host.name,
+            checked_host=checked_host or claimed_host,
+            hop_index=hop_index,
+            state_difference=state_difference,
+        )
+
+    # ------------------------------------------------------------ verification --
+
+    def _verify_envelope(
+        self,
+        host: Host,
+        envelope_data: Optional[Dict[str, Any]],
+        expected_signer: Optional[str],
+        role: str,
+        results: List[CheckResult],
+    ) -> Optional[Dict[str, Any]]:
+        """Verify a signed envelope from the protocol payload.
+
+        Returns the payload on success and appends an attack result on
+        failure (missing, malformed, wrong signer, or bad signature).
+        """
+        checker_name = "%s-signature" % role
+        if not envelope_data:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the %s commitment is missing" % role},
+            ))
+            return None
+        try:
+            envelope = SignedEnvelope(
+                payload=envelope_data["payload"],
+                signer=envelope_data["signer"],
+                signature=DSASignature.from_canonical(envelope_data["signature"]),
+            )
+        except Exception:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the %s commitment is malformed" % role},
+            ))
+            return None
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        if payload.get("role") != role:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the commitment role does not match %r" % role},
+            ))
+            return None
+        if not host.verify(envelope, expected_signer=expected_signer):
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={
+                    "reason": "the %s signature does not verify" % role,
+                    "claimed_signer": envelope.signer,
+                },
+            ))
+            return None
+        return payload
+
+    def _verify_commitment(
+        self,
+        host: Host,
+        commitment: Optional[Dict[str, Any]],
+        results: List[CheckResult],
+    ) -> Optional[AgentState]:
+        """Verify the dual-signed initial-state commitment.
+
+        Returns the committed initial state on success.  The receiver
+        (checked host) signature is mandatory; the sender envelope is
+        verified when present and its state must match the committed
+        state.
+        """
+        checker_name = "initial-state-commitment"
+        if not commitment:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the initial-state commitment is missing"},
+            ))
+            return None
+        payload = commitment.get("payload") or {}
+        receiver_data = commitment.get("receiver_signature")
+        if not receiver_data:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the receiver signature on the initial state is missing"},
+            ))
+            return None
+        try:
+            receiver_envelope = SignedEnvelope(
+                payload=receiver_data["payload"],
+                signer=receiver_data["signer"],
+                signature=DSASignature.from_canonical(receiver_data["signature"]),
+            )
+        except Exception:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the receiver signature is malformed"},
+            ))
+            return None
+        if not host.verify(receiver_envelope):
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the receiver signature on the initial state does not verify"},
+            ))
+            return None
+        if not canonical_equal(receiver_envelope.payload, payload):
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the receiver signed a different initial state"},
+            ))
+            return None
+
+        sender_envelope_data = commitment.get("sender_envelope")
+        if sender_envelope_data:
+            try:
+                sender_envelope = SignedEnvelope(
+                    payload=sender_envelope_data["payload"],
+                    signer=sender_envelope_data["signer"],
+                    signature=DSASignature.from_canonical(
+                        sender_envelope_data["signature"]
+                    ),
+                )
+            except Exception:
+                results.append(CheckResult(
+                    checker=checker_name,
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={"reason": "the sender half of the commitment is malformed"},
+                ))
+                return None
+            if not host.verify(sender_envelope):
+                results.append(CheckResult(
+                    checker=checker_name,
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={"reason": "the sender signature on the initial state does not verify"},
+                ))
+                return None
+            sender_payload = (
+                sender_envelope.payload
+                if isinstance(sender_envelope.payload, dict) else {}
+            )
+            if not canonical_equal(sender_payload.get("state"), payload.get("state")):
+                results.append(CheckResult(
+                    checker=checker_name,
+                    status=VerdictStatus.ATTACK_DETECTED,
+                    details={
+                        "reason": (
+                            "the sender and the receiver committed to different "
+                            "initial states"
+                        )
+                    },
+                ))
+                return None
+
+        try:
+            return AgentState.from_canonical(payload.get("state"))
+        except Exception:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the committed initial state is malformed"},
+            ))
+            return None
+
+    # ------------------------------------------------------------------ misc --
+
+    def _protocol_data_missing_verdict(self, host: Host,
+                                       checked_host: Optional[str],
+                                       hop_index: int) -> Verdict:
+        result = CheckResult(
+            checker="protocol-data",
+            status=VerdictStatus.ATTACK_DETECTED,
+            details={
+                "reason": (
+                    "the protocol payload that must accompany the agent is "
+                    "missing; the previous host removed or never produced it"
+                )
+            },
+        )
+        return Verdict.from_results(
+            [result],
+            mechanism=self.name,
+            moment=CheckMoment.AFTER_SESSION,
+            checking_host=host.name,
+            checked_host=checked_host,
+            hop_index=hop_index - 1,
+        )
+
+    def _append_verdict(self, host: Host, data: Dict[str, Any],
+                        verdict: Verdict) -> None:
+        """Append a host-signed verdict to the travelling history."""
+        envelope = host.sign(verdict.to_canonical())
+        data.setdefault("verdict_history", []).append({
+            "verdict": verdict.to_canonical(),
+            "signer": envelope.signer,
+            "signature": envelope.signature.to_canonical(),
+        })

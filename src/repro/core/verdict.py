@@ -1,0 +1,166 @@
+"""Check results, verdicts, and blame assignment.
+
+A :class:`CheckResult` is the outcome of running one checking algorithm
+against one session's reference data.  A :class:`Verdict` aggregates the
+results of all checkers run at one checking moment and names the host
+that is blamed when an attack is detected.  Verdicts are what the
+journey driver collects and what the detection metrics consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.attributes import CheckMoment
+
+__all__ = ["VerdictStatus", "CheckResult", "Verdict"]
+
+
+@unique
+class VerdictStatus(Enum):
+    """Possible outcomes of a check."""
+
+    #: The session is consistent with the reference state.
+    OK = "ok"
+    #: The session deviates from the reference state: an attack (or a
+    #: fault — the paper's attack definition includes unintentional
+    #: errors) was detected.
+    ATTACK_DETECTED = "attack-detected"
+    #: The check could not be carried out (missing reference data,
+    #: unverifiable signatures, replay failure); no statement about the
+    #: session can be made.
+    INCONCLUSIVE = "inconclusive"
+    #: The check was skipped on purpose (trusted host, collaboration,
+    #: or policy said not to check).
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one checking algorithm on one session."""
+
+    checker: str
+    status: VerdictStatus
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_attack(self) -> bool:
+        """Whether this single result indicates an attack."""
+        return self.status is VerdictStatus.ATTACK_DETECTED
+
+    def to_canonical(self) -> Dict[str, Any]:
+        return {
+            "checker": self.checker,
+            "status": self.status.value,
+            "details": self.details,
+        }
+
+
+@dataclass
+class Verdict:
+    """Aggregated outcome of one checking moment.
+
+    Attributes
+    ----------
+    status:
+        Overall status: attack detected if any checker detected one,
+        otherwise inconclusive if any checker was inconclusive,
+        otherwise skipped if everything was skipped, otherwise OK.
+    mechanism:
+        Name of the protection mechanism that produced the verdict.
+    moment:
+        The checking moment (after-session / after-task).
+    checking_host:
+        The host that carried out the check.
+    checked_host:
+        The host whose execution session was checked (``None`` for
+        task-level summaries that do not single out a session).
+    hop_index:
+        Hop index of the checked session.
+    results:
+        The individual checker results that fed the verdict.
+    state_difference:
+        Structured diff between reference and observed state, when one
+        was computed (this is what lets the owner "prove his/her damage"
+        — the complete state is available, not just hashes).
+    """
+
+    status: VerdictStatus
+    mechanism: str
+    moment: CheckMoment
+    checking_host: str
+    checked_host: Optional[str] = None
+    hop_index: Optional[int] = None
+    results: List[CheckResult] = field(default_factory=list)
+    state_difference: Optional[Dict[str, Any]] = None
+
+    # -- aggregation -----------------------------------------------------------
+
+    @classmethod
+    def from_results(
+        cls,
+        results: List[CheckResult],
+        mechanism: str,
+        moment: CheckMoment,
+        checking_host: str,
+        checked_host: Optional[str] = None,
+        hop_index: Optional[int] = None,
+        state_difference: Optional[Dict[str, Any]] = None,
+    ) -> "Verdict":
+        """Aggregate individual checker results into one verdict."""
+        status = cls._aggregate_status(results)
+        return cls(
+            status=status,
+            mechanism=mechanism,
+            moment=moment,
+            checking_host=checking_host,
+            checked_host=checked_host,
+            hop_index=hop_index,
+            results=list(results),
+            state_difference=state_difference,
+        )
+
+    @staticmethod
+    def _aggregate_status(results: List[CheckResult]) -> VerdictStatus:
+        if not results:
+            return VerdictStatus.SKIPPED
+        statuses = {result.status for result in results}
+        if VerdictStatus.ATTACK_DETECTED in statuses:
+            return VerdictStatus.ATTACK_DETECTED
+        if VerdictStatus.INCONCLUSIVE in statuses:
+            return VerdictStatus.INCONCLUSIVE
+        if VerdictStatus.OK in statuses:
+            return VerdictStatus.OK
+        return VerdictStatus.SKIPPED
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def is_attack(self) -> bool:
+        """Whether the verdict reports a detected attack."""
+        return self.status is VerdictStatus.ATTACK_DETECTED
+
+    @property
+    def blamed_host(self) -> Optional[str]:
+        """The host held responsible, when an attack was detected."""
+        return self.checked_host if self.is_attack else None
+
+    @property
+    def failed_checkers(self) -> Tuple[str, ...]:
+        """Names of checkers that reported an attack."""
+        return tuple(r.checker for r in self.results if r.is_attack)
+
+    def to_canonical(self) -> Dict[str, Any]:
+        """Canonical form, so verdicts can be signed and transported."""
+        return {
+            "status": self.status.value,
+            "mechanism": self.mechanism,
+            "moment": self.moment.value,
+            "checking_host": self.checking_host,
+            "checked_host": self.checked_host,
+            "hop_index": self.hop_index,
+            "results": [result.to_canonical() for result in self.results],
+            "state_difference": self.state_difference,
+        }

@@ -1,0 +1,91 @@
+"""Cryptographic substrate for the reference-states framework.
+
+The paper's prototype relied on a pure-Java crypto provider (IAIK-JCE)
+for DSA signatures and secure hashes.  This package is the equivalent
+substrate for the reproduction, implemented from scratch:
+
+* :mod:`repro.crypto.canonical` — deterministic serialization of agent
+  states and protocol payloads,
+* :mod:`repro.crypto.hashing` — secure hashes of states and traces,
+* :mod:`repro.crypto.dsa` — DSA key generation, signing, verification,
+* :mod:`repro.crypto.keys` — identities and key stores,
+* :mod:`repro.crypto.signing` — signed and counter-signed envelopes,
+* :mod:`repro.crypto.certificates` — a minimal CA / trust-anchor model.
+"""
+
+from repro.crypto.canonical import (
+    CanonicalDecoder,
+    CanonicalEncoder,
+    canonical_decode,
+    canonical_encode,
+    canonical_equal,
+)
+from repro.crypto.certificates import (
+    Certificate,
+    CertificateAuthority,
+    ROLE_HOST,
+    ROLE_INPUT_PROVIDER,
+    ROLE_OWNER,
+    ROLE_TTP,
+    TrustAnchorSet,
+)
+from repro.crypto.dsa import (
+    DSAParameters,
+    DSAPrivateKey,
+    DSAPublicKey,
+    DSASignature,
+    PARAMETERS_512,
+    PARAMETERS_1024,
+    generate_keypair,
+    generate_parameters,
+    is_probable_prime,
+)
+from repro.crypto.hashing import (
+    DEFAULT_HASH_ALGORITHM,
+    StateDigest,
+    constant_time_equal,
+    digest_hex,
+    hash_bytes,
+    hash_chain,
+    hash_value,
+)
+from repro.crypto.keys import Identity, IdentityRing, KeyStore, derive_seed
+from repro.crypto.signing import MultiSignedEnvelope, SignedEnvelope, Signer
+
+__all__ = [
+    "CanonicalDecoder",
+    "CanonicalEncoder",
+    "canonical_decode",
+    "canonical_encode",
+    "canonical_equal",
+    "Certificate",
+    "CertificateAuthority",
+    "ROLE_HOST",
+    "ROLE_INPUT_PROVIDER",
+    "ROLE_OWNER",
+    "ROLE_TTP",
+    "TrustAnchorSet",
+    "DSAParameters",
+    "DSAPrivateKey",
+    "DSAPublicKey",
+    "DSASignature",
+    "PARAMETERS_512",
+    "PARAMETERS_1024",
+    "generate_keypair",
+    "generate_parameters",
+    "is_probable_prime",
+    "DEFAULT_HASH_ALGORITHM",
+    "StateDigest",
+    "constant_time_equal",
+    "digest_hex",
+    "hash_bytes",
+    "hash_chain",
+    "hash_value",
+    "Identity",
+    "IdentityRing",
+    "KeyStore",
+    "derive_seed",
+    "MultiSignedEnvelope",
+    "SignedEnvelope",
+    "Signer",
+]

@@ -1,0 +1,260 @@
+"""Deterministic canonical serialization.
+
+Every protection mechanism in the paper ultimately compares, hashes, or
+signs *agent states*.  For that to be meaningful the encoding of a state
+must be deterministic: two structurally equal states must serialize to
+the same byte string regardless of dictionary insertion order, process
+hash randomization, or platform.
+
+This module provides :func:`canonical_encode`, a small, explicit
+serializer for the value universe the library uses for agent data
+states, inputs, and execution logs:
+
+* ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``
+* ``list`` / ``tuple`` (encoded identically, as sequences)
+* ``dict`` with string keys (encoded with keys sorted)
+* ``set`` / ``frozenset`` of encodable values (encoded sorted by their
+  canonical encoding)
+* any object exposing ``to_canonical()`` returning an encodable value
+
+The format is a length-prefixed tagged binary encoding, loosely
+following the spirit of bencoding/ASN.1 DER: a one-byte tag, a decimal
+ASCII length, ``:``, then the payload.  It is intentionally simple so
+that the encoding itself can be property-tested (see
+``tests/crypto/test_canonical.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any
+
+from repro.exceptions import SerializationError
+
+__all__ = [
+    "canonical_encode",
+    "canonical_decode",
+    "canonical_equal",
+    "CanonicalEncoder",
+    "CanonicalDecoder",
+]
+
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_DICT = b"d"
+_TAG_SET = b"e"
+
+
+def _frame(tag: bytes, payload: bytes) -> bytes:
+    """Frame ``payload`` with ``tag`` and an ASCII decimal length prefix."""
+    return tag + str(len(payload)).encode("ascii") + b":" + payload
+
+
+class CanonicalEncoder:
+    """Encoder for the canonical byte representation of library values.
+
+    The encoder is stateless; the class exists so that callers can
+    subclass it to extend the value universe (for example to teach the
+    encoder about an application-specific record type) without
+    monkey-patching module functions.
+    """
+
+    #: Maximum recursion depth accepted before the encoder assumes a
+    #: cyclic structure and raises :class:`SerializationError`.
+    max_depth = 64
+
+    def encode(self, value: Any) -> bytes:
+        """Return the canonical byte encoding of ``value``.
+
+        Raises
+        ------
+        SerializationError
+            If the value (or one of its elements) is not encodable, or
+            the structure is nested deeper than :attr:`max_depth`.
+        """
+        return self._encode(value, depth=0)
+
+    # -- internal helpers -------------------------------------------------
+
+    def _encode(self, value: Any, depth: int) -> bytes:
+        if depth > self.max_depth:
+            raise SerializationError(
+                "value is nested deeper than %d levels; refusing to encode "
+                "(possible cycle)" % self.max_depth
+            )
+
+        if value is None:
+            return _frame(_TAG_NONE, b"")
+        if value is True:
+            return _frame(_TAG_TRUE, b"")
+        if value is False:
+            return _frame(_TAG_FALSE, b"")
+        if isinstance(value, int):
+            return _frame(_TAG_INT, str(value).encode("ascii"))
+        if isinstance(value, float):
+            return self._encode_float(value)
+        if isinstance(value, str):
+            return _frame(_TAG_STR, value.encode("utf-8"))
+        if isinstance(value, (bytes, bytearray)):
+            return _frame(_TAG_BYTES, bytes(value))
+        if isinstance(value, (list, tuple)):
+            parts = [self._encode(item, depth + 1) for item in value]
+            return _frame(_TAG_LIST, b"".join(parts))
+        if isinstance(value, dict):
+            return self._encode_dict(value, depth)
+        if isinstance(value, (set, frozenset)):
+            parts = sorted(self._encode(item, depth + 1) for item in value)
+            return _frame(_TAG_SET, b"".join(parts))
+
+        to_canonical = getattr(value, "to_canonical", None)
+        if callable(to_canonical):
+            return self._encode(to_canonical(), depth + 1)
+
+        raise SerializationError(
+            "cannot canonically encode value of type %r: %r"
+            % (type(value).__name__, value)
+        )
+
+    def _encode_float(self, value: float) -> bytes:
+        if math.isnan(value):
+            raise SerializationError("NaN is not canonically encodable")
+        # Use the IEEE-754 big-endian bit pattern so that e.g. 1.0 and
+        # 1 encode differently (they are different values to an agent),
+        # while -0.0 is normalised to 0.0 to keep equality sensible.
+        if value == 0.0:
+            value = 0.0
+        payload = struct.pack(">d", value)
+        return _frame(_TAG_FLOAT, payload)
+
+    def _encode_dict(self, value: dict, depth: int) -> bytes:
+        items = []
+        for key in value:
+            if not isinstance(key, str):
+                raise SerializationError(
+                    "canonical dictionaries require string keys, got %r"
+                    % (key,)
+                )
+        for key in sorted(value):
+            encoded_key = self._encode(key, depth + 1)
+            encoded_val = self._encode(value[key], depth + 1)
+            items.append(encoded_key + encoded_val)
+        return _frame(_TAG_DICT, b"".join(items))
+
+
+class CanonicalDecoder:
+    """Decoder for the canonical byte format produced by the encoder.
+
+    Decoding is lossy in one deliberate way: tuples were encoded as
+    sequences and therefore decode as lists.  Everything else round
+    trips exactly, which is property-tested in
+    ``tests/crypto/test_canonical.py``.
+    """
+
+    def decode(self, data: bytes) -> Any:
+        """Decode a canonical byte string back into a Python value.
+
+        Raises
+        ------
+        SerializationError
+            If the byte string is malformed or has trailing garbage.
+        """
+        value, offset = self._decode(data, 0)
+        if offset != len(data):
+            raise SerializationError(
+                "trailing bytes after canonical value (%d of %d consumed)"
+                % (offset, len(data))
+            )
+        return value
+
+    # -- internal helpers -------------------------------------------------
+
+    def _decode(self, data: bytes, offset: int) -> tuple:
+        if offset >= len(data):
+            raise SerializationError("truncated canonical value")
+        tag = data[offset:offset + 1]
+        colon = data.find(b":", offset + 1)
+        if colon < 0:
+            raise SerializationError("missing length separator in canonical value")
+        try:
+            length = int(data[offset + 1:colon].decode("ascii"))
+        except ValueError as exc:
+            raise SerializationError("invalid length prefix") from exc
+        start = colon + 1
+        end = start + length
+        if end > len(data):
+            raise SerializationError("canonical payload shorter than declared")
+        payload = data[start:end]
+
+        if tag == _TAG_NONE:
+            return None, end
+        if tag == _TAG_TRUE:
+            return True, end
+        if tag == _TAG_FALSE:
+            return False, end
+        if tag == _TAG_INT:
+            return int(payload.decode("ascii")), end
+        if tag == _TAG_FLOAT:
+            return struct.unpack(">d", payload)[0], end
+        if tag == _TAG_STR:
+            return payload.decode("utf-8"), end
+        if tag == _TAG_BYTES:
+            return bytes(payload), end
+        if tag == _TAG_LIST:
+            return self._decode_sequence(payload), end
+        if tag == _TAG_SET:
+            return set(self._decode_sequence(payload)), end
+        if tag == _TAG_DICT:
+            return self._decode_dict(payload), end
+        raise SerializationError("unknown canonical tag %r" % tag)
+
+    def _decode_sequence(self, payload: bytes) -> list:
+        items = []
+        offset = 0
+        while offset < len(payload):
+            value, offset = self._decode(payload, offset)
+            items.append(value)
+        return items
+
+    def _decode_dict(self, payload: bytes) -> dict:
+        result = {}
+        offset = 0
+        while offset < len(payload):
+            key, offset = self._decode(payload, offset)
+            value, offset = self._decode(payload, offset)
+            if not isinstance(key, str):
+                raise SerializationError("canonical dict key is not a string")
+            result[key] = value
+        return result
+
+
+_DEFAULT_ENCODER = CanonicalEncoder()
+_DEFAULT_DECODER = CanonicalDecoder()
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` using the default :class:`CanonicalEncoder`."""
+    return _DEFAULT_ENCODER.encode(value)
+
+
+def canonical_decode(data: bytes) -> Any:
+    """Decode canonical bytes using the default :class:`CanonicalDecoder`."""
+    return _DEFAULT_DECODER.decode(data)
+
+
+def canonical_equal(left: Any, right: Any) -> bool:
+    """Return whether two values have identical canonical encodings.
+
+    This is the equality notion used when comparing a resulting agent
+    state against a reference state: it ignores dict ordering and
+    list/tuple distinctions but distinguishes ``1`` from ``1.0`` and
+    ``True`` from ``1``.
+    """
+    return canonical_encode(left) == canonical_encode(right)

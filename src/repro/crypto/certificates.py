@@ -1,0 +1,232 @@
+"""Minimal certificate authority and trust anchors.
+
+The paper assumes agent owners can authenticate hosts and hosts can
+authenticate each other ("the mechanism uses digital signatures and
+secure hash algorithms to authenticate the data a host produces").  In a
+real deployment that assumption is discharged by a PKI.  This module
+provides a deliberately small certificate model so that scenarios can
+exercise trust decisions (trusted vs. untrusted hosts, revoked hosts,
+unknown hosts) without pulling in a full X.509 stack.
+
+A :class:`Certificate` binds a principal name to a DSA public key and a
+role, signed by a :class:`CertificateAuthority`.  The
+:class:`TrustAnchorSet` validates certificate chains of depth one (CA →
+principal) which is all the scenarios need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.dsa import DSAPublicKey, DSASignature
+from repro.crypto.keys import Identity, KeyStore
+from repro.exceptions import CertificateError
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "TrustAnchorSet",
+    "ROLE_HOST",
+    "ROLE_OWNER",
+    "ROLE_TTP",
+    "ROLE_INPUT_PROVIDER",
+]
+
+#: Certificate role for agent platforms (hosts / places).
+ROLE_HOST = "host"
+#: Certificate role for agent owners (home hosts).
+ROLE_OWNER = "owner"
+#: Certificate role for trusted third parties (Section 4.3 extensions).
+ROLE_TTP = "trusted-third-party"
+#: Certificate role for parties that produce signed input (Section 4.3).
+ROLE_INPUT_PROVIDER = "input-provider"
+
+_VALID_ROLES = frozenset({ROLE_HOST, ROLE_OWNER, ROLE_TTP, ROLE_INPUT_PROVIDER})
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A statement "``issuer`` vouches that ``subject`` owns ``public_key``".
+
+    ``serial`` orders certificates from one issuer; revocation is by
+    serial number.
+    """
+
+    subject: str
+    role: str
+    public_key: DSAPublicKey
+    issuer: str
+    serial: int
+    signature: DSASignature
+
+    def tbs(self) -> dict:
+        """The to-be-signed portion of the certificate."""
+        return {
+            "subject": self.subject,
+            "role": self.role,
+            "public_key": self.public_key.to_canonical(),
+            "issuer": self.issuer,
+            "serial": self.serial,
+        }
+
+    def to_canonical(self) -> dict:
+        data = self.tbs()
+        data["signature"] = self.signature.to_canonical()
+        return data
+
+    def verify(self, issuer_key: DSAPublicKey) -> bool:
+        """Verify the issuer signature over the to-be-signed portion."""
+        return issuer_key.verify(canonical_encode(self.tbs()), self.signature)
+
+
+class CertificateAuthority:
+    """Issues and revokes certificates for simulation principals."""
+
+    def __init__(self, identity: Identity) -> None:
+        self._identity = identity
+        self._next_serial = 1
+        self._issued: Dict[str, Certificate] = {}
+        self._revoked_serials: set = set()
+
+    @property
+    def name(self) -> str:
+        """Name of the CA principal."""
+        return self._identity.name
+
+    @property
+    def public_key(self) -> DSAPublicKey:
+        """Public key principals use to verify issued certificates."""
+        return self._identity.public_key
+
+    def issue(self, subject: str, role: str,
+              public_key: DSAPublicKey) -> Certificate:
+        """Issue a certificate binding ``subject`` to ``public_key``.
+
+        Raises
+        ------
+        CertificateError
+            If the role is unknown.
+        """
+        if role not in _VALID_ROLES:
+            raise CertificateError("unknown certificate role %r" % role)
+        serial = self._next_serial
+        self._next_serial += 1
+        tbs = {
+            "subject": subject,
+            "role": role,
+            "public_key": public_key.to_canonical(),
+            "issuer": self._identity.name,
+            "serial": serial,
+        }
+        signature = self._identity.private_key.sign(canonical_encode(tbs))
+        certificate = Certificate(
+            subject=subject,
+            role=role,
+            public_key=public_key,
+            issuer=self._identity.name,
+            serial=serial,
+            signature=signature,
+        )
+        self._issued[subject] = certificate
+        return certificate
+
+    def issue_for_identity(self, identity: Identity, role: str) -> Certificate:
+        """Issue a certificate for an :class:`Identity`'s public key."""
+        return self.issue(identity.name, role, identity.public_key)
+
+    def revoke(self, certificate: Certificate) -> None:
+        """Mark a previously issued certificate as revoked."""
+        self._revoked_serials.add(certificate.serial)
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        """Return whether the CA has revoked ``certificate``."""
+        return certificate.serial in self._revoked_serials
+
+    def issued_for(self, subject: str) -> Optional[Certificate]:
+        """Return the most recent certificate issued for ``subject``."""
+        return self._issued.get(subject)
+
+
+class TrustAnchorSet:
+    """The verifier-side view: trusted CAs plus revocation knowledge.
+
+    Hosts and owners hold a :class:`TrustAnchorSet` and use it to decide
+    whether a certificate presented by a peer is acceptable.
+    """
+
+    def __init__(self) -> None:
+        self._anchors: Dict[str, DSAPublicKey] = {}
+        self._revoked: Dict[str, set] = {}
+
+    def add_anchor(self, ca: CertificateAuthority) -> None:
+        """Trust a certificate authority."""
+        self._anchors[ca.name] = ca.public_key
+        self._revoked.setdefault(ca.name, set())
+
+    def add_anchor_key(self, name: str, public_key: DSAPublicKey) -> None:
+        """Trust a CA known only by name and public key."""
+        self._anchors[name] = public_key
+        self._revoked.setdefault(name, set())
+
+    def note_revocation(self, issuer: str, serial: int) -> None:
+        """Record that ``issuer`` revoked certificate ``serial``."""
+        self._revoked.setdefault(issuer, set()).add(serial)
+
+    def validate(self, certificate: Certificate,
+                 expected_role: Optional[str] = None) -> None:
+        """Validate a certificate against the trust anchors.
+
+        Raises
+        ------
+        CertificateError
+            If the issuer is not trusted, the signature is invalid, the
+            certificate is revoked, or the role does not match
+            ``expected_role``.
+        """
+        issuer_key = self._anchors.get(certificate.issuer)
+        if issuer_key is None:
+            raise CertificateError(
+                "certificate issuer %r is not a trust anchor" % certificate.issuer
+            )
+        if not certificate.verify(issuer_key):
+            raise CertificateError(
+                "certificate for %r has an invalid issuer signature"
+                % certificate.subject
+            )
+        if certificate.serial in self._revoked.get(certificate.issuer, set()):
+            raise CertificateError(
+                "certificate for %r (serial %d) has been revoked"
+                % (certificate.subject, certificate.serial)
+            )
+        if expected_role is not None and certificate.role != expected_role:
+            raise CertificateError(
+                "certificate for %r has role %r, expected %r"
+                % (certificate.subject, certificate.role, expected_role)
+            )
+
+    def is_valid(self, certificate: Certificate,
+                 expected_role: Optional[str] = None) -> bool:
+        """Boolean wrapper around :meth:`validate`."""
+        try:
+            self.validate(certificate, expected_role=expected_role)
+        except CertificateError:
+            return False
+        return True
+
+    def build_keystore(self, certificates: Iterable[Certificate]) -> KeyStore:
+        """Build a :class:`KeyStore` from validated certificates.
+
+        Certificates that fail validation are skipped; this mirrors how
+        a verifier would only ever import keys it can vouch for.
+        """
+        store = KeyStore()
+        for certificate in certificates:
+            if self.is_valid(certificate):
+                store.register(certificate.subject, certificate.public_key)
+        return store
+
+    def anchors(self) -> Tuple[str, ...]:
+        """Names of trusted certificate authorities."""
+        return tuple(sorted(self._anchors))

@@ -1,0 +1,366 @@
+"""Pure-Python DSA (Digital Signature Algorithm).
+
+The paper's prototype signed agent states with DSA using 512-bit keys
+from the pure-Java IAIK-JCE library.  This module is the analogous
+substrate for the reproduction: a from-scratch DSA implementation
+(key generation, signing, verification) over :mod:`hashlib` digests.
+
+Two kinds of domain parameters are supported:
+
+* **Pre-generated parameters** for 512-bit and 1024-bit moduli
+  (:data:`PARAMETERS_512`, :data:`PARAMETERS_1024`).  These are the
+  defaults used by the library and the benchmarks, mirroring the
+  paper's "DSA using a key length of 512 bits" configuration without
+  paying prime-generation cost at import time.
+* **Parameter generation** (:func:`generate_parameters`) for arbitrary
+  sizes.  Tests exercise this with small toy sizes so the generation
+  path stays correct without slowing down the suite.
+
+Determinism: signatures use a deterministic per-message nonce derived
+from the private key and the message digest (in the spirit of RFC 6979)
+so that re-running an experiment with the same seed produces identical
+byte-level protocol traffic.  This matters for reproducibility of the
+benchmark harness and for property tests.
+
+.. warning::
+   This implementation is for simulation and research reproduction.  It
+   has not been hardened against side channels and must not be used to
+   protect real systems.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import CryptoError, SignatureError
+
+__all__ = [
+    "DSAParameters",
+    "DSAPrivateKey",
+    "DSAPublicKey",
+    "DSASignature",
+    "PARAMETERS_512",
+    "PARAMETERS_1024",
+    "generate_parameters",
+    "generate_keypair",
+    "is_probable_prime",
+]
+
+
+# ---------------------------------------------------------------------------
+# primality testing
+# ---------------------------------------------------------------------------
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_probable_prime(candidate: int, rounds: int = 40,
+                      rng: Optional[random.Random] = None) -> bool:
+    """Miller-Rabin primality test.
+
+    Parameters
+    ----------
+    candidate:
+        The integer to test.
+    rounds:
+        Number of Miller-Rabin witnesses to try.  40 rounds give an
+        error probability below 2**-80 for random candidates.
+    rng:
+        Optional random source for witness selection; defaults to a
+        module-level deterministic generator so the library's behaviour
+        is reproducible.
+    """
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    rng = rng or random.Random(0x5EED)
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x == 1 or x == candidate - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# domain parameters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DSAParameters:
+    """DSA domain parameters ``(p, q, g)``.
+
+    ``p`` is the prime modulus, ``q`` the prime order of the subgroup
+    (``q`` divides ``p - 1``), and ``g`` a generator of that subgroup.
+    """
+
+    p: int
+    q: int
+    g: int
+
+    def validate(self) -> None:
+        """Check structural soundness of the parameters.
+
+        Raises
+        ------
+        CryptoError
+            If ``q`` does not divide ``p - 1`` or ``g`` does not
+            generate a subgroup of order ``q``.
+        """
+        if (self.p - 1) % self.q != 0:
+            raise CryptoError("invalid DSA parameters: q does not divide p-1")
+        if not (1 < self.g < self.p):
+            raise CryptoError("invalid DSA parameters: generator out of range")
+        if pow(self.g, self.q, self.p) != 1:
+            raise CryptoError("invalid DSA parameters: g^q != 1 mod p")
+
+    @property
+    def key_bits(self) -> int:
+        """Bit length of the modulus ``p`` (the advertised key size)."""
+        return self.p.bit_length()
+
+    def to_canonical(self) -> dict:
+        return {"p": self.p, "q": self.q, "g": self.g}
+
+
+#: 512-bit parameters matching the paper's measurement configuration.
+PARAMETERS_512 = DSAParameters(
+    p=int(
+        "8d3aed99711c21c9bdc14f1f295d6fbf430f801dfad409e2a319dcb4217d65a0"
+        "c56811cd5563f61600e85ecd8e021522869b76116ae5fd8ca28d93886be51729",
+        16,
+    ),
+    q=int("c7294739614ff3d719db3ad0ddd1dfb23b982ef9", 16),
+    g=int(
+        "88d9df0ac2ec8e41194ec25efe2d2400a19d7a6ae862e183fe5208d5ad2f2596"
+        "b7a5253ecf7e35016f67501786308b9460f603b5b32addb2dd6ab258311619da",
+        16,
+    ),
+)
+
+#: Larger 1024-bit parameters, offered for overhead ablations.
+PARAMETERS_1024 = DSAParameters(
+    p=int(
+        "a837f4186f27c1b9e3c6dedb9b792afa2a3d418da754a29ff143e5456e6b34b9"
+        "07ef2ba8b45a6ab37b94a34de4aa786d9d17d218fc3b0de5981262ac5683ede0"
+        "17d5b563fa60ede1e5eb772df11c0ac58c0b393a13335bc9bb635ff529310971"
+        "601e0211e34f76b42b8c03be0e13b3fcf4be1677e71f56617631c58c32279639",
+        16,
+    ),
+    q=int("c7294739614ff3d719db3ad0ddd1dfb23b982ef9", 16),
+    g=int(
+        "19f41e6ab4b1cfef5f6621e3e05fc512e97f2662b6c9041d44e842888d059833"
+        "bd38264bf1dd7ea0e4b89ebe7e85beb1edca8bf930279a3f538fb4c26317c6a1"
+        "d0beccb4970938ef66118ac21b9d8559e3a1205594518235f0fad854f2ff9bc0"
+        "289cff0662fdfba9320026be02963bdc260b4470491f3642e1d063d8089d49f2",
+        16,
+    ),
+)
+
+
+def generate_parameters(modulus_bits: int = 512, subgroup_bits: int = 160,
+                        seed: Optional[int] = None) -> DSAParameters:
+    """Generate fresh DSA domain parameters.
+
+    The search is seeded so that the same seed always yields the same
+    parameters.  This function is exercised by the tests with small
+    sizes; production callers should prefer the pre-generated
+    :data:`PARAMETERS_512` / :data:`PARAMETERS_1024`.
+    """
+    if subgroup_bits >= modulus_bits:
+        raise CryptoError("subgroup size must be smaller than modulus size")
+    rng = random.Random(seed if seed is not None else 0xDA7A)
+    while True:
+        q = rng.getrandbits(subgroup_bits) | (1 << (subgroup_bits - 1)) | 1
+        if not is_probable_prime(q, rng=rng):
+            continue
+        for _ in range(4096):
+            m = rng.getrandbits(modulus_bits) | (1 << (modulus_bits - 1))
+            p = m - (m % (2 * q)) + 1
+            if p.bit_length() != modulus_bits:
+                continue
+            if is_probable_prime(p, rng=rng):
+                h = 2
+                while True:
+                    g = pow(h, (p - 1) // q, p)
+                    if g > 1:
+                        params = DSAParameters(p=p, q=q, g=g)
+                        params.validate()
+                        return params
+                    h += 1
+
+
+# ---------------------------------------------------------------------------
+# keys and signatures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DSASignature:
+    """A DSA signature pair ``(r, s)``."""
+
+    r: int
+    s: int
+
+    def to_canonical(self) -> dict:
+        return {"r": self.r, "s": self.s}
+
+    @classmethod
+    def from_canonical(cls, data: dict) -> "DSASignature":
+        return cls(r=int(data["r"]), s=int(data["s"]))
+
+
+@dataclass(frozen=True)
+class DSAPublicKey:
+    """A DSA public key ``y = g^x mod p`` with its domain parameters."""
+
+    parameters: DSAParameters
+    y: int
+
+    def verify(self, message: bytes, signature: DSASignature,
+               hash_algorithm: str = "sha256") -> bool:
+        """Verify ``signature`` over ``message``.
+
+        Returns ``True`` when the signature is valid, ``False`` when it
+        is structurally well-formed but does not verify.  Malformed
+        signatures (values out of range) also return ``False`` rather
+        than raising, because from the verifier's point of view they are
+        simply invalid.
+        """
+        p, q, g = self.parameters.p, self.parameters.q, self.parameters.g
+        r, s = signature.r, signature.s
+        if not (0 < r < q and 0 < s < q):
+            return False
+        digest = _message_digest(message, q, hash_algorithm)
+        try:
+            w = pow(s, -1, q)
+        except ValueError:  # pragma: no cover - s coprime to prime q always
+            return False
+        u1 = (digest * w) % q
+        u2 = (r * w) % q
+        v = ((pow(g, u1, p) * pow(self.y, u2, p)) % p) % q
+        return v == r
+
+    def to_canonical(self) -> dict:
+        return {"parameters": self.parameters.to_canonical(), "y": self.y}
+
+    def fingerprint(self) -> str:
+        """Short hex fingerprint of the public key, used as a key id."""
+        material = ("%x:%x:%x:%x" % (
+            self.parameters.p, self.parameters.q, self.parameters.g, self.y,
+        )).encode("ascii")
+        return hashlib.sha256(material).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class DSAPrivateKey:
+    """A DSA private key ``x`` with its public counterpart."""
+
+    parameters: DSAParameters
+    x: int
+    public_key: DSAPublicKey
+
+    def sign(self, message: bytes,
+             hash_algorithm: str = "sha256") -> DSASignature:
+        """Sign ``message`` and return the ``(r, s)`` signature.
+
+        The per-message nonce ``k`` is derived deterministically from
+        the private key and the message digest via HMAC, so signing is
+        repeatable and never reuses a nonce across different messages.
+        """
+        p, q, g = self.parameters.p, self.parameters.q, self.parameters.g
+        digest = _message_digest(message, q, hash_algorithm)
+        counter = 0
+        while True:
+            k = _deterministic_nonce(self.x, digest, q, counter)
+            r = pow(g, k, p) % q
+            if r == 0:
+                counter += 1
+                continue
+            k_inv = pow(k, -1, q)
+            s = (k_inv * (digest + self.x * r)) % q
+            if s == 0:
+                counter += 1
+                continue
+            return DSASignature(r=r, s=s)
+
+    def to_canonical(self) -> dict:
+        return {
+            "parameters": self.parameters.to_canonical(),
+            "x": self.x,
+            "y": self.public_key.y,
+        }
+
+
+def _message_digest(message: bytes, q: int, hash_algorithm: str) -> int:
+    """Hash a message and truncate the digest to the bit length of q."""
+    hasher = hashlib.new(hash_algorithm)
+    hasher.update(message)
+    digest = int.from_bytes(hasher.digest(), "big")
+    excess = digest.bit_length() - q.bit_length()
+    if excess > 0:
+        digest >>= excess
+    return digest
+
+
+def _deterministic_nonce(x: int, digest: int, q: int, counter: int) -> int:
+    """Derive a deterministic nonce in ``[1, q-1]`` (RFC 6979 flavoured)."""
+    qlen = (q.bit_length() + 7) // 8
+    key = x.to_bytes((x.bit_length() + 7) // 8 or 1, "big")
+    msg = digest.to_bytes((digest.bit_length() + 7) // 8 or 1, "big")
+    attempt = 0
+    while True:
+        material = hmac.new(
+            key,
+            msg + counter.to_bytes(4, "big") + attempt.to_bytes(4, "big"),
+            hashlib.sha256,
+        ).digest()
+        while len(material) < qlen:
+            material += hmac.new(key, material, hashlib.sha256).digest()
+        k = int.from_bytes(material[:qlen], "big") % q
+        if k > 0:
+            return k
+        attempt += 1
+
+
+def generate_keypair(parameters: DSAParameters = PARAMETERS_512,
+                     seed: Optional[int] = None) -> Tuple[DSAPrivateKey, DSAPublicKey]:
+    """Generate a DSA key pair for the given domain parameters.
+
+    Parameters
+    ----------
+    parameters:
+        Domain parameters to use; defaults to the paper-equivalent
+        512-bit set.
+    seed:
+        Optional seed for deterministic key generation.  Hosts in the
+        simulation derive their seed from their name so that a scenario
+        is byte-for-byte reproducible.
+    """
+    rng = random.Random(seed if seed is not None else 0xC0FFEE)
+    x = rng.randrange(1, parameters.q)
+    y = pow(parameters.g, x, parameters.p)
+    public = DSAPublicKey(parameters=parameters, y=y)
+    private = DSAPrivateKey(parameters=parameters, x=x, public_key=public)
+    return private, public

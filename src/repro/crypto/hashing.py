@@ -1,0 +1,111 @@
+"""Secure hashing of agent states, inputs, and traces.
+
+The protection mechanisms of the paper never transport full reference
+data when a commitment suffices: Vigna's traces approach sends only a
+*hash* of the trace and of the resulting agent state to the next host;
+Hohl's example protocol signs hashes of initial and resulting states.
+
+This module wraps :mod:`hashlib` with the library's canonical encoding
+so that "hash of an agent state" is a single, well-defined operation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.crypto.canonical import canonical_encode
+
+__all__ = [
+    "StateDigest",
+    "hash_bytes",
+    "hash_value",
+    "hash_chain",
+    "digest_hex",
+    "constant_time_equal",
+    "DEFAULT_HASH_ALGORITHM",
+]
+
+#: Hash algorithm used throughout the library.  The paper's prototype
+#: used SHA-1 via IAIK-JCE; we default to SHA-256 which preserves the
+#: protocol structure while being a respectable modern choice.
+DEFAULT_HASH_ALGORITHM = "sha256"
+
+
+@dataclass(frozen=True)
+class StateDigest:
+    """A digest of a canonical value together with its algorithm.
+
+    Instances are immutable and hashable so they can be used as keys in
+    bookkeeping tables (e.g. "which host committed to which resulting
+    state").
+    """
+
+    algorithm: str
+    digest: bytes
+
+    def hex(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest.hex()
+
+    def to_canonical(self) -> dict:
+        """Canonical representation, so digests can themselves be signed."""
+        return {"algorithm": self.algorithm, "digest": self.digest}
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return "%s:%s" % (self.algorithm, self.hex()[:16])
+
+
+def hash_bytes(data: bytes, algorithm: str = DEFAULT_HASH_ALGORITHM) -> StateDigest:
+    """Hash raw bytes with ``algorithm`` and return a :class:`StateDigest`."""
+    hasher = hashlib.new(algorithm)
+    hasher.update(data)
+    return StateDigest(algorithm=algorithm, digest=hasher.digest())
+
+
+def hash_value(value: Any, algorithm: str = DEFAULT_HASH_ALGORITHM) -> StateDigest:
+    """Hash an arbitrary encodable value via its canonical encoding.
+
+    This is the operation the paper calls "a hash of the resulting agent
+    state": the state is first brought into the deterministic canonical
+    form, then hashed.
+    """
+    return hash_bytes(canonical_encode(value), algorithm=algorithm)
+
+
+def hash_chain(
+    values: Iterable[Any], algorithm: str = DEFAULT_HASH_ALGORITHM
+) -> StateDigest:
+    """Hash a sequence of values as a chain.
+
+    Each element is canonically encoded and fed into the hash preceded
+    by its length, so the chain hash distinguishes ``["ab", "c"]`` from
+    ``["a", "bc"]``.  Used for execution traces, where the trace grows
+    with every statement and we want an incremental commitment.
+    """
+    hasher = hashlib.new(algorithm)
+    for value in values:
+        encoded = canonical_encode(value)
+        hasher.update(str(len(encoded)).encode("ascii"))
+        hasher.update(b":")
+        hasher.update(encoded)
+    return StateDigest(algorithm=algorithm, digest=hasher.digest())
+
+
+def digest_hex(value: Any, algorithm: str = DEFAULT_HASH_ALGORITHM) -> str:
+    """Convenience wrapper returning the hex digest of ``value``."""
+    return hash_value(value, algorithm=algorithm).hex()
+
+
+def constant_time_equal(left: StateDigest, right: StateDigest) -> bool:
+    """Compare two digests without leaking timing information.
+
+    The simulation does not have a realistic timing side channel, but
+    the comparison is still routed through :func:`hmac.compare_digest`
+    so the public API has the right shape for a real deployment.
+    """
+    if left.algorithm != right.algorithm:
+        return False
+    return hmac.compare_digest(left.digest, right.digest)

@@ -1,0 +1,192 @@
+"""Signed envelopes: the wire format for authenticated reference data.
+
+The paper's example mechanism requires several signing patterns:
+
+* a host signs the *hash* of a resulting agent state,
+* a host signs a whole message (the "plain" agents in Table 1 are
+  "signed and verified as a whole"),
+* an initial state is signed by **both** the checked host and the
+  checking host ("initial states have to be signed by both the checking
+  host and the checked host"), i.e. counter-signing,
+* input elements may be signed by the party that produced them
+  (Section 4.3 "possible extensions").
+
+This module provides :class:`SignedEnvelope` (one signer) and
+:class:`MultiSignedEnvelope` (several signers over the same payload),
+plus a :class:`Signer` facade that binds an identity to a key store for
+verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.dsa import DSASignature
+from repro.crypto.hashing import StateDigest, hash_bytes
+from repro.crypto.keys import Identity, KeyStore
+from repro.exceptions import SignatureError
+
+__all__ = ["SignedEnvelope", "MultiSignedEnvelope", "Signer"]
+
+
+@dataclass(frozen=True)
+class SignedEnvelope:
+    """A payload together with a single signer's signature.
+
+    The signature is computed over the canonical encoding of
+    ``payload``.  The payload itself travels in the clear — the
+    mechanisms in the paper provide *integrity and attribution*, not
+    confidentiality.
+    """
+
+    payload: Any
+    signer: str
+    signature: DSASignature
+
+    def payload_digest(self) -> StateDigest:
+        """Digest of the canonical payload (useful for logging)."""
+        return hash_bytes(canonical_encode(self.payload))
+
+    def to_canonical(self) -> dict:
+        return {
+            "payload": self.payload,
+            "signer": self.signer,
+            "signature": self.signature.to_canonical(),
+        }
+
+    def verify(self, keystore: KeyStore) -> bool:
+        """Verify the signature against the signer's registered key."""
+        public_key = keystore.maybe_get(self.signer)
+        if public_key is None:
+            return False
+        return public_key.verify(canonical_encode(self.payload), self.signature)
+
+    def verify_or_raise(self, keystore: KeyStore) -> None:
+        """Verify and raise :class:`SignatureError` on failure."""
+        if not self.verify(keystore):
+            raise SignatureError(
+                "signature by %r over payload %s does not verify"
+                % (self.signer, self.payload_digest())
+            )
+
+
+@dataclass
+class MultiSignedEnvelope:
+    """A payload counter-signed by several principals.
+
+    Used for the dual commitment on initial states in the example
+    protocol: the sending (checked) host and the receiving (checking)
+    host both sign the same initial state so that neither can later
+    claim a different state was handed over.
+    """
+
+    payload: Any
+    signatures: Dict[str, DSASignature] = field(default_factory=dict)
+
+    def add_signature(self, identity: Identity) -> None:
+        """Append ``identity``'s signature over the payload."""
+        message = canonical_encode(self.payload)
+        self.signatures[identity.name] = identity.private_key.sign(message)
+
+    def signers(self) -> Tuple[str, ...]:
+        """Names of all principals that have signed, sorted."""
+        return tuple(sorted(self.signatures))
+
+    def verify_all(self, keystore: KeyStore) -> bool:
+        """Return whether every attached signature verifies."""
+        if not self.signatures:
+            return False
+        message = canonical_encode(self.payload)
+        for signer, signature in self.signatures.items():
+            public_key = keystore.maybe_get(signer)
+            if public_key is None or not public_key.verify(message, signature):
+                return False
+        return True
+
+    def verify_signer(self, signer: str, keystore: KeyStore) -> bool:
+        """Return whether a specific principal's signature verifies."""
+        signature = self.signatures.get(signer)
+        if signature is None:
+            return False
+        public_key = keystore.maybe_get(signer)
+        if public_key is None:
+            return False
+        return public_key.verify(canonical_encode(self.payload), signature)
+
+    def require_signers(self, required: Tuple[str, ...], keystore: KeyStore) -> None:
+        """Raise unless all of ``required`` have valid signatures."""
+        for signer in required:
+            if not self.verify_signer(signer, keystore):
+                raise SignatureError(
+                    "required counter-signature by %r is missing or invalid"
+                    % signer
+                )
+
+    def to_canonical(self) -> dict:
+        return {
+            "payload": self.payload,
+            "signatures": {
+                name: sig.to_canonical() for name, sig in self.signatures.items()
+            },
+        }
+
+
+class Signer:
+    """Facade binding an :class:`Identity` to a :class:`KeyStore`.
+
+    Hosts and owners use a :class:`Signer` to produce envelopes and to
+    verify envelopes produced by others, without passing the keystore
+    around every call site.
+    """
+
+    def __init__(self, identity: Identity, keystore: KeyStore) -> None:
+        self._identity = identity
+        self._keystore = keystore
+
+    @property
+    def name(self) -> str:
+        """The signing principal's name."""
+        return self._identity.name
+
+    @property
+    def keystore(self) -> KeyStore:
+        """The key store used for verification."""
+        return self._keystore
+
+    def sign(self, payload: Any) -> SignedEnvelope:
+        """Sign ``payload`` and return a single-signer envelope."""
+        message = canonical_encode(payload)
+        signature = self._identity.private_key.sign(message)
+        return SignedEnvelope(
+            payload=payload, signer=self._identity.name, signature=signature
+        )
+
+    def counter_sign(self, envelope: MultiSignedEnvelope) -> MultiSignedEnvelope:
+        """Add this principal's signature to an existing multi-envelope."""
+        envelope.add_signature(self._identity)
+        return envelope
+
+    def start_multi_signature(self, payload: Any) -> MultiSignedEnvelope:
+        """Create a multi-signer envelope with this principal's signature."""
+        envelope = MultiSignedEnvelope(payload=payload)
+        envelope.add_signature(self._identity)
+        return envelope
+
+    def verify(self, envelope: SignedEnvelope,
+               expected_signer: Optional[str] = None) -> bool:
+        """Verify an envelope, optionally pinning the expected signer."""
+        if expected_signer is not None and envelope.signer != expected_signer:
+            return False
+        return envelope.verify(self._keystore)
+
+    def verify_or_raise(self, envelope: SignedEnvelope,
+                        expected_signer: Optional[str] = None) -> None:
+        """Verify an envelope, raising :class:`SignatureError` on failure."""
+        if expected_signer is not None and envelope.signer != expected_signer:
+            raise SignatureError(
+                "expected envelope signed by %r, got %r"
+                % (expected_signer, envelope.signer)
+            )
+        envelope.verify_or_raise(self._keystore)

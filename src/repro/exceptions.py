@@ -1,0 +1,129 @@
+"""Exception hierarchy for the reference-states reproduction library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`
+so that callers can catch library failures with a single ``except``
+clause while still being able to distinguish the individual failure
+classes (crypto failures, migration failures, protocol violations,
+detected attacks, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured inconsistently or incompletely."""
+
+
+class SerializationError(ReproError):
+    """Canonical serialization of a value failed.
+
+    Raised when a value cannot be represented in the deterministic
+    canonical form used for hashing and signing (see
+    :mod:`repro.crypto.canonical`).
+    """
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyError_(CryptoError):
+    """A key could not be found, parsed, or used.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`.
+    """
+
+
+class SignatureError(CryptoError):
+    """A digital signature could not be created or did not verify."""
+
+
+class CertificateError(CryptoError):
+    """A certificate was missing, malformed, or failed validation."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed."""
+
+
+class TransportError(NetworkError):
+    """An agent transfer could not be delivered."""
+
+
+class HostNotFoundError(NetworkError):
+    """A host address could not be resolved in the registry."""
+
+
+class AgentError(ReproError):
+    """Base class for agent-level failures."""
+
+
+class MigrationError(AgentError):
+    """An agent migration failed (capture, transfer, or restore)."""
+
+
+class AgentStateError(AgentError):
+    """The agent state is malformed or cannot be snapshotted."""
+
+
+class ItineraryError(AgentError):
+    """The agent itinerary is invalid or exhausted unexpectedly."""
+
+
+class ExecutionError(AgentError):
+    """The agent's ``run`` method raised or violated the execution model."""
+
+
+class InputReplayError(AgentError):
+    """Replaying the recorded input log diverged from the recorded log.
+
+    Raised during re-execution when the checked code requests more or
+    different inputs than the recorded execution produced.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protection protocol invariant was violated.
+
+    This covers malformed protocol payloads, missing reference data,
+    and out-of-order protocol steps.  It does **not** signal a detected
+    attack; see :class:`AttackDetected` for that.
+    """
+
+
+class CheckingError(ReproError):
+    """A checking algorithm could not be executed.
+
+    For example a rule referencing a variable that does not exist, or a
+    re-execution checker missing its input log.  A checking *failure*
+    (i.e. the check ran and found a mismatch) is reported through a
+    verdict, not an exception, unless the caller asked for strict mode.
+    """
+
+
+class AttackDetected(ReproError):
+    """A protection mechanism detected an attack and strict mode is on.
+
+    The default reporting path for detections is the
+    :class:`repro.core.verdict.Verdict` value returned by the checking
+    framework; this exception is only raised when a caller explicitly
+    requests exception-on-detection semantics.
+    """
+
+    def __init__(self, message: str, verdict: object = None) -> None:
+        super().__init__(message)
+        #: The verdict that triggered the exception, if available.
+        self.verdict = verdict
+
+
+class ReplicationError(ReproError):
+    """The server-replication baseline could not reach a usable quorum."""
+
+
+class ProofError(ReproError):
+    """A holographic proof was malformed or failed verification."""

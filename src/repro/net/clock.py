@@ -1,0 +1,73 @@
+"""Clock abstractions.
+
+The benchmark harness needs *wall-clock* time (the paper's Tables 1 and
+2 are real measured milliseconds), while the discrete-event network
+simulation needs a *virtual* clock it can advance instantly.  Both are
+expressed through the :class:`Clock` interface so that components do not
+care which one they are running against.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+__all__ = ["Clock", "WallClock", "VirtualClock"]
+
+
+class Clock(ABC):
+    """Minimal clock interface: read the current time in seconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in (possibly virtual) seconds."""
+
+    def now_ms(self) -> float:
+        """Return the current time in milliseconds."""
+        return self.now() * 1000.0
+
+
+class WallClock(Clock):
+    """Real wall-clock time based on :func:`time.perf_counter`.
+
+    ``perf_counter`` is monotonic and high-resolution, which is what the
+    overhead measurements need.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock for discrete-event simulation.
+
+    The clock never moves on its own; the simulator advances it to the
+    timestamp of the next scheduled event.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises
+        ------
+        ValueError
+            If ``timestamp`` is in the past; virtual time is monotonic.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                "cannot move virtual clock backwards (%.6f < %.6f)"
+                % (timestamp, self._now)
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError("cannot advance virtual clock by a negative delta")
+        self._now += float(delta)

@@ -1,0 +1,39 @@
+"""Host substrate: hosts, sessions, resources, registry, journey driver."""
+
+from repro.platform.host import Host
+from repro.platform.malicious import MaliciousHost
+from repro.platform.registry import (
+    AgentSystem,
+    HostRegistry,
+    JourneyResult,
+    ProtectionMechanism,
+)
+from repro.platform.resources import (
+    CallableService,
+    HostService,
+    InputFeedService,
+    PriceQuoteService,
+    ResourceCatalog,
+    StaticDataService,
+    SystemFacilities,
+)
+from repro.platform.session import ExecutionSession, SessionEnvironment, SessionRecord
+
+__all__ = [
+    "Host",
+    "MaliciousHost",
+    "AgentSystem",
+    "HostRegistry",
+    "JourneyResult",
+    "ProtectionMechanism",
+    "CallableService",
+    "HostService",
+    "InputFeedService",
+    "PriceQuoteService",
+    "ResourceCatalog",
+    "StaticDataService",
+    "SystemFacilities",
+    "ExecutionSession",
+    "SessionEnvironment",
+    "SessionRecord",
+]

@@ -1,0 +1,110 @@
+"""Malicious hosts: hosts that mount attacks on visiting agents.
+
+A :class:`MaliciousHost` behaves exactly like an honest
+:class:`~repro.platform.host.Host` except that a list of
+:class:`~repro.attacks.injector.AttackInjector` objects is given the
+opportunity to interfere at the points the attack model defines:
+
+* before the session (tampering with the initial state),
+* around the input environment (lying about input / system calls),
+* after the session (tampering with the resulting state, the logs, or
+  just reading data),
+* when protocol data is packed for migration (stripping or rewriting
+  the protection mechanism's commitments).
+
+The class also carries an optional set of *collaborators* — other host
+names it colludes with — which scenario code uses to model the
+collaboration attacks the example protocol cannot detect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.agents.agent import MobileAgent
+from repro.agents.itinerary import Itinerary
+from repro.attacks.injector import AttackInjector
+from repro.attacks.model import AttackDescriptor
+from repro.platform.host import Host
+from repro.platform.session import ExecutionSession, SessionRecord
+
+__all__ = ["MaliciousHost"]
+
+
+class MaliciousHost(Host):
+    """A host that applies attack injectors to the sessions it runs.
+
+    Parameters are those of :class:`~repro.platform.host.Host` plus:
+
+    injectors:
+        The attacks to mount, applied in order at each hook point.
+    collaborators:
+        Names of other hosts this host collaborates with (e.g. the next
+        host on the itinerary agreeing not to check this host's
+        session).
+    """
+
+    def __init__(self, *args: Any,
+                 injectors: Optional[Iterable[AttackInjector]] = None,
+                 collaborators: Optional[Iterable[str]] = None,
+                 **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.injectors: List[AttackInjector] = list(injectors or [])
+        self.collaborators: Set[str] = set(collaborators or ())
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_injector(self, injector: AttackInjector) -> None:
+        """Mount an additional attack on this host."""
+        self.injectors.append(injector)
+
+    def attack_descriptors(self) -> Tuple[AttackDescriptor, ...]:
+        """Descriptors of every attack this host mounts."""
+        collaboration = tuple(sorted(self.collaborators))
+        return tuple(
+            injector.describe(self.name, collaboration) for injector in self.injectors
+        )
+
+    def collaborates_with(self, other: str) -> bool:
+        """Whether this host colludes with ``other``."""
+        return other in self.collaborators
+
+    # -- attack application --------------------------------------------------------
+
+    def execute_agent(
+        self,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        hop_index: int,
+        raise_on_error: bool = False,
+    ) -> SessionRecord:
+        """Run the session with every injector's hooks applied."""
+        for injector in self.injectors:
+            injector.before_session(agent, hop_index)
+
+        environment = self._build_environment()
+        for injector in self.injectors:
+            environment = injector.wrap_environment(environment)
+
+        session = ExecutionSession(self.name, environment, metrics=self.metrics)
+        record = session.execute(
+            agent,
+            hop_index=hop_index,
+            is_final_hop=itinerary.is_last_hop(hop_index),
+            output_handler=self.perform_action,
+            resources_snapshot=self.resources.snapshot(),
+            raise_on_error=raise_on_error,
+        )
+
+        for injector in self.injectors:
+            record = injector.after_session(agent, record)
+
+        self._sessions.append(record)
+        return record
+
+    def tamper_protocol_data(self, protocol_data: Optional[Dict[str, Any]]
+                             ) -> Optional[Dict[str, Any]]:
+        """Give every injector a chance to tamper with protocol payload."""
+        for injector in self.injectors:
+            protocol_data = injector.tamper_protocol_data(protocol_data)
+        return protocol_data

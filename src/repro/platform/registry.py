@@ -1,0 +1,376 @@
+"""Host registry, protection-mechanism plug-in API, and the journey driver.
+
+The :class:`AgentSystem` is the piece that actually moves an agent along
+its itinerary: it executes a session at each host, packs the agent
+(together with whatever data the active protection mechanism appended),
+ships it over the simulated wire, unpacks it at the next host, and gives
+the protection mechanism its callbacks at the moments the framework
+defines — on arrival (``checkAfterSession`` time) and after the task
+(``checkAfterTask`` time).
+
+Protection mechanisms — the paper's framework-based protocol as well as
+the baseline approaches — plug in through the
+:class:`ProtectionMechanism` interface, keeping the platform free of any
+knowledge about *how* checking works.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
+from repro.agents.itinerary import Itinerary, RouteEntry, RouteRecord
+from repro.agents.migration import MigrationEngine
+from repro.agents.state import AgentState
+from repro.crypto.keys import KeyStore
+from repro.exceptions import ConfigurationError, HostNotFoundError, ProtocolError
+from repro.net.transport import TransferCodec
+from repro.platform.host import Host
+from repro.platform.session import SessionRecord
+
+__all__ = [
+    "HostRegistry",
+    "ProtectionMechanism",
+    "JourneyResult",
+    "AgentSystem",
+]
+
+
+class HostRegistry:
+    """Name → host directory plus the owner's trust database.
+
+    Trust is an attribute the *owner* assigns to hosts (Section 1: trust
+    "may change depending e.g. on the tasks an agent has to fulfil"); in
+    the simulation it is simply the host's ``trusted`` flag, which the
+    registry exposes so protection mechanisms can skip checking trusted
+    hosts as the example protocol does.
+    """
+
+    def __init__(self) -> None:
+        self._hosts: Dict[str, Host] = {}
+
+    def add(self, host: Host) -> Host:
+        """Register a host under its name."""
+        if host.name in self._hosts:
+            raise ConfigurationError("host %r is already registered" % host.name)
+        self._hosts[host.name] = host
+        return host
+
+    def get(self, name: str) -> Host:
+        """Return the host called ``name``.
+
+        Raises
+        ------
+        HostNotFoundError
+            If no host of that name is registered.
+        """
+        try:
+            return self._hosts[name]
+        except KeyError as exc:
+            raise HostNotFoundError("unknown host %r" % name) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._hosts
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered host names, sorted."""
+        return tuple(sorted(self._hosts))
+
+    def hosts(self) -> Tuple[Host, ...]:
+        """All registered hosts, sorted by name."""
+        return tuple(self._hosts[name] for name in self.names())
+
+    def is_trusted(self, name: str) -> bool:
+        """Whether the owner considers ``name`` a trusted (reference) host."""
+        return self.get(name).trusted
+
+    def shared_keystore(self) -> KeyStore:
+        """Build a key store containing every registered host's key."""
+        store = KeyStore()
+        for host in self._hosts.values():
+            store.register_identity(host.identity)
+        return store
+
+
+class ProtectionMechanism:
+    """Plug-in interface for agent protection mechanisms.
+
+    The default implementation protects nothing: every hook is a no-op.
+    Mechanisms override the hooks they need; all hooks are optional.
+
+    The ``protocol_data`` value threaded through the hooks is the
+    mechanism's own payload that travels with the agent (the paper:
+    "include the data in the data part of the agent as this part is
+    transported automatically"); it must be canonically encodable.
+    """
+
+    #: Human-readable mechanism name (reports, detection outcomes).
+    name = "unprotected"
+
+    def prepare_launch(self, agent: MobileAgent, itinerary: Itinerary,
+                       home_host: Host) -> Optional[Dict[str, Any]]:
+        """Called once before the first session; returns initial payload."""
+        return None
+
+    def on_arrival(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        hop_index: int,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> Tuple[List[Any], Optional[Dict[str, Any]]]:
+        """Called as the first action when the agent arrives at a host.
+
+        This is the ``checkAfterSession`` moment: the mechanism may check
+        the previous host's execution session here.  Returns the list of
+        verdicts produced (possibly empty) and the possibly updated
+        protocol payload.
+        """
+        return [], protocol_data
+
+    def after_session(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        hop_index: int,
+        record: SessionRecord,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> Optional[Dict[str, Any]]:
+        """Called after a session finished, before the agent migrates."""
+        return protocol_data
+
+    def after_task(
+        self,
+        host: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> List[Any]:
+        """Called by the last host after the agent finished its task.
+
+        This is the ``checkAfterTask`` moment; returns verdicts.
+        """
+        return []
+
+
+@dataclass
+class JourneyResult:
+    """Everything observed while driving one agent along its itinerary."""
+
+    agent: MobileAgent
+    itinerary: Itinerary
+    final_state: AgentState
+    records: List[SessionRecord] = field(default_factory=list)
+    verdicts: List[Any] = field(default_factory=list)
+    transfer_sizes: List[int] = field(default_factory=list)
+    transfer_signature_failures: List[int] = field(default_factory=list)
+    route_record: Optional[RouteRecord] = None
+    mechanism: str = "unprotected"
+    wall_time_seconds: float = 0.0
+    #: The protection mechanism's payload as it looked when the task
+    #: finished (what the agent "brought home"); owner-side verification
+    #: such as the traces investigation or proof checking starts here.
+    final_protocol_data: Optional[Dict[str, Any]] = None
+
+    @property
+    def hops(self) -> int:
+        """Number of execution sessions that took place."""
+        return len(self.records)
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Total bytes shipped across all migrations."""
+        return sum(self.transfer_sizes)
+
+    @property
+    def visited_hosts(self) -> Tuple[str, ...]:
+        """Hosts that executed a session, in order."""
+        return tuple(record.host for record in self.records)
+
+    def detected_attack(self) -> bool:
+        """Whether any verdict reports a detected attack.
+
+        Verdict objects are duck-typed: anything with a truthy
+        ``is_attack`` attribute counts, as does a plain dictionary with
+        ``{"is_attack": True}``.
+        """
+        for verdict in self.verdicts:
+            if getattr(verdict, "is_attack", False):
+                return True
+            if isinstance(verdict, dict) and verdict.get("is_attack"):
+                return True
+        return False
+
+    def blamed_hosts(self) -> Tuple[str, ...]:
+        """Hosts blamed by any attack verdict, deduplicated, sorted."""
+        blamed = set()
+        for verdict in self.verdicts:
+            if getattr(verdict, "is_attack", False):
+                host = getattr(verdict, "blamed_host", None)
+                if host:
+                    blamed.add(host)
+            elif isinstance(verdict, dict) and verdict.get("is_attack"):
+                host = verdict.get("blamed_host")
+                if host:
+                    blamed.add(host)
+        return tuple(sorted(blamed))
+
+
+class AgentSystem:
+    """Drives agents along itineraries across the registered hosts.
+
+    Parameters
+    ----------
+    registry:
+        The host directory.
+    code_registry:
+        Registry used to unpack agents at each host; defaults to the
+        process-wide registry.
+    sign_transfers:
+        Whether migrating agents are signed and verified *as a whole*
+        by the sending / receiving host.  This is the configuration of
+        the paper's "plain" agents in Table 1 and stays enabled for
+        protected agents too.
+    record_route:
+        Whether hosts append signed route entries to the agent
+        (Section 3.5's dynamically recorded, signed itinerary).
+    """
+
+    def __init__(
+        self,
+        registry: HostRegistry,
+        code_registry: Optional[AgentCodeRegistry] = None,
+        sign_transfers: bool = True,
+        record_route: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.code_registry = code_registry or default_registry
+        self.sign_transfers = sign_transfers
+        self.record_route = record_route
+        self._engine = MigrationEngine(self.code_registry)
+        self._codec = TransferCodec()
+
+    @property
+    def migration_engine(self) -> MigrationEngine:
+        """The migration engine used to pack and unpack agents."""
+        return self._engine
+
+    def launch(
+        self,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        protection: Optional[ProtectionMechanism] = None,
+    ) -> JourneyResult:
+        """Run ``agent`` along ``itinerary`` and return the journey result.
+
+        The agent object passed in is executed at the home host; at every
+        subsequent hop the agent is re-instantiated from the transferred
+        state, exactly as a real platform would do.  The returned
+        result's ``agent`` attribute is the *final* instance.
+        """
+        mechanism = protection or ProtectionMechanism()
+        home = self.registry.get(itinerary.home)
+        route_record = RouteRecord() if self.record_route else None
+
+        result = JourneyResult(
+            agent=agent,
+            itinerary=itinerary,
+            final_state=agent.capture_state(),
+            mechanism=mechanism.name,
+            route_record=route_record,
+        )
+
+        started = time.perf_counter()
+        protocol_data = mechanism.prepare_launch(agent, itinerary, home)
+        current_agent = agent
+        arrived_from: Optional[str] = None
+
+        for hop_index in range(len(itinerary)):
+            host = self.registry.get(itinerary.host_at(hop_index))
+
+            if route_record is not None:
+                route_record.append(
+                    host.signer,
+                    RouteEntry(hop_index=hop_index, host=host.name,
+                               arrived_from=arrived_from),
+                )
+
+            if hop_index > 0:
+                verdicts, protocol_data = mechanism.on_arrival(
+                    host, current_agent, itinerary, hop_index, protocol_data
+                )
+                result.verdicts.extend(verdicts)
+
+            record = host.execute_agent(current_agent, itinerary, hop_index)
+            result.records.append(record)
+
+            protocol_data = mechanism.after_session(
+                host, current_agent, itinerary, hop_index, record, protocol_data
+            )
+
+            if itinerary.is_last_hop(hop_index):
+                result.verdicts.extend(
+                    mechanism.after_task(host, current_agent, itinerary, protocol_data)
+                )
+                break
+
+            # The (possibly malicious) current host assembles the transfer.
+            tamper = getattr(host, "tamper_protocol_data", None)
+            if callable(tamper):
+                protocol_data = tamper(protocol_data)
+
+            current_agent, protocol_data, size, signature_ok = self._migrate(
+                host,
+                self.registry.get(itinerary.host_at(hop_index + 1)),
+                current_agent,
+                itinerary,
+                hop_index + 1,
+                protocol_data,
+            )
+            result.transfer_sizes.append(size)
+            if not signature_ok:
+                result.transfer_signature_failures.append(hop_index)
+            arrived_from = host.name
+
+        result.agent = current_agent
+        result.final_state = current_agent.capture_state()
+        result.final_protocol_data = protocol_data
+        result.wall_time_seconds = time.perf_counter() - started
+        return result
+
+    # -- internal helpers -------------------------------------------------------
+
+    def _migrate(
+        self,
+        sender: Host,
+        receiver: Host,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        next_hop_index: int,
+        protocol_data: Optional[Dict[str, Any]],
+    ) -> Tuple[MobileAgent, Optional[Dict[str, Any]], int, bool]:
+        """Pack, (optionally) sign, ship, verify, and unpack the agent."""
+        transfer = self._engine.pack(agent, itinerary, next_hop_index, protocol_data)
+        wire_bytes = self._codec.encode(transfer)
+
+        signature_ok = True
+        if self.sign_transfers:
+            # Whole-message signature: this is what the "sign & verify"
+            # column of the paper's tables measures.
+            envelope = sender.sign(transfer.to_canonical(), category="sign_verify")
+            signature_ok = receiver.verify(
+                envelope, expected_signer=sender.name, category="sign_verify"
+            )
+
+        received = self._codec.decode(wire_bytes)
+        unpacked = self._engine.unpack(received)
+        # Hand back the protocol data as it actually arrived (after the
+        # wire round trip), not the sender-side object.
+        return unpacked.agent, unpacked.protocol_data, len(wire_bytes), signature_ok

@@ -1,0 +1,34 @@
+"""Workloads: the paper's generic agent plus application-level agents."""
+
+from repro.workloads.generators import (
+    Scenario,
+    build_generic_scenario,
+    build_shopping_scenario,
+    build_survey_scenario,
+    paper_parameter_grid,
+)
+from repro.workloads.generic_agent import (
+    GenericAgent,
+    INPUT_FEED_SERVICE,
+    ProtectedGenericAgent,
+    make_input_elements,
+)
+from repro.workloads.shopping import QUOTE_SERVICE, ShoppingAgent, shopping_rules
+from repro.workloads.survey import SURVEY_MAILBOX, SurveyAgent
+
+__all__ = [
+    "Scenario",
+    "build_generic_scenario",
+    "build_shopping_scenario",
+    "build_survey_scenario",
+    "paper_parameter_grid",
+    "GenericAgent",
+    "INPUT_FEED_SERVICE",
+    "ProtectedGenericAgent",
+    "make_input_elements",
+    "QUOTE_SERVICE",
+    "ShoppingAgent",
+    "shopping_rules",
+    "SURVEY_MAILBOX",
+    "SurveyAgent",
+]

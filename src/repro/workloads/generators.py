@@ -1,0 +1,309 @@
+"""Scenario builders and workload generators.
+
+The benchmark harness, the examples, and the integration tests all need
+the same kind of fixture: a registry of hosts (some trusted, at most one
+malicious), a shared key store, an agent, and an itinerary.  The
+builders in this module construct those fixtures for the three
+workloads:
+
+* :func:`build_generic_scenario` — the 3-host path of the paper's
+  measurement (trusted, untrusted, trusted) running the generic agent;
+* :func:`build_shopping_scenario` — a home host plus N shops running the
+  shopping agent, with an optional malicious shop;
+* :func:`build_survey_scenario` — a home host plus N participant hosts
+  running the survey agent with (optionally signed) partner messages.
+
+:func:`paper_parameter_grid` returns the four (cycles × inputs) cells of
+Tables 1 and 2 in the paper's row order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.agents.itinerary import Itinerary
+from repro.attacks.injector import AttackInjector
+from repro.crypto.keys import Identity, KeyStore
+from repro.crypto.signing import Signer
+from repro.platform.host import Host
+from repro.platform.malicious import MaliciousHost
+from repro.platform.registry import AgentSystem, HostRegistry
+from repro.platform.resources import InputFeedService, PriceQuoteService
+from repro.workloads.generic_agent import (
+    GenericAgent,
+    INPUT_FEED_SERVICE,
+    ProtectedGenericAgent,
+    make_input_elements,
+)
+from repro.workloads.shopping import QUOTE_SERVICE, ShoppingAgent
+from repro.workloads.survey import SURVEY_MAILBOX, SurveyAgent
+
+__all__ = [
+    "Scenario",
+    "paper_parameter_grid",
+    "build_generic_scenario",
+    "build_shopping_scenario",
+    "build_survey_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run simulation fixture."""
+
+    registry: HostRegistry
+    system: AgentSystem
+    itinerary: Itinerary
+    keystore: KeyStore
+    hosts: Dict[str, Host] = field(default_factory=dict)
+    metrics: Optional[Any] = None
+
+    def host(self, name: str) -> Host:
+        """Convenience accessor for a host by name."""
+        return self.registry.get(name)
+
+    @property
+    def trusted_host_names(self) -> Tuple[str, ...]:
+        """Names of all trusted hosts in the scenario."""
+        return tuple(sorted(
+            name for name, host in self.hosts.items() if host.trusted
+        ))
+
+
+def paper_parameter_grid() -> List[Dict[str, Any]]:
+    """The four agent configurations of Tables 1 and 2, in paper order."""
+    return [
+        {"label": "1 input, 1 cycle", "inputs": 1, "cycles": 1},
+        {"label": "100 inputs, 1 cycle", "inputs": 100, "cycles": 1},
+        {"label": "1 input, 10000 cycles", "inputs": 1, "cycles": 10000},
+        {"label": "100 inputs, 10000 cycles", "inputs": 100, "cycles": 10000},
+    ]
+
+
+def _make_host(
+    name: str,
+    keystore: KeyStore,
+    trusted: bool,
+    metrics: Optional[Any],
+    injectors: Optional[Iterable[AttackInjector]] = None,
+    collaborators: Optional[Iterable[str]] = None,
+) -> Host:
+    """Create an honest or malicious host sharing ``keystore``."""
+    if injectors or collaborators:
+        return MaliciousHost(
+            name,
+            keystore=keystore,
+            trusted=trusted,
+            metrics=metrics,
+            injectors=list(injectors or []),
+            collaborators=list(collaborators or []),
+        )
+    return Host(name, keystore=keystore, trusted=trusted, metrics=metrics)
+
+
+def build_generic_scenario(
+    cycles: int = 1,
+    input_elements: int = 1,
+    protected_agent: bool = False,
+    use_fast_cycles: bool = False,
+    metrics: Optional[Any] = None,
+    middle_host_injectors: Optional[Iterable[AttackInjector]] = None,
+    middle_host_collaborators: Optional[Iterable[str]] = None,
+    owner: str = "owner",
+) -> Tuple[Scenario, GenericAgent]:
+    """The paper's measurement scenario: trusted → untrusted → trusted.
+
+    Parameters
+    ----------
+    cycles / input_elements:
+        The two agent parameters of the measurement grid.
+    protected_agent:
+        Instantiate :class:`ProtectedGenericAgent` (declaring requester
+        interfaces) instead of the plain generic agent.
+    use_fast_cycles:
+        Enable the "JIT" cycle implementation.
+    metrics:
+        Timing collector shared by all hosts (and thus all sessions).
+    middle_host_injectors / middle_host_collaborators:
+        Turn the untrusted middle host into a malicious host mounting
+        the given attacks / collaborating with the named hosts.
+    """
+    keystore = KeyStore()
+    registry = HostRegistry()
+    hosts: Dict[str, Host] = {}
+
+    home = _make_host("home", keystore, trusted=True, metrics=metrics)
+    vendor = _make_host(
+        "vendor", keystore, trusted=False, metrics=metrics,
+        injectors=middle_host_injectors,
+        collaborators=middle_host_collaborators,
+    )
+    archive = _make_host("archive", keystore, trusted=True, metrics=metrics)
+
+    feed_elements = make_input_elements(max(int(input_elements), 1))
+    for host in (home, vendor, archive):
+        host.add_service(InputFeedService(INPUT_FEED_SERVICE, feed_elements))
+        registry.add(host)
+        hosts[host.name] = host
+
+    itinerary = Itinerary(hosts=["home", "vendor", "archive"])
+    system = AgentSystem(registry, sign_transfers=True)
+    scenario = Scenario(
+        registry=registry,
+        system=system,
+        itinerary=itinerary,
+        keystore=keystore,
+        hosts=hosts,
+        metrics=metrics,
+    )
+
+    agent_class = ProtectedGenericAgent if protected_agent else GenericAgent
+    agent = agent_class.configured(
+        cycles=cycles,
+        input_elements=input_elements,
+        use_fast_cycles=use_fast_cycles,
+        owner=owner,
+    )
+    return scenario, agent
+
+
+def build_shopping_scenario(
+    num_shops: int = 3,
+    products: Sequence[str] = ("flight",),
+    budget: float = 1000.0,
+    prices: Optional[Dict[str, Dict[str, float]]] = None,
+    malicious_shop: Optional[int] = None,
+    injectors: Optional[Iterable[AttackInjector]] = None,
+    collaborating_next_shop: bool = False,
+    metrics: Optional[Any] = None,
+    owner: str = "owner",
+) -> Tuple[Scenario, ShoppingAgent]:
+    """Home host plus ``num_shops`` shops; optionally one malicious shop.
+
+    Parameters
+    ----------
+    prices:
+        Optional ``{host_name: {product: price}}`` overrides; otherwise
+        the deterministic per-host pseudo prices of
+        :class:`~repro.platform.resources.PriceQuoteService` apply.
+    malicious_shop:
+        1-based index of the shop to make malicious (``None`` for an
+        all-honest scenario).
+    injectors:
+        Attacks mounted on the malicious shop.
+    collaborating_next_shop:
+        Make the shop *after* the malicious one collaborate with it
+        (i.e. skip checking it) — the collaboration attack the example
+        protocol cannot detect.
+    """
+    if malicious_shop is not None and not 1 <= malicious_shop <= num_shops:
+        raise ValueError("malicious_shop must be between 1 and num_shops")
+
+    keystore = KeyStore()
+    registry = HostRegistry()
+    hosts: Dict[str, Host] = {}
+
+    home = _make_host("home", keystore, trusted=True, metrics=metrics)
+    # The home host offers the quote service so the agent code runs
+    # uniformly on every hop, but it quotes nothing (None), so no home
+    # "offer" ever enters the agent's best-offer table.
+    home.add_service(PriceQuoteService(
+        QUOTE_SERVICE, "home",
+        catalog={product: None for product in products},
+    ))
+    registry.add(home)
+    hosts["home"] = home
+
+    shop_names = ["shop-%d" % index for index in range(1, num_shops + 1)]
+    malicious_name = (
+        shop_names[malicious_shop - 1] if malicious_shop is not None else None
+    )
+
+    for index, name in enumerate(shop_names, start=1):
+        is_malicious = malicious_shop is not None and index == malicious_shop
+        collaborators = None
+        if (collaborating_next_shop and malicious_shop is not None
+                and index == malicious_shop + 1):
+            collaborators = [malicious_name]
+        shop = _make_host(
+            name, keystore, trusted=False, metrics=metrics,
+            injectors=injectors if is_malicious else None,
+            collaborators=collaborators,
+        )
+        shop.add_service(PriceQuoteService(
+            QUOTE_SERVICE, name, catalog=(prices or {}).get(name),
+        ))
+        registry.add(shop)
+        hosts[name] = shop
+
+    itinerary = Itinerary(hosts=["home"] + shop_names + ["home"])
+    system = AgentSystem(registry, sign_transfers=True)
+    scenario = Scenario(
+        registry=registry,
+        system=system,
+        itinerary=itinerary,
+        keystore=keystore,
+        hosts=hosts,
+        metrics=metrics,
+    )
+
+    agent = ShoppingAgent.for_products(list(products), budget=budget, owner=owner)
+    return scenario, agent
+
+
+def build_survey_scenario(
+    num_participants: int = 3,
+    answers: Optional[Sequence[float]] = None,
+    sign_answers: bool = True,
+    metrics: Optional[Any] = None,
+    owner: str = "owner",
+) -> Tuple[Scenario, SurveyAgent]:
+    """Home host plus participant hosts, each with one deposited answer.
+
+    Participants are independent principals: their identities are
+    registered in the shared key store so that the partner-confirmation
+    checker can later verify the recorded answers.
+    """
+    keystore = KeyStore()
+    registry = HostRegistry()
+    hosts: Dict[str, Host] = {}
+
+    home = _make_host("home", keystore, trusted=True, metrics=metrics)
+    registry.add(home)
+    hosts["home"] = home
+
+    participant_hosts = []
+    values = list(answers or [])
+    for index in range(1, num_participants + 1):
+        name = "participant-host-%d" % index
+        host = _make_host(name, keystore, trusted=False, metrics=metrics)
+        host.set_host_data("survey_participant", True)
+
+        participant = Identity.generate("participant-%d" % index)
+        keystore.register_identity(participant)
+        value = values[index - 1] if index - 1 < len(values) else float(index * 2)
+        signer = Signer(participant, keystore) if sign_answers else None
+        host.message_board.deposit(
+            sender=participant.name,
+            mailbox=SURVEY_MAILBOX,
+            body=value,
+            signer=signer,
+        )
+
+        registry.add(host)
+        hosts[name] = host
+        participant_hosts.append(name)
+
+    itinerary = Itinerary(hosts=["home"] + participant_hosts + ["home"])
+    system = AgentSystem(registry, sign_transfers=True)
+    scenario = Scenario(
+        registry=registry,
+        system=system,
+        itinerary=itinerary,
+        keystore=keystore,
+        hosts=hosts,
+        metrics=metrics,
+    )
+    agent = SurveyAgent(owner=owner)
+    return scenario, agent

@@ -1,0 +1,141 @@
+"""The paper's generic example agent (Section 6.2).
+
+"The agent can be parametrized by two values.  The first parameter
+determines a 'cycle' value, where every cycle means an integer summation
+of 1000 values.  This summation cycle emulates the computational parts
+of an agent. ... The second parameter determines the number of input
+elements to the agent.  Each input element consisted of a 10 byte
+string."
+
+The measurement grid of Tables 1 and 2 uses cycles ∈ {1, 10000} and
+input elements ∈ {1, 100}; the agent migrates along a path of three
+hosts where the first and last are trusted and the middle one is
+untrusted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.agents.agent import MobileAgent, register_agent
+from repro.agents.context import ExecutionContext
+from repro.core.requesters import (
+    InitialStateRequester,
+    InputRequester,
+    ResultingStateRequester,
+)
+
+__all__ = [
+    "GenericAgent",
+    "ProtectedGenericAgent",
+    "INPUT_FEED_SERVICE",
+    "make_input_elements",
+]
+
+#: Name of the host service that feeds input elements to the agent.
+INPUT_FEED_SERVICE = "input-feed"
+
+#: Number of values summed per cycle (fixed by the paper).
+VALUES_PER_CYCLE = 1000
+
+
+def make_input_elements(count: int, width: int = 10) -> tuple:
+    """Build ``count`` deterministic input strings of ``width`` bytes.
+
+    These are the "10 byte string" input elements of the paper's
+    measurement; hosts expose them through an
+    :class:`repro.platform.resources.InputFeedService`.
+    """
+    return tuple(("elem%06d" % index)[:width].ljust(width, "x")
+                 for index in range(count))
+
+
+@register_agent
+class GenericAgent(MobileAgent):
+    """Computation cycles plus input consumption, once per host.
+
+    Data-state variables
+    --------------------
+    ``cycles``
+        Number of summation cycles per session.
+    ``input_elements``
+        Number of input elements fetched per session.
+    ``use_fast_cycles``
+        When true, each cycle is computed with a C-level ``sum`` instead
+        of an interpreted loop — the stand-in for the paper's remark
+        that a just-in-time compiler shrinks the cycle cost dramatically.
+    ``sum``
+        Running total over all cycles on all visited hosts.
+    ``inputs_received``
+        Every input element received so far, in order.
+    ``visits``
+        Number of sessions executed so far.
+    """
+
+    code_name = "generic-agent"
+
+    def __init__(self, initial_data: Optional[Dict[str, Any]] = None,
+                 owner: str = "owner", agent_id: Optional[str] = None) -> None:
+        super().__init__(initial_data, owner=owner, agent_id=agent_id)
+        self.data.set_default("cycles", 1)
+        self.data.set_default("input_elements", 1)
+        self.data.set_default("use_fast_cycles", False)
+        self.data.set_default("sum", 0)
+        self.data.set_default("inputs_received", [])
+        self.data.set_default("visits", 0)
+
+    @classmethod
+    def configured(cls, cycles: int, input_elements: int,
+                   use_fast_cycles: bool = False, owner: str = "owner") -> "GenericAgent":
+        """Build an agent for one cell of the measurement grid."""
+        return cls(
+            {
+                "cycles": int(cycles),
+                "input_elements": int(input_elements),
+                "use_fast_cycles": bool(use_fast_cycles),
+            },
+            owner=owner,
+        )
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def run(self, context: ExecutionContext) -> None:
+        total = self.data["sum"]
+        cycles = self.data["cycles"]
+        fast = self.data["use_fast_cycles"]
+
+        with context.metrics.measure("cycle"):
+            if fast:
+                # "JIT" mode: the same arithmetic, executed by the C runtime.
+                for _cycle in range(cycles):
+                    total += sum(range(VALUES_PER_CYCLE))
+            else:
+                for _cycle in range(cycles):
+                    for value in range(VALUES_PER_CYCLE):
+                        total += value
+        self.data["sum"] = total
+
+        received = list(self.data["inputs_received"])
+        for index in range(self.data["input_elements"]):
+            element = context.query_service(
+                INPUT_FEED_SERVICE, "element-%d" % index
+            )
+            received.append(element)
+        self.data["inputs_received"] = received
+
+        self.data["visits"] = self.data["visits"] + 1
+        self.execution["finished"] = context.is_final_hop
+
+
+@register_agent
+class ProtectedGenericAgent(GenericAgent, InitialStateRequester,
+                            ResultingStateRequester, InputRequester):
+    """The generic agent with requester interfaces declared.
+
+    This is the "second agent ... based on the first one, but protected"
+    of Section 6.2: functionally identical, but it declares the
+    reference data the checking mechanism of the example protocol needs
+    (initial state, resulting state, and session input).
+    """
+
+    code_name = "protected-generic-agent"

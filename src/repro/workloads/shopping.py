@@ -1,0 +1,148 @@
+"""Shopping / price-comparison workload.
+
+The introduction of the paper motivates agent protection with electronic
+commerce: an agent visits several vendors, collects price quotes,
+removes all but the lowest, and commits to a purchase — and "the host
+may modify the execution and/or the prices at its will" if nothing
+protects the agent.  This workload reproduces that scenario:
+
+* :class:`ShoppingAgent` visits one shop per hop, asks the host's
+  ``shop`` service for a quote per product, keeps the running best offer
+  and, on the final hop, asks the host to place the order;
+* :func:`shopping_rules` states the application-level postconditions a
+  state-appraisal / minimal policy can check (budget respected, best
+  price among the recorded quotes);
+* the detection benchmarks mount the catalogue attacks (price tampering,
+  quote lying, ...) on one of the shop hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.agents.agent import MobileAgent, register_agent
+from repro.agents.context import ExecutionContext
+from repro.core.checkers.rules import Rule, var
+from repro.core.requesters import (
+    InitialStateRequester,
+    InputRequester,
+    ResultingStateRequester,
+)
+
+__all__ = ["ShoppingAgent", "QUOTE_SERVICE", "shopping_rules"]
+
+#: Name of the host service that quotes prices.
+QUOTE_SERVICE = "shop"
+
+
+@register_agent
+class ShoppingAgent(MobileAgent, InitialStateRequester, ResultingStateRequester,
+                    InputRequester):
+    """Collects quotes across hosts and orders from the cheapest one.
+
+    Data-state variables
+    --------------------
+    ``products``
+        Names of the products to price.
+    ``budget``
+        Maximum total the owner allows the agent to commit to.
+    ``quotes``
+        ``{product: {host: price}}`` — every quote ever received.
+    ``best_offers``
+        ``{product: {"price": float, "host": str}}`` — running minimum.
+    ``cheapest_total``
+        Sum of the current best prices over all products.
+    ``order_placed``
+        Whether the final-hop purchase action was issued.
+    ``order``
+        The order summary the agent committed to (final hop only).
+    """
+
+    code_name = "shopping-agent"
+
+    def __init__(self, initial_data: Optional[Dict[str, Any]] = None,
+                 owner: str = "owner", agent_id: Optional[str] = None) -> None:
+        super().__init__(initial_data, owner=owner, agent_id=agent_id)
+        self.data.set_default("products", ["flight"])
+        self.data.set_default("budget", 1000.0)
+        self.data.set_default("quotes", {})
+        self.data.set_default("best_offers", {})
+        self.data.set_default("cheapest_total", 0.0)
+        self.data.set_default("order_placed", False)
+        self.data.set_default("order", None)
+
+    @classmethod
+    def for_products(cls, products: List[str], budget: float = 1000.0,
+                     owner: str = "owner") -> "ShoppingAgent":
+        """Build a shopping agent for the given product list."""
+        return cls({"products": list(products), "budget": float(budget)},
+                   owner=owner)
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def run(self, context: ExecutionContext) -> None:
+        products = self.data["products"]
+        quotes: Dict[str, Dict[str, float]] = dict(self.data["quotes"])
+        best: Dict[str, Dict[str, Any]] = dict(self.data["best_offers"])
+
+        for product in products:
+            price = context.query_service(QUOTE_SERVICE, product)
+            if price is None:
+                continue
+            price = float(price)
+            product_quotes = dict(quotes.get(product, {}))
+            product_quotes[context.host_name] = price
+            quotes[product] = product_quotes
+
+            current_best = best.get(product)
+            if current_best is None or price < current_best["price"]:
+                best[product] = {"price": price, "host": context.host_name}
+
+        self.data["quotes"] = quotes
+        self.data["best_offers"] = best
+        self.data["cheapest_total"] = round(
+            sum(offer["price"] for offer in best.values()), 2
+        )
+
+        if context.is_final_hop and not self.data["order_placed"]:
+            order = {
+                "items": {
+                    product: dict(offer) for product, offer in sorted(best.items())
+                },
+                "total": self.data["cheapest_total"],
+                "within_budget": self.data["cheapest_total"] <= self.data["budget"],
+            }
+            if order["within_budget"]:
+                context.act("purchase", order)
+                self.data["order_placed"] = True
+            self.data["order"] = order
+
+        self.execution["finished"] = context.is_final_hop
+
+
+def shopping_rules(products: Optional[List[str]] = None) -> List[Rule]:
+    """Application-level rules for state appraisal / minimal policies.
+
+    The rules only see the agent state (no input), so they can express
+    budget conservation and internal consistency, but — as the paper's
+    lowest-price example points out — they cannot tell whether the
+    recorded best price really was the lowest quote offered.
+    """
+    rules = [
+        Rule(
+            "within-budget",
+            var("cheapest_total") <= var("budget"),
+            "the committed total must not exceed the owner's budget",
+        ),
+        Rule(
+            "budget-unchanged",
+            var("budget") == var("initial.budget"),
+            "no host may raise or lower the owner's budget",
+        ),
+        Rule(
+            "total-non-negative",
+            var("cheapest_total") >= 0,
+            "a negative total indicates a corrupted state",
+        ),
+    ]
+    return rules

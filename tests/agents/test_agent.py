@@ -1,0 +1,107 @@
+"""Tests for the MobileAgent base class and the code registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
+from repro.agents.state import AgentState
+from repro.exceptions import AgentError, ConfigurationError
+
+from tests.helpers import CounterAgent, ProtectedCounterAgent
+
+
+class TestMobileAgent:
+    def test_default_state_and_identity(self):
+        agent = CounterAgent(owner="alice")
+        assert agent.owner == "alice"
+        assert agent.data["counter"] == 0
+        assert agent.execution.hop_index == 0
+        assert agent.get_code_name() == "test-counter-agent"
+        assert "alice" in agent.agent_id
+
+    def test_agent_ids_are_unique(self):
+        assert CounterAgent().agent_id != CounterAgent().agent_id
+
+    def test_capture_and_restore_state(self):
+        agent = CounterAgent()
+        agent.data["counter"] = 10
+        agent.execution.hop_index = 2
+        snapshot = agent.capture_state()
+
+        other = CounterAgent()
+        other.restore_state(snapshot)
+        assert other.data["counter"] == 10
+        assert other.execution.hop_index == 2
+
+    def test_run_must_be_overridden(self):
+        class Lazy(MobileAgent):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Lazy().run(context=None)
+
+    def test_default_callbacks_return_none(self):
+        agent = CounterAgent()
+        assert agent.check_after_session(None) is None
+        assert agent.check_after_task(None) is None
+
+    def test_code_name_defaults_to_class_name(self):
+        class Unnamed(MobileAgent):
+            pass
+
+        assert Unnamed.get_code_name() == "Unnamed"
+
+
+class TestAgentCodeRegistry:
+    def test_register_and_instantiate(self):
+        registry = AgentCodeRegistry()
+        registry.register(CounterAgent)
+        state = AgentState(data={"counter": 7, "history": []},
+                           execution={"hop_index": 1, "finished": False})
+        agent = registry.instantiate("test-counter-agent", state,
+                                     owner="alice", agent_id="alice/1")
+        assert isinstance(agent, CounterAgent)
+        assert agent.data["counter"] == 7
+        assert agent.agent_id == "alice/1"
+
+    def test_register_returns_class_for_decorator_use(self):
+        registry = AgentCodeRegistry()
+        assert registry.register(CounterAgent) is CounterAgent
+
+    def test_reregistering_same_class_is_noop(self):
+        registry = AgentCodeRegistry()
+        registry.register(CounterAgent)
+        registry.register(CounterAgent)
+        assert "test-counter-agent" in registry
+
+    def test_conflicting_registration_rejected(self):
+        registry = AgentCodeRegistry()
+        registry.register(CounterAgent)
+
+        class Impostor(MobileAgent):
+            code_name = "test-counter-agent"
+
+        with pytest.raises(ConfigurationError):
+            registry.register(Impostor)
+
+    def test_non_agent_class_rejected(self):
+        registry = AgentCodeRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.register(dict)
+
+    def test_unknown_code_name_raises(self):
+        with pytest.raises(AgentError):
+            AgentCodeRegistry().get("unknown")
+
+    def test_names_sorted(self):
+        registry = AgentCodeRegistry()
+        registry.register(ProtectedCounterAgent)
+        registry.register(CounterAgent)
+        assert registry.names() == (
+            "test-counter-agent", "test-protected-counter-agent",
+        )
+
+    def test_shared_test_agents_are_in_default_registry(self):
+        assert "test-counter-agent" in default_registry
+        assert "test-protected-counter-agent" in default_registry

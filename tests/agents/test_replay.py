@@ -1,0 +1,161 @@
+"""Tests for re-execution of sessions from recorded reference data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import default_registry
+from repro.agents.input import INPUT_KIND_SERVICE, INPUT_KIND_SYSTEM, InputLog
+from repro.agents.replay import ReExecutor
+from repro.agents.state import AgentState
+
+from tests.helpers import ActingAgent, CounterAgent, FaultyAgent, RandomConsumerAgent
+
+
+@pytest.fixture
+def executor():
+    return ReExecutor(default_registry)
+
+
+def _counter_initial(counter=0):
+    return AgentState(
+        data={"counter": counter, "history": []},
+        execution={"hop_index": 1, "finished": False},
+    )
+
+
+def _counter_input(value=4, source="numbers", key="increment"):
+    log = InputLog()
+    log.record(INPUT_KIND_SERVICE, source, key, value)
+    return log
+
+
+class TestSuccessfulReplay:
+    def test_reproduces_the_resulting_state(self, executor):
+        result = executor.re_execute(
+            code_name="test-counter-agent",
+            initial_state=_counter_initial(counter=10),
+            recorded_input=_counter_input(value=4),
+            host_name="vendor",
+            hop_index=1,
+        )
+        assert result.succeeded
+        assert result.resulting_state.data["counter"] == 14
+        assert result.input_fully_consumed
+        assert len(result.consumed_input) == 1
+
+    def test_replay_is_deterministic(self, executor):
+        kwargs = dict(
+            code_name="test-counter-agent",
+            initial_state=_counter_initial(counter=2),
+            recorded_input=_counter_input(value=7),
+            host_name="vendor",
+            hop_index=1,
+        )
+        first = executor.re_execute(**kwargs)
+        second = executor.re_execute(**kwargs)
+        assert first.resulting_state.equals(second.resulting_state)
+
+    def test_system_call_inputs_are_replayed(self, executor):
+        recorded = InputLog()
+        recorded.record(INPUT_KIND_SYSTEM, "vendor", "random", 0.123)
+        recorded.record(INPUT_KIND_SYSTEM, "vendor", "time", 42.0)
+        result = executor.re_execute(
+            code_name="test-random-consumer-agent",
+            initial_state=AgentState(
+                data={"randoms": [], "times": []},
+                execution={"hop_index": 0, "finished": False},
+            ),
+            recorded_input=recorded,
+            host_name="vendor",
+            hop_index=0,
+        )
+        assert result.succeeded
+        assert result.resulting_state.data["randoms"] == [0.123]
+        assert result.resulting_state.data["times"] == [42.0]
+
+    def test_outward_actions_are_suppressed_but_recorded(self, executor):
+        result = executor.re_execute(
+            code_name="test-acting-agent",
+            initial_state=AgentState(
+                data={"acknowledgements": 0},
+                execution={"hop_index": 0, "finished": False},
+            ),
+            recorded_input=InputLog(),
+            host_name="vendor",
+            hop_index=0,
+        )
+        assert result.succeeded
+        # The action was not performed (no acknowledgement), but recorded.
+        assert result.resulting_state.data["acknowledgements"] == 0
+        assert len(result.suppressed_actions) == 1
+        assert result.suppressed_actions[0].kind == "notify"
+
+
+class TestReplayFailures:
+    def test_missing_input_is_a_failure(self, executor):
+        result = executor.re_execute(
+            code_name="test-counter-agent",
+            initial_state=_counter_initial(),
+            recorded_input=InputLog(),  # truncated log
+            host_name="vendor",
+            hop_index=1,
+        )
+        assert not result.succeeded
+        assert "input replay diverged" in result.error
+
+    def test_mismatching_input_is_a_failure(self, executor):
+        result = executor.re_execute(
+            code_name="test-counter-agent",
+            initial_state=_counter_initial(),
+            recorded_input=_counter_input(key="wrong-key"),
+            host_name="vendor",
+            hop_index=1,
+        )
+        assert not result.succeeded
+
+    def test_lenient_key_matching_can_be_requested(self):
+        executor = ReExecutor(default_registry, strict_input_keys=False)
+        result = executor.re_execute(
+            code_name="test-counter-agent",
+            initial_state=_counter_initial(),
+            recorded_input=_counter_input(key="wrong-key"),
+            host_name="vendor",
+            hop_index=1,
+        )
+        assert result.succeeded
+
+    def test_unknown_code_is_a_failure(self, executor):
+        result = executor.re_execute(
+            code_name="never-registered",
+            initial_state=_counter_initial(),
+            recorded_input=_counter_input(),
+            host_name="vendor",
+            hop_index=1,
+        )
+        assert not result.succeeded
+        assert "cannot instantiate" in result.error
+
+    def test_raising_agent_is_a_failure(self, executor):
+        result = executor.re_execute(
+            code_name="test-faulty-agent",
+            initial_state=AgentState(data={}, execution={}),
+            recorded_input=InputLog(),
+            host_name="vendor",
+            hop_index=0,
+        )
+        assert not result.succeeded
+        assert "RuntimeError" in result.error
+
+    def test_padded_input_is_not_fully_consumed(self, executor):
+        padded = _counter_input(value=4)
+        padded.record(INPUT_KIND_SERVICE, "numbers", "increment", 999)
+        result = executor.re_execute(
+            code_name="test-counter-agent",
+            initial_state=_counter_initial(),
+            recorded_input=padded,
+            host_name="vendor",
+            hop_index=1,
+        )
+        assert result.succeeded
+        assert not result.input_fully_consumed

@@ -1,0 +1,134 @@
+"""Tests for individual attack injectors (outside of a malicious host)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.agents.execution_log import ExecutionLog
+from repro.agents.input import INPUT_KIND_SERVICE, InputLog
+from repro.agents.state import AgentState
+from repro.attacks.injector import (
+    AttackInjector,
+    DataTamperInjector,
+    DropInputRecordInjector,
+    ExecutionLogForgeryInjector,
+    IncorrectExecutionInjector,
+    ProtocolDataTamperInjector,
+    StateFieldOverwriteInjector,
+    WrongSystemCallInjector,
+)
+from repro.platform.session import SessionRecord
+
+from tests.helpers import CounterAgent
+
+
+def _record(agent, **overrides):
+    state = agent.capture_state()
+    input_log = InputLog()
+    input_log.record(INPUT_KIND_SERVICE, "numbers", "increment", 4)
+    base = dict(
+        host="evil", hop_index=1, agent_id=agent.agent_id,
+        code_name=agent.get_code_name(), owner=agent.owner,
+        initial_state=state, resulting_state=state,
+        input_log=input_log, execution_log=ExecutionLog(), actions=(),
+    )
+    base.update(overrides)
+    return SessionRecord(**base)
+
+
+class TestBaseInjector:
+    def test_base_injector_is_a_noop(self):
+        injector = AttackInjector()
+        agent = CounterAgent()
+        record = _record(agent)
+        assert injector.after_session(agent, record) is record
+        assert injector.wrap_environment("environment") == "environment"
+        assert injector.tamper_protocol_data({"x": 1}) == {"x": 1}
+        injector.before_session(agent, 0)  # no effect, no error
+
+    def test_describe_includes_docstring_summary(self):
+        descriptor = DataTamperInjector("v", 1).describe("evil")
+        assert descriptor.notes
+        assert descriptor.target_host == "evil"
+
+
+class TestRecordTampering:
+    def test_data_tamper_replaces_variable(self):
+        agent = CounterAgent()
+        agent.data["counter"] = 5
+        record = _record(agent)
+        tampered = DataTamperInjector("counter", 0).after_session(agent, record)
+        assert tampered.resulting_state.data["counter"] == 0
+        assert record.resulting_state.data["counter"] == 5  # original untouched
+
+    def test_state_field_overwrite_uses_mutator(self):
+        agent = CounterAgent()
+        record = _record(agent)
+        injector = StateFieldOverwriteInjector(
+            lambda victim: victim.data.update({"counter": -1})
+        )
+        tampered = injector.after_session(agent, record)
+        assert tampered.resulting_state.data["counter"] == -1
+
+    def test_incorrect_execution_fabricates_state(self):
+        agent = CounterAgent()
+        agent.data["counter"] = 10
+        record = _record(agent)
+        injector = IncorrectExecutionInjector(
+            lambda state: AgentState(data={"counter": 42, "history": []},
+                                     execution=dict(state.execution))
+        )
+        tampered = injector.after_session(agent, record)
+        assert tampered.resulting_state.data["counter"] == 42
+        assert agent.data["counter"] == 42  # live agent follows the fabrication
+
+    def test_drop_input_records_truncates_log(self):
+        agent = CounterAgent()
+        record = _record(agent)
+        truncated = DropInputRecordInjector(drop_from=0).after_session(agent, record)
+        assert len(truncated.input_log) == 0
+        assert len(record.input_log) == 1
+        # everything else is preserved
+        assert truncated.resulting_state.equals(record.resulting_state)
+
+    def test_execution_log_forgery(self):
+        agent = CounterAgent()
+        record = _record(agent)
+        forged = ExecutionLogForgeryInjector(
+            forged_entries=[{"statement": "1", "assignments": {"x": 1}}]
+        ).after_session(agent, record)
+        assert len(forged.execution_log) == 1
+        assert forged.execution_log[0].assignments == {"x": 1}
+
+
+class TestEnvironmentAndProtocolTampering:
+    def test_wrong_system_call_only_affects_named_call(self):
+        class _Environment:
+            def provide(self, kind, source, key):
+                return "genuine"
+
+        wrapped = WrongSystemCallInjector("random", 0.0).wrap_environment(_Environment())
+        assert wrapped.provide("system", "host", "random") == 0.0
+        assert wrapped.provide("system", "host", "time") == "genuine"
+        assert wrapped.provide("service", "shop", "flight") == "genuine"
+
+    def test_protocol_data_tamper_receives_a_copy(self):
+        seen = {}
+
+        def mutator(data):
+            seen.update(data)
+            data["extra"] = True
+            return data
+
+        injector = ProtocolDataTamperInjector(mutator)
+        original = {"commitment": "c"}
+        result = injector.tamper_protocol_data(original)
+        assert result == {"commitment": "c", "extra": True}
+        assert original == {"commitment": "c"}
+        assert seen == {"commitment": "c"}
+
+    def test_protocol_data_tamper_ignores_missing_payload(self):
+        injector = ProtocolDataTamperInjector(lambda data: None)
+        assert injector.tamper_protocol_data(None) is None

@@ -1,0 +1,79 @@
+"""Tests for the declarative attack scenario catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.injector import AttackInjector
+from repro.attacks.model import AttackArea
+from repro.attacks.scenarios import AttackScenario, scenario_by_name, standard_catalogue
+
+
+class TestCatalogue:
+    def test_catalogue_is_non_trivial(self):
+        catalogue = standard_catalogue()
+        assert len(catalogue) >= 8
+        assert len({scenario.name for scenario in catalogue}) == len(catalogue)
+
+    def test_every_scenario_builds_a_fresh_injector(self):
+        for scenario in standard_catalogue():
+            first = scenario.build()
+            second = scenario.build()
+            assert isinstance(first, AttackInjector)
+            assert first is not second
+
+    def test_expected_detection_flags_match_the_paper(self):
+        expectations = {
+            "tamper-result-variable": True,
+            "tamper-initial-state": True,
+            "incorrect-execution": True,
+            "drop-input-records": True,
+            "forge-execution-log": False,
+            "lie-about-input": False,
+            "wrong-system-call": False,
+            "read-agent-data": False,
+            "strip-protocol-data": True,
+        }
+        catalogue = {s.name: s for s in standard_catalogue()}
+        for name, expected in expectations.items():
+            assert catalogue[name].expected_detected is expected, name
+
+    def test_descriptors_carry_the_target_host(self):
+        scenario = scenario_by_name("tamper-result-variable")
+        descriptor = scenario.describe("shop-2", collaboration=("shop-3",))
+        assert descriptor.target_host == "shop-2"
+        assert descriptor.collaboration == ("shop-3",)
+        assert descriptor.area is AttackArea.MANIPULATION_OF_DATA
+
+    def test_lie_about_input_descriptor_is_marked_state_preserving(self):
+        descriptor = scenario_by_name("lie-about-input").describe("shop-2")
+        # state differs from an honest execution, but consistently with the
+        # lied-about log, so the descriptor marks it as undetectable
+        assert descriptor.changes_resulting_state is False
+        assert not descriptor.expected_detected_by_reference_states
+
+    def test_unknown_scenario_name_raises(self):
+        with pytest.raises(KeyError):
+            scenario_by_name("does-not-exist")
+
+    def test_catalogue_parameters_are_respected(self):
+        scenario = scenario_by_name("tamper-result-variable",
+                                    tamper_variable="best_offer",
+                                    tamper_value=3.14)
+        injector = scenario.build()
+        assert injector.variable == "best_offer"
+        assert injector.value == 3.14
+
+    def test_scenarios_expected_detected_align_with_descriptors(self):
+        # For non-collaboration scenarios, the scenario-level expectation and
+        # the descriptor-derived expectation must agree.  Two scenarios are
+        # excluded because the protocol detects them through reference-data
+        # integrity (missing payload / unreproducible input log) rather than
+        # through a state difference.
+        excluded = {"strip-protocol-data", "drop-input-records"}
+        for scenario in standard_catalogue():
+            if scenario.name in excluded:
+                continue
+            descriptor = scenario.describe("evil")
+            assert descriptor.expected_detected_by_reference_states == \
+                scenario.expected_detected, scenario.name

@@ -1,0 +1,133 @@
+"""Tests for the Vigna execution-traces baseline (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.injector import (
+    DataTamperInjector,
+    InitialStateTamperInjector,
+    InputLyingInjector,
+)
+from repro.baselines.execution_traces import VignaTracesMechanism
+from repro.core.verdict import VerdictStatus
+from repro.workloads.generators import build_shopping_scenario
+
+
+def _journey(injectors=None, malicious_shop=None, num_shops=3):
+    scenario, agent = build_shopping_scenario(
+        num_shops=num_shops, malicious_shop=malicious_shop, injectors=injectors,
+    )
+    mechanism = VignaTracesMechanism(code_registry=scenario.system.code_registry)
+    initial_state = agent.capture_state()
+    result = scenario.system.launch(agent, scenario.itinerary,
+                                    protection=mechanism)
+    return scenario, mechanism, initial_state, result
+
+
+class TestJourneyTimeBehaviour:
+    def test_no_checking_happens_during_the_journey(self):
+        _, _, _, result = _journey()
+        assert result.verdicts == []
+
+    def test_commitments_travel_with_the_agent(self):
+        _, _, _, result = _journey(num_shops=2)
+        commitments = result.final_protocol_data["commitments"]
+        assert len(commitments) == 4  # home + 2 shops + home
+        assert all("trace_digest" in c and "resulting_state_digest" in c
+                   for c in commitments)
+
+    def test_traces_stay_at_the_hosts(self):
+        _, mechanism, _, result = _journey(num_shops=2)
+        stored_hosts = {host for host, _hop in mechanism.stored_traces}
+        assert stored_hosts == {"home", "shop-1", "shop-2"}
+
+
+class TestInvestigation:
+    def test_honest_journey_investigates_clean(self):
+        scenario, mechanism, initial_state, result = _journey()
+        report = mechanism.investigate(
+            scenario.host("home"), initial_state, result.final_protocol_data,
+        )
+        assert not report.detected_attack
+        assert report.blamed_hosts() == ()
+        assert all(v.status is VerdictStatus.OK for v in report.verdicts)
+
+    def test_no_investigation_without_suspicion(self):
+        scenario, mechanism, initial_state, result = _journey(
+            malicious_shop=2,
+            injectors=[DataTamperInjector("cheapest_total", 1.0)],
+        )
+        report = mechanism.investigate(
+            scenario.host("home"), initial_state, result.final_protocol_data,
+            suspicious=False,
+        )
+        # the mechanism's main weakness: without a suspicion nothing happens
+        assert not report.detected_attack
+        assert report.verdicts == []
+
+    def test_result_tampering_is_found_and_the_cheater_identified(self):
+        scenario, mechanism, initial_state, result = _journey(
+            malicious_shop=2,
+            injectors=[DataTamperInjector("cheapest_total", 1.0)],
+        )
+        report = mechanism.investigate(
+            scenario.host("home"), initial_state, result.final_protocol_data,
+        )
+        assert report.detected_attack
+        assert report.first_cheating_host == "shop-2"
+
+    def test_initial_state_tampering_is_found(self):
+        scenario, mechanism, initial_state, result = _journey(
+            malicious_shop=2,
+            injectors=[InitialStateTamperInjector("budget", 1.0)],
+        )
+        report = mechanism.investigate(
+            scenario.host("home"), initial_state, result.final_protocol_data,
+        )
+        assert report.detected_attack
+        assert report.first_cheating_host == "shop-2"
+
+    def test_lying_about_input_is_not_found(self):
+        scenario, mechanism, initial_state, result = _journey(
+            malicious_shop=2,
+            injectors=[InputLyingInjector("shop", 1.0)],
+        )
+        report = mechanism.investigate(
+            scenario.host("home"), initial_state, result.final_protocol_data,
+        )
+        assert not report.detected_attack
+
+    def test_uncooperative_host_stalls_the_investigation(self):
+        scenario, mechanism, initial_state, result = _journey(num_shops=2)
+
+        def refusing_provider(host, hop):
+            if host == "shop-1":
+                return None
+            return mechanism.stored_traces.get((host, hop))
+
+        report = mechanism.investigate(
+            scenario.host("home"), initial_state, result.final_protocol_data,
+            trace_provider=refusing_provider,
+        )
+        assert report.stalled_at_host == "shop-1"
+        assert not report.detected_attack
+
+    def test_tampered_stored_trace_is_caught_by_the_commitment(self):
+        scenario, mechanism, initial_state, result = _journey(num_shops=2)
+        # shop-1 rewrites the recorded quote in its stored input log after
+        # the fact (e.g. to make a later manipulation look justified); the
+        # re-execution from that log no longer matches the hash the host
+        # itself committed to during the journey.
+        from repro.agents.input import INPUT_KIND_SERVICE, InputLog
+
+        key = ("shop-1", 1)
+        stored = mechanism.stored_traces[key]
+        rewritten = InputLog()
+        rewritten.record(INPUT_KIND_SERVICE, "shop", "flight", 1.0)
+        stored.input_log = rewritten
+        report = mechanism.investigate(
+            scenario.host("home"), initial_state, result.final_protocol_data,
+        )
+        assert report.detected_attack
+        assert report.first_cheating_host == "shop-1"

@@ -1,0 +1,83 @@
+"""Tests for the state appraisal baseline (Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.injector import DataTamperInjector, InputLyingInjector
+from repro.baselines.state_appraisal import StateAppraisalMechanism
+from repro.core.checkers.rules import Rule, var
+from repro.core.verdict import VerdictStatus
+from repro.workloads.generators import build_shopping_scenario
+from repro.workloads.shopping import shopping_rules
+
+
+def _run(mechanism, **scenario_kwargs):
+    scenario, agent = build_shopping_scenario(**scenario_kwargs)
+    return scenario.system.launch(agent, scenario.itinerary, protection=mechanism)
+
+
+class TestHonestRuns:
+    def test_honest_run_passes_appraisal(self):
+        result = _run(StateAppraisalMechanism(shopping_rules()))
+        assert not result.detected_attack()
+
+    def test_appraisal_happens_at_every_arrival_and_at_task_end(self):
+        result = _run(StateAppraisalMechanism(shopping_rules()), num_shops=2)
+        moments = [v.moment.value for v in result.verdicts]
+        # arrivals at shop-1, shop-2, home plus the task-end appraisal
+        assert moments.count("after-session") == 3
+        assert moments.count("after-task") == 1
+
+    def test_task_end_appraisal_can_be_disabled(self):
+        mechanism = StateAppraisalMechanism(shopping_rules(),
+                                            appraise_at_task_end=False)
+        result = _run(mechanism, num_shops=2)
+        assert all(v.moment.value == "after-session" for v in result.verdicts)
+
+
+class TestDetectionPower:
+    def test_rule_violating_tampering_is_detected(self):
+        mechanism = StateAppraisalMechanism(shopping_rules())
+        result = _run(
+            mechanism, malicious_shop=2,
+            injectors=[DataTamperInjector("cheapest_total", 10_000_000.0)],
+        )
+        assert result.detected_attack()
+        # blame falls on the host the agent came from
+        assert "shop-2" in result.blamed_hosts()
+
+    def test_rule_satisfying_tampering_goes_unnoticed(self):
+        # This is the paper's lowest-price example: without the input, a
+        # state that satisfies the rules cannot be told apart from the truth.
+        mechanism = StateAppraisalMechanism(shopping_rules())
+        result = _run(
+            mechanism, malicious_shop=2,
+            injectors=[DataTamperInjector("cheapest_total", 1.0)],
+        )
+        assert not result.detected_attack()
+
+    def test_input_lying_goes_unnoticed(self):
+        mechanism = StateAppraisalMechanism(shopping_rules())
+        result = _run(
+            mechanism, malicious_shop=2,
+            injectors=[InputLyingInjector("shop", 2.0)],
+        )
+        assert not result.detected_attack()
+
+    def test_collaborating_next_host_skips_the_check(self):
+        mechanism = StateAppraisalMechanism(
+            [Rule("budget-sane", var("cheapest_total") <= var("budget"))]
+        )
+        # Tamper with a variable the agent never recomputes (the budget), so
+        # the violation persists until an honest host appraises the state.
+        result = _run(
+            mechanism, malicious_shop=1,
+            injectors=[DataTamperInjector("budget", -5.0)],
+            collaborating_next_shop=True,
+        )
+        skipped = [v for v in result.verdicts
+                   if v.status is VerdictStatus.SKIPPED]
+        assert skipped
+        # the violation is still visible once an honest host appraises later
+        assert result.detected_attack()

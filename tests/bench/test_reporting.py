@@ -1,0 +1,78 @@
+"""Tests for the Markdown report generation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.metrics import TimingBreakdown
+from repro.bench.reporting import comparison_section, factor_section, markdown_table
+from repro.bench.tables import PAPER_OVERALL_FACTORS, PAPER_TABLE_1, PAPER_TABLE_2
+
+
+def _measured_rows(scale=0.01):
+    """Fake measured rows derived by scaling the paper's own numbers."""
+    rows = []
+    for label, columns in PAPER_TABLE_1.items():
+        rows.append(TimingBreakdown(
+            label=label,
+            sign_verify_ms=columns["sign_verify_ms"] * scale,
+            cycle_ms=columns["cycle_ms"] * scale,
+            remainder_ms=columns["remainder_ms"] * scale,
+            overall_ms=columns["overall_ms"] * scale,
+        ))
+    return rows
+
+
+def _protected_rows(scale=0.01):
+    rows = []
+    for label, columns in PAPER_TABLE_2.items():
+        rows.append(TimingBreakdown(
+            label=label,
+            sign_verify_ms=columns["sign_verify_ms"] * scale,
+            cycle_ms=columns["cycle_ms"] * scale,
+            remainder_ms=columns["remainder_ms"] * scale,
+            overall_ms=columns["overall_ms"] * scale,
+        ))
+    return rows
+
+
+class TestMarkdownTable:
+    def test_header_and_separator(self):
+        text = markdown_table(["x", "y"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_cells_are_stringified(self):
+        text = markdown_table(["n"], [[42]])
+        assert "| 42 |" in text
+
+
+class TestComparisonSection:
+    def test_contains_every_configuration(self):
+        section = comparison_section("Table 1 — plain agents",
+                                     PAPER_TABLE_1, _measured_rows())
+        for label in PAPER_TABLE_1:
+            assert label in section
+        assert section.startswith("## Table 1")
+
+    def test_unknown_measured_rows_are_ignored(self):
+        rows = [TimingBreakdown("not-a-paper-config", 1, 1, 1, 3)]
+        section = comparison_section("Table 1", PAPER_TABLE_1, rows)
+        assert "not-a-paper-config" not in section
+
+
+class TestFactorSection:
+    def test_factors_scale_out_when_both_sides_are_scaled(self):
+        # scaling both tables by the same constant leaves the factor intact,
+        # so the "measured" factors must equal the paper's factors
+        section = factor_section(_protected_rows(), _measured_rows())
+        for label, factor in PAPER_OVERALL_FACTORS.items():
+            assert label in section
+        # spot check one known factor value appears (1.9x for the light agent)
+        assert "1.9" in section
+
+    def test_missing_measurements_render_as_na(self):
+        section = factor_section([], _measured_rows())
+        assert "n/a" in section

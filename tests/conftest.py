@@ -1,0 +1,68 @@
+"""Shared pytest fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.itinerary import Itinerary
+from repro.crypto.keys import Identity, KeyStore
+from repro.platform.host import Host
+from repro.platform.registry import AgentSystem, HostRegistry
+
+from tests import helpers  # noqa: F401  (registers the shared test agents)
+
+
+@pytest.fixture
+def keystore() -> KeyStore:
+    """A fresh shared key store."""
+    return KeyStore()
+
+
+@pytest.fixture
+def identity() -> Identity:
+    """A deterministic signing identity."""
+    return Identity.generate("test-identity")
+
+
+@pytest.fixture
+def host_factory(keystore):
+    """Factory creating hosts that share the test key store."""
+
+    def factory(name: str, trusted: bool = False, **kwargs) -> Host:
+        host = Host(name, keystore=keystore, trusted=trusted, **kwargs)
+        host.add_service(helpers.make_number_service(1))
+        return host
+
+    return factory
+
+
+@pytest.fixture
+def three_host_setup(keystore, host_factory):
+    """A trusted-untrusted-trusted path with a shared registry and system."""
+    registry = HostRegistry()
+    home = host_factory("home", trusted=True)
+    vendor = host_factory("vendor", trusted=False)
+    archive = host_factory("archive", trusted=True)
+    for host in (home, vendor, archive):
+        registry.add(host)
+    itinerary = Itinerary(hosts=["home", "vendor", "archive"])
+    system = AgentSystem(registry, sign_transfers=True)
+    return {
+        "registry": registry,
+        "system": system,
+        "itinerary": itinerary,
+        "keystore": keystore,
+        "hosts": {"home": home, "vendor": vendor, "archive": archive},
+    }
+
+
+@pytest.fixture
+def counter_agent():
+    """A fresh counter agent."""
+    return helpers.CounterAgent(owner="owner")
+
+
+@pytest.fixture
+def protected_counter_agent():
+    """A fresh counter agent declaring all requester interfaces."""
+    return helpers.ProtectedCounterAgent(owner="owner")

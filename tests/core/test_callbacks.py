@@ -1,0 +1,130 @@
+"""Tests for callback dispatch (checkAfterSession / checkAfterTask)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import MobileAgent
+from repro.agents.state import AgentState
+from repro.core.attributes import CheckMoment
+from repro.core.callbacks import (
+    agent_overrides_callback,
+    dispatch_check,
+    normalize_callback_result,
+)
+from repro.core.checkers.base import CheckContext, Checker
+from repro.core.reference_data import ReferenceDataSet
+from repro.core.verdict import CheckResult, VerdictStatus
+
+from tests.helpers import CounterAgent
+
+
+class _AlwaysOKChecker(Checker):
+    name = "always-ok"
+
+    def check(self, context):
+        return self._ok()
+
+
+class _CustomCheckAgent(MobileAgent):
+    code_name = "callback-custom-agent"
+
+    def check_after_session(self, check_context):
+        return CheckResult(checker="custom-session",
+                           status=VerdictStatus.ATTACK_DETECTED,
+                           details={"reason": "always suspicious"})
+
+    def check_after_task(self, check_context):
+        return True
+
+
+class _NoneReturningAgent(MobileAgent):
+    code_name = "callback-none-agent"
+
+    def check_after_session(self, check_context):
+        return None
+
+
+class _RaisingAgent(MobileAgent):
+    code_name = "callback-raising-agent"
+
+    def check_after_session(self, check_context):
+        raise RuntimeError("callback blew up")
+
+
+def _context():
+    state = AgentState(data={}, execution={})
+    reference = ReferenceDataSet(session_host="vendor", hop_index=0,
+                                 agent_id="a", code_name="c", owner="o",
+                                 resulting_state=state)
+    return CheckContext(reference_data=reference, observed_state=state,
+                        checked_host="vendor", checking_host="archive",
+                        hop_index=0)
+
+
+class TestOverrideDetection:
+    def test_base_agent_does_not_override(self):
+        agent = CounterAgent()
+        assert not agent_overrides_callback(agent, CheckMoment.AFTER_SESSION)
+        assert not agent_overrides_callback(agent, CheckMoment.AFTER_TASK)
+
+    def test_custom_agent_overrides_both(self):
+        agent = _CustomCheckAgent()
+        assert agent_overrides_callback(agent, CheckMoment.AFTER_SESSION)
+        assert agent_overrides_callback(agent, CheckMoment.AFTER_TASK)
+
+
+class TestNormalization:
+    def test_none_is_empty(self):
+        assert normalize_callback_result(None, "cb") == []
+
+    def test_booleans(self):
+        ok = normalize_callback_result(True, "cb")
+        bad = normalize_callback_result(False, "cb")
+        assert ok[0].status is VerdictStatus.OK
+        assert bad[0].status is VerdictStatus.ATTACK_DETECTED
+
+    def test_check_result_and_lists(self):
+        result = CheckResult(checker="x", status=VerdictStatus.OK)
+        assert normalize_callback_result(result, "cb") == [result]
+        mixed = normalize_callback_result([result, False], "cb")
+        assert len(mixed) == 2
+
+    def test_unsupported_value_is_inconclusive(self):
+        results = normalize_callback_result(42, "cb")
+        assert results[0].status is VerdictStatus.INCONCLUSIVE
+
+
+class TestDispatch:
+    def test_agent_callback_takes_precedence_over_fallback(self):
+        results = dispatch_check(_CustomCheckAgent(), CheckMoment.AFTER_SESSION,
+                                 _context(), fallback_checkers=[_AlwaysOKChecker()])
+        assert len(results) == 1
+        assert results[0].checker == "custom-session"
+        assert results[0].is_attack
+
+    def test_after_task_callback_dispatch(self):
+        results = dispatch_check(_CustomCheckAgent(), CheckMoment.AFTER_TASK,
+                                 _context())
+        assert results[0].status is VerdictStatus.OK
+
+    def test_fallback_runs_when_no_override(self):
+        results = dispatch_check(CounterAgent(), CheckMoment.AFTER_SESSION,
+                                 _context(), fallback_checkers=[_AlwaysOKChecker()])
+        assert [r.checker for r in results] == ["always-ok"]
+
+    def test_fallback_runs_when_callback_returns_none(self):
+        results = dispatch_check(_NoneReturningAgent(), CheckMoment.AFTER_SESSION,
+                                 _context(), fallback_checkers=[_AlwaysOKChecker()])
+        assert [r.checker for r in results] == ["always-ok"]
+
+    def test_raising_callback_reports_and_still_falls_back(self):
+        results = dispatch_check(_RaisingAgent(), CheckMoment.AFTER_SESSION,
+                                 _context(), fallback_checkers=[_AlwaysOKChecker()])
+        statuses = {r.status for r in results}
+        assert VerdictStatus.INCONCLUSIVE in statuses
+        assert len(results) == 1  # the inconclusive report; fallback not needed
+
+    def test_no_override_and_no_fallback_yields_nothing(self):
+        assert dispatch_check(CounterAgent(), CheckMoment.AFTER_SESSION,
+                              _context()) == []

@@ -1,0 +1,86 @@
+"""Property-based tests for the (simulated) execution proofs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agents.execution_log import ExecutionLog
+from repro.agents.state import AgentState
+from repro.core.checkers.proofs import (
+    ExecutionProof,
+    _segment_bounds,
+    build_proof,
+)
+from repro.exceptions import ProofError
+
+
+def _log_from_values(values):
+    log = ExecutionLog()
+    for index, value in enumerate(values):
+        log.append(str(index), {"v": value})
+    return log
+
+
+class TestSegmentBounds:
+    @given(length=st.integers(0, 200), segments=st.integers(1, 16))
+    @settings(max_examples=200)
+    def test_bounds_partition_the_range(self, length, segments):
+        bounds = _segment_bounds(length, segments)
+        assert len(bounds) == segments
+        # contiguous, non-overlapping, covering [0, length)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == length
+        for (start_a, end_a), (start_b, _end_b) in zip(bounds, bounds[1:]):
+            assert end_a == start_b
+            assert start_a <= end_a
+
+    @given(length=st.integers(1, 200), segments=st.integers(1, 16))
+    @settings(max_examples=100)
+    def test_segment_sizes_are_balanced(self, length, segments):
+        sizes = [end - start for start, end in _segment_bounds(length, segments)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_segments_rejected(self):
+        with pytest.raises(ProofError):
+            _segment_bounds(10, 0)
+
+
+class TestProofProperties:
+    @given(values=st.lists(st.integers(-100, 100), max_size=30),
+           segments=st.integers(1, 8))
+    @settings(max_examples=100)
+    def test_proof_is_deterministic(self, values, segments):
+        initial = AgentState(data={"v": 0}, execution={})
+        resulting = AgentState(data={"v": sum(values)}, execution={})
+        log = _log_from_values(values)
+        first = build_proof(initial, resulting, log, segments=segments)
+        second = build_proof(initial, resulting, log, segments=segments)
+        assert first == second
+        assert first.trace_length == len(values)
+        assert len(first.segment_digests) == segments
+
+    @given(values=st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_trace_change_changes_some_segment(self, values):
+        initial = AgentState(data={"v": 0}, execution={})
+        resulting = AgentState(data={"v": 1}, execution={})
+        original = build_proof(initial, resulting, _log_from_values(values))
+        tampered_values = list(values)
+        tampered_values[0] += 1
+        tampered = build_proof(initial, resulting, _log_from_values(tampered_values))
+        assert original.segment_digests != tampered.segment_digests
+
+    @given(values=st.lists(st.integers(-100, 100), max_size=15))
+    @settings(max_examples=50)
+    def test_canonical_round_trip(self, values):
+        proof = build_proof(
+            AgentState(data={}, execution={}),
+            AgentState(data={"v": 1}, execution={}),
+            _log_from_values(values),
+        )
+        assert ExecutionProof.from_canonical(proof.to_canonical()) == proof
+
+    def test_malformed_canonical_rejected(self):
+        with pytest.raises(ProofError):
+            ExecutionProof.from_canonical({"segment_count": "three"})

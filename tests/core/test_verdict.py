@@ -1,0 +1,83 @@
+"""Tests for check results and verdict aggregation."""
+
+from __future__ import annotations
+
+from repro.core.attributes import CheckMoment
+from repro.core.verdict import CheckResult, Verdict, VerdictStatus
+
+
+def _result(status, checker="checker", **details):
+    return CheckResult(checker=checker, status=status, details=details)
+
+
+class TestCheckResult:
+    def test_is_attack_flag(self):
+        assert _result(VerdictStatus.ATTACK_DETECTED).is_attack
+        assert not _result(VerdictStatus.OK).is_attack
+        assert not _result(VerdictStatus.INCONCLUSIVE).is_attack
+
+    def test_canonical_form(self):
+        canonical = _result(VerdictStatus.OK, reason="fine").to_canonical()
+        assert canonical == {
+            "checker": "checker", "status": "ok", "details": {"reason": "fine"},
+        }
+
+
+class TestVerdictAggregation:
+    def test_empty_results_mean_skipped(self):
+        verdict = Verdict.from_results([], "m", CheckMoment.AFTER_SESSION, "host")
+        assert verdict.status is VerdictStatus.SKIPPED
+        assert not verdict.is_attack
+
+    def test_any_attack_dominates(self):
+        verdict = Verdict.from_results(
+            [_result(VerdictStatus.OK), _result(VerdictStatus.ATTACK_DETECTED)],
+            "m", CheckMoment.AFTER_SESSION, "host", checked_host="evil",
+        )
+        assert verdict.status is VerdictStatus.ATTACK_DETECTED
+        assert verdict.is_attack
+        assert verdict.blamed_host == "evil"
+        assert verdict.failed_checkers == ("checker",)
+
+    def test_inconclusive_beats_ok(self):
+        verdict = Verdict.from_results(
+            [_result(VerdictStatus.OK), _result(VerdictStatus.INCONCLUSIVE)],
+            "m", CheckMoment.AFTER_TASK, "host",
+        )
+        assert verdict.status is VerdictStatus.INCONCLUSIVE
+
+    def test_all_ok(self):
+        verdict = Verdict.from_results(
+            [_result(VerdictStatus.OK), _result(VerdictStatus.OK)],
+            "m", CheckMoment.AFTER_SESSION, "host",
+        )
+        assert verdict.status is VerdictStatus.OK
+
+    def test_all_skipped(self):
+        verdict = Verdict.from_results(
+            [_result(VerdictStatus.SKIPPED)], "m", CheckMoment.AFTER_SESSION, "host",
+        )
+        assert verdict.status is VerdictStatus.SKIPPED
+
+    def test_no_blame_without_attack(self):
+        verdict = Verdict.from_results(
+            [_result(VerdictStatus.OK)], "m", CheckMoment.AFTER_SESSION, "host",
+            checked_host="vendor",
+        )
+        assert verdict.blamed_host is None
+
+    def test_canonical_form_is_complete(self):
+        verdict = Verdict.from_results(
+            [_result(VerdictStatus.ATTACK_DETECTED, reason="diff")],
+            "mechanism-x", CheckMoment.AFTER_SESSION, "checker-host",
+            checked_host="evil", hop_index=1,
+            state_difference={"changed": {"price": {}}},
+        )
+        canonical = verdict.to_canonical()
+        assert canonical["status"] == "attack-detected"
+        assert canonical["mechanism"] == "mechanism-x"
+        assert canonical["moment"] == "after-session"
+        assert canonical["checked_host"] == "evil"
+        assert canonical["hop_index"] == 1
+        assert canonical["results"][0]["details"]["reason"] == "diff"
+        assert canonical["state_difference"] == {"changed": {"price": {}}}

@@ -1,0 +1,199 @@
+"""Tests for the canonical serialization codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.canonical import (
+    CanonicalDecoder,
+    CanonicalEncoder,
+    canonical_decode,
+    canonical_encode,
+    canonical_equal,
+)
+from repro.exceptions import SerializationError
+
+
+# ---------------------------------------------------------------------------
+# basic encoding behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestEncodingBasics:
+    def test_none_bool_distinguished(self):
+        assert canonical_encode(None) != canonical_encode(False)
+        assert canonical_encode(True) != canonical_encode(False)
+
+    def test_int_and_float_distinguished(self):
+        assert canonical_encode(1) != canonical_encode(1.0)
+
+    def test_bool_and_int_distinguished(self):
+        assert canonical_encode(True) != canonical_encode(1)
+
+    def test_str_and_bytes_distinguished(self):
+        assert canonical_encode("ab") != canonical_encode(b"ab")
+
+    def test_dict_order_independent(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+    def test_list_and_tuple_encode_identically(self):
+        assert canonical_encode([1, 2, 3]) == canonical_encode((1, 2, 3))
+
+    def test_set_order_independent(self):
+        assert canonical_encode({1, 2, 3}) == canonical_encode({3, 1, 2})
+
+    def test_nested_structures(self):
+        value = {"outer": [{"inner": (1, 2)}, {"other": None}]}
+        encoded = canonical_encode(value)
+        assert isinstance(encoded, bytes)
+        assert len(encoded) > 0
+
+    def test_negative_zero_normalised(self):
+        assert canonical_encode(-0.0) == canonical_encode(0.0)
+
+    def test_large_integers(self):
+        big = 2 ** 521 - 1
+        assert canonical_decode(canonical_encode(big)) == big
+
+    def test_unicode_strings(self):
+        text = "prix: 100€ — Straße"
+        assert canonical_decode(canonical_encode(text)) == text
+
+
+class TestEncodingErrors:
+    def test_nan_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_encode(float("nan"))
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_encode({1: "a"})
+
+    def test_unencodable_object_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(SerializationError):
+            canonical_encode(Opaque())
+
+    def test_cycle_detected_via_depth_limit(self):
+        cyclic = []
+        cyclic.append(cyclic)
+        with pytest.raises(SerializationError):
+            canonical_encode(cyclic)
+
+    def test_object_with_to_canonical_is_encoded(self):
+        class WithCanonical:
+            def to_canonical(self):
+                return {"kind": "custom", "value": 42}
+
+        encoded = canonical_encode(WithCanonical())
+        assert canonical_decode(encoded) == {"kind": "custom", "value": 42}
+
+
+# ---------------------------------------------------------------------------
+# decoding behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestDecoding:
+    def test_trailing_garbage_rejected(self):
+        data = canonical_encode(1) + b"junk"
+        with pytest.raises(SerializationError):
+            canonical_decode(data)
+
+    def test_truncated_payload_rejected(self):
+        data = canonical_encode("hello")[:-2]
+        with pytest.raises(SerializationError):
+            canonical_decode(data)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_decode(b"Z1:a")
+
+    def test_missing_length_separator_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_decode(b"i5")
+
+    def test_dict_round_trip(self):
+        value = {"name": "agent", "hops": [1, 2, 3], "meta": {"x": None}}
+        assert canonical_decode(canonical_encode(value)) == value
+
+    def test_bytes_round_trip(self):
+        value = b"\x00\x01\xff binary"
+        assert canonical_decode(canonical_encode(value)) == value
+
+    def test_set_round_trip(self):
+        assert canonical_decode(canonical_encode({1, 2, 3})) == {1, 2, 3}
+
+
+# ---------------------------------------------------------------------------
+# canonical_equal
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalEqual:
+    def test_equal_dicts_in_different_order(self):
+        assert canonical_equal({"a": 1, "b": [2]}, {"b": [2], "a": 1})
+
+    def test_tuple_equals_list(self):
+        assert canonical_equal((1, 2), [1, 2])
+
+    def test_int_not_equal_float(self):
+        assert not canonical_equal(1, 1.0)
+
+    def test_different_values_unequal(self):
+        assert not canonical_equal({"a": 1}, {"a": 2})
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 64), max_value=2 ** 64),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestCanonicalProperties:
+    @given(value=_values)
+    @settings(max_examples=150)
+    def test_encoding_is_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @given(value=_values)
+    @settings(max_examples=150)
+    def test_round_trip_preserves_canonical_form(self, value):
+        decoded = canonical_decode(canonical_encode(value))
+        # Tuples decode as lists, so compare canonically rather than by ==.
+        assert canonical_equal(value, decoded)
+
+    @given(value=_values)
+    @settings(max_examples=100)
+    def test_decoder_instance_matches_module_function(self, value):
+        encoder = CanonicalEncoder()
+        decoder = CanonicalDecoder()
+        assert canonical_equal(decoder.decode(encoder.encode(value)), value)
+
+    @given(left=_values, right=_values)
+    @settings(max_examples=100)
+    def test_equal_encodings_imply_canonical_equality(self, left, right):
+        if canonical_encode(left) == canonical_encode(right):
+            assert canonical_equal(left, right)
+        else:
+            assert not canonical_equal(left, right)

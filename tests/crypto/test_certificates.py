@@ -1,0 +1,107 @@
+"""Tests for the minimal certificate authority and trust anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.certificates import (
+    CertificateAuthority,
+    ROLE_HOST,
+    ROLE_INPUT_PROVIDER,
+    ROLE_OWNER,
+    TrustAnchorSet,
+)
+from repro.crypto.keys import Identity
+from repro.exceptions import CertificateError
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority(Identity.generate("root-ca"))
+
+
+@pytest.fixture
+def host_identity():
+    return Identity.generate("host-1")
+
+
+class TestIssuance:
+    def test_issue_and_verify(self, ca, host_identity):
+        certificate = ca.issue_for_identity(host_identity, ROLE_HOST)
+        assert certificate.subject == "host-1"
+        assert certificate.issuer == "root-ca"
+        assert certificate.verify(ca.public_key)
+
+    def test_unknown_role_rejected(self, ca, host_identity):
+        with pytest.raises(CertificateError):
+            ca.issue(host_identity.name, "emperor", host_identity.public_key)
+
+    def test_serials_increase(self, ca, host_identity):
+        first = ca.issue_for_identity(host_identity, ROLE_HOST)
+        second = ca.issue_for_identity(Identity.generate("host-2"), ROLE_HOST)
+        assert second.serial > first.serial
+
+    def test_issued_for_lookup(self, ca, host_identity):
+        certificate = ca.issue_for_identity(host_identity, ROLE_HOST)
+        assert ca.issued_for("host-1") is certificate
+        assert ca.issued_for("missing") is None
+
+
+class TestValidation:
+    def test_valid_certificate_accepted(self, ca, host_identity):
+        anchors = TrustAnchorSet()
+        anchors.add_anchor(ca)
+        certificate = ca.issue_for_identity(host_identity, ROLE_HOST)
+        anchors.validate(certificate, expected_role=ROLE_HOST)
+        assert anchors.is_valid(certificate)
+
+    def test_unknown_issuer_rejected(self, ca, host_identity):
+        anchors = TrustAnchorSet()  # no anchors at all
+        certificate = ca.issue_for_identity(host_identity, ROLE_HOST)
+        with pytest.raises(CertificateError):
+            anchors.validate(certificate)
+
+    def test_role_mismatch_rejected(self, ca, host_identity):
+        anchors = TrustAnchorSet()
+        anchors.add_anchor(ca)
+        certificate = ca.issue_for_identity(host_identity, ROLE_HOST)
+        with pytest.raises(CertificateError):
+            anchors.validate(certificate, expected_role=ROLE_OWNER)
+
+    def test_revocation_rejected(self, ca, host_identity):
+        anchors = TrustAnchorSet()
+        anchors.add_anchor(ca)
+        certificate = ca.issue_for_identity(host_identity, ROLE_HOST)
+        ca.revoke(certificate)
+        assert ca.is_revoked(certificate)
+        anchors.note_revocation(ca.name, certificate.serial)
+        assert not anchors.is_valid(certificate)
+
+    def test_forged_signature_rejected(self, ca, host_identity):
+        anchors = TrustAnchorSet()
+        anchors.add_anchor(ca)
+        other_ca = CertificateAuthority(Identity.generate("evil-ca"))
+        forged = other_ca.issue_for_identity(host_identity, ROLE_HOST)
+        # Present the forged certificate as if it came from root-ca.
+        impostor = type(forged)(
+            subject=forged.subject, role=forged.role,
+            public_key=forged.public_key, issuer="root-ca",
+            serial=forged.serial, signature=forged.signature,
+        )
+        assert not anchors.is_valid(impostor)
+
+    def test_build_keystore_filters_invalid(self, ca, host_identity):
+        anchors = TrustAnchorSet()
+        anchors.add_anchor(ca)
+        good = ca.issue_for_identity(host_identity, ROLE_HOST)
+        rogue_ca = CertificateAuthority(Identity.generate("rogue"))
+        bad = rogue_ca.issue_for_identity(Identity.generate("shady"), ROLE_INPUT_PROVIDER)
+        store = anchors.build_keystore([good, bad])
+        assert "host-1" in store
+        assert "shady" not in store
+
+    def test_anchor_listing(self, ca):
+        anchors = TrustAnchorSet()
+        anchors.add_anchor(ca)
+        anchors.add_anchor_key("second-ca", Identity.generate("second-ca").public_key)
+        assert anchors.anchors() == ("root-ca", "second-ca")

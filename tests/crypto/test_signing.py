@@ -1,0 +1,117 @@
+"""Tests for signed and counter-signed envelopes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import Identity, KeyStore
+from repro.crypto.signing import MultiSignedEnvelope, SignedEnvelope, Signer
+from repro.exceptions import SignatureError
+
+
+@pytest.fixture
+def principals():
+    keystore = KeyStore()
+    alice = Identity.generate("alice")
+    bob = Identity.generate("bob")
+    mallory = Identity.generate("mallory")
+    keystore.register_identity(alice)
+    keystore.register_identity(bob)
+    # mallory is deliberately NOT registered: signatures by unknown
+    # principals must not verify.
+    return {
+        "keystore": keystore,
+        "alice": Signer(alice, keystore),
+        "bob": Signer(bob, keystore),
+        "mallory": Signer(mallory, keystore),
+        "alice_identity": alice,
+        "bob_identity": bob,
+    }
+
+
+class TestSignedEnvelope:
+    def test_sign_and_verify(self, principals):
+        envelope = principals["alice"].sign({"state": [1, 2, 3]})
+        assert envelope.signer == "alice"
+        assert envelope.verify(principals["keystore"])
+
+    def test_payload_tampering_fails(self, principals):
+        envelope = principals["alice"].sign({"amount": 100})
+        tampered = SignedEnvelope(payload={"amount": 1},
+                                  signer=envelope.signer,
+                                  signature=envelope.signature)
+        assert not tampered.verify(principals["keystore"])
+
+    def test_signer_substitution_fails(self, principals):
+        envelope = principals["alice"].sign({"amount": 100})
+        forged = SignedEnvelope(payload=envelope.payload, signer="bob",
+                                signature=envelope.signature)
+        assert not forged.verify(principals["keystore"])
+
+    def test_unknown_signer_fails(self, principals):
+        envelope = principals["mallory"].sign({"amount": 100})
+        assert not envelope.verify(principals["keystore"])
+
+    def test_verify_or_raise(self, principals):
+        envelope = principals["alice"].sign("payload")
+        envelope.verify_or_raise(principals["keystore"])
+        broken = SignedEnvelope(payload="other", signer="alice",
+                                signature=envelope.signature)
+        with pytest.raises(SignatureError):
+            broken.verify_or_raise(principals["keystore"])
+
+    def test_expected_signer_pinning(self, principals):
+        envelope = principals["alice"].sign("payload")
+        assert principals["bob"].verify(envelope, expected_signer="alice")
+        assert not principals["bob"].verify(envelope, expected_signer="bob")
+
+    def test_verify_or_raise_with_wrong_expected_signer(self, principals):
+        envelope = principals["alice"].sign("payload")
+        with pytest.raises(SignatureError):
+            principals["bob"].verify_or_raise(envelope, expected_signer="bob")
+
+    def test_payload_digest_stable(self, principals):
+        first = principals["alice"].sign({"a": 1, "b": 2})
+        second = principals["alice"].sign({"b": 2, "a": 1})
+        assert first.payload_digest() == second.payload_digest()
+
+
+class TestMultiSignedEnvelope:
+    def test_dual_signature_verifies(self, principals):
+        envelope = principals["alice"].start_multi_signature({"state": 1})
+        principals["bob"].counter_sign(envelope)
+        assert envelope.signers() == ("alice", "bob")
+        assert envelope.verify_all(principals["keystore"])
+
+    def test_single_signer_verification(self, principals):
+        envelope = principals["alice"].start_multi_signature({"state": 1})
+        assert envelope.verify_signer("alice", principals["keystore"])
+        assert not envelope.verify_signer("bob", principals["keystore"])
+
+    def test_require_signers(self, principals):
+        envelope = principals["alice"].start_multi_signature({"state": 1})
+        principals["bob"].counter_sign(envelope)
+        envelope.require_signers(("alice", "bob"), principals["keystore"])
+        with pytest.raises(SignatureError):
+            envelope.require_signers(("alice", "bob", "carol"),
+                                     principals["keystore"])
+
+    def test_unsigned_envelope_does_not_verify(self, principals):
+        assert not MultiSignedEnvelope(payload="x").verify_all(principals["keystore"])
+
+    def test_payload_change_invalidates_all(self, principals):
+        envelope = principals["alice"].start_multi_signature({"state": 1})
+        principals["bob"].counter_sign(envelope)
+        envelope.payload = {"state": 2}
+        assert not envelope.verify_all(principals["keystore"])
+
+    def test_unknown_counter_signer_fails_verify_all(self, principals):
+        envelope = principals["alice"].start_multi_signature({"state": 1})
+        principals["mallory"].counter_sign(envelope)
+        assert not envelope.verify_all(principals["keystore"])
+
+    def test_canonical_form_contains_all_signatures(self, principals):
+        envelope = principals["alice"].start_multi_signature({"state": 1})
+        principals["bob"].counter_sign(envelope)
+        canonical = envelope.to_canonical()
+        assert set(canonical["signatures"]) == {"alice", "bob"}

@@ -1,0 +1,135 @@
+"""Cross-mechanism comparison (the executable form of Section 3's analysis).
+
+The same attack — a shop tampering with the agent's best offer after the
+session — is mounted under every mechanism, and the observed coverage
+must reflect the paper's analysis:
+
+* the example protocol (per-session re-execution) detects it immediately
+  and blames the right host;
+* state appraisal misses it (the tampered state satisfies every rule);
+* Vigna traces detect it, but only after the task and only if the owner
+  investigates;
+* server replication outvotes the equivalent tampering replica.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.injector import DataTamperInjector
+from repro.baselines.execution_traces import VignaTracesMechanism
+from repro.baselines.server_replication import (
+    ReplicationStage,
+    ServerReplicationProtocol,
+)
+from repro.baselines.state_appraisal import StateAppraisalMechanism
+from repro.core.protocol import ReferenceStateProtocol
+from repro.crypto.keys import KeyStore
+from repro.platform.host import Host
+from repro.platform.malicious import MaliciousHost
+from repro.platform.resources import InputFeedService
+from repro.workloads.generators import build_shopping_scenario
+from repro.workloads.generic_agent import (
+    GenericAgent,
+    INPUT_FEED_SERVICE,
+    make_input_elements,
+)
+from repro.workloads.shopping import shopping_rules
+
+TAMPER = lambda: DataTamperInjector("cheapest_total", 1.0)  # noqa: E731
+
+
+def _shopping_run(mechanism_factory):
+    scenario, agent = build_shopping_scenario(
+        num_shops=3, malicious_shop=2, injectors=[TAMPER()],
+    )
+    mechanism = mechanism_factory(scenario)
+    result = scenario.system.launch(agent, scenario.itinerary,
+                                    protection=mechanism)
+    return scenario, mechanism, result
+
+
+class TestCoverageOrdering:
+    def test_reference_state_protocol_detects_immediately(self):
+        _, _, result = _shopping_run(
+            lambda s: ReferenceStateProtocol(
+                code_registry=s.system.code_registry,
+                trusted_hosts=s.trusted_host_names,
+            )
+        )
+        assert result.detected_attack()
+        assert result.blamed_hosts() == ("shop-2",)
+        # detection happened at the very next hop, not at task end
+        first_attack = next(v for v in result.verdicts if v.is_attack)
+        assert first_attack.checking_host == "shop-3"
+
+    def test_state_appraisal_misses_the_subtle_tampering(self):
+        _, _, result = _shopping_run(
+            lambda s: StateAppraisalMechanism(shopping_rules())
+        )
+        assert not result.detected_attack()
+
+    def test_vigna_traces_detect_only_on_investigation(self):
+        scenario, mechanism, result = _shopping_run(
+            lambda s: VignaTracesMechanism(code_registry=s.system.code_registry)
+        )
+        # nothing during the journey ...
+        assert not result.detected_attack()
+        # ... but the investigation identifies the cheater
+        agent_initial = result.records[0].initial_state
+        report = mechanism.investigate(
+            scenario.host("home"), agent_initial, result.final_protocol_data,
+        )
+        assert report.detected_attack
+        assert report.first_cheating_host == "shop-2"
+
+    def test_server_replication_outvotes_the_tamperer(self, keystore):
+        def replica(name, malicious=False):
+            cls = MaliciousHost if malicious else Host
+            kwargs = {"injectors": [DataTamperInjector("sum", 0)]} if malicious else {}
+            host = cls(name, keystore=keystore, **kwargs)
+            host.add_service(InputFeedService(INPUT_FEED_SERVICE,
+                                              make_input_elements(1)))
+            return host
+
+        stage = ReplicationStage([replica("r1"), replica("r2", True), replica("r3")])
+        agent = GenericAgent.configured(cycles=1, input_elements=1)
+        outcome = ServerReplicationProtocol().run(agent, [stage])
+        assert outcome.detected_attack
+        assert outcome.blamed_hosts() == ("r2",)
+        assert outcome.final_state.data["sum"] != 0
+
+    def test_summary_table_of_mechanism_coverage(self):
+        """Build the qualitative coverage table of Section 3/4 and check it."""
+        coverage = {}
+
+        _, _, protocol_result = _shopping_run(
+            lambda s: ReferenceStateProtocol(
+                code_registry=s.system.code_registry,
+                trusted_hosts=s.trusted_host_names,
+            )
+        )
+        coverage["reference-state-protocol"] = protocol_result.detected_attack()
+
+        _, _, appraisal_result = _shopping_run(
+            lambda s: StateAppraisalMechanism(shopping_rules())
+        )
+        coverage["state-appraisal"] = appraisal_result.detected_attack()
+
+        scenario, traces, traces_result = _shopping_run(
+            lambda s: VignaTracesMechanism(code_registry=s.system.code_registry)
+        )
+        report = traces.investigate(
+            scenario.host("home"),
+            traces_result.records[0].initial_state,
+            traces_result.final_protocol_data,
+        )
+        coverage["vigna-traces (with suspicion)"] = report.detected_attack
+        coverage["vigna-traces (no suspicion)"] = traces_result.detected_attack()
+
+        assert coverage == {
+            "reference-state-protocol": True,
+            "state-appraisal": False,
+            "vigna-traces (with suspicion)": True,
+            "vigna-traces (no suspicion)": False,
+        }

@@ -1,0 +1,89 @@
+"""Failure injection: the full attack catalogue against the example protocol.
+
+These tests make the paper's coverage claims executable: every concrete
+attack of the standard catalogue is mounted on a shop host, the journey
+runs under the reference-state protocol, and the observed detection
+outcome must match the expectation derived from Sections 2.3, 4.1 and
+4.2 (detect what changes the state and is substantiated by reference
+data; concede read attacks, input lying, wrong system calls).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.detection import DetectionOutcome, DetectionReport
+from repro.attacks.scenarios import standard_catalogue
+from repro.core.protocol import ReferenceStateProtocol
+from repro.workloads.generators import build_shopping_scenario
+
+CATALOGUE = standard_catalogue()
+
+
+def _run_with_attack(scenario_name=None, injector=None):
+    scenario, agent = build_shopping_scenario(
+        num_shops=3,
+        malicious_shop=2 if injector is not None else None,
+        injectors=[injector] if injector is not None else None,
+    )
+    protocol = ReferenceStateProtocol(
+        code_registry=scenario.system.code_registry,
+        trusted_hosts=scenario.trusted_host_names,
+    )
+    return scenario.system.launch(agent, scenario.itinerary, protection=protocol)
+
+
+class TestPerScenarioCoverage:
+    @pytest.mark.parametrize("scenario", CATALOGUE, ids=lambda s: s.name)
+    def test_detection_matches_the_paper_expectation(self, scenario):
+        result = _run_with_attack(injector=scenario.build())
+        assert result.detected_attack() == scenario.expected_detected, (
+            "scenario %r: expected detected=%s"
+            % (scenario.name, scenario.expected_detected)
+        )
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [s for s in CATALOGUE if s.expected_detected],
+        ids=lambda s: s.name,
+    )
+    def test_detected_attacks_blame_the_malicious_shop(self, scenario):
+        result = _run_with_attack(injector=scenario.build())
+        assert "shop-2" in result.blamed_hosts()
+
+    def test_honest_run_produces_no_false_positive(self):
+        result = _run_with_attack()
+        assert not result.detected_attack()
+
+
+class TestAggregateReport:
+    def test_full_catalogue_report_conforms_to_expectations(self):
+        report = DetectionReport()
+        protocol_name = "reference-state-protocol"
+
+        # honest baseline runs
+        for _ in range(2):
+            result = _run_with_attack()
+            report.add(DetectionOutcome(
+                mechanism=protocol_name, attack=None,
+                detected=result.detected_attack(),
+                blamed_hosts=result.blamed_hosts(),
+            ))
+
+        for scenario in CATALOGUE:
+            result = _run_with_attack(injector=scenario.build())
+            report.add(DetectionOutcome(
+                mechanism=protocol_name,
+                attack=scenario.describe("shop-2"),
+                detected=result.detected_attack(),
+                blamed_hosts=result.blamed_hosts(),
+                expected_detection=scenario.expected_detected,
+            ))
+
+        assert report.false_positives == 0
+        assert report.detection_rate == 1.0
+        assert report.blame_accuracy == 1.0
+        assert report.conforms_to_expectation
+        summary = report.summary()
+        assert summary["attacks"] == len(CATALOGUE)
+        assert summary["false_negatives"] == 0

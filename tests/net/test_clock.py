@@ -1,0 +1,50 @@
+"""Tests for clock abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.clock import VirtualClock, WallClock
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_now_ms_scales(self):
+        clock = WallClock()
+        assert clock.now_ms() == pytest.approx(clock.now() * 1000.0, rel=0.5)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=5.0).now() == 5.0
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(3.5)
+        assert clock.now() == 3.5
+
+    def test_advance_by(self):
+        clock = VirtualClock(start=1.0)
+        clock.advance_by(2.0)
+        assert clock.now() == 3.0
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_cannot_advance_by_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-1.0)
+
+    def test_does_not_move_on_its_own(self):
+        clock = VirtualClock()
+        assert clock.now() == clock.now() == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HostNotFoundError, NetworkError
+from repro.net.network import Message, Network, UniformLatency
+from repro.net.simulator import EventSimulator
+
+
+def _message(sender="a", recipient="b", kind="control", payload=b"hello"):
+    return Message(sender=sender, recipient=recipient, kind=kind, payload=payload)
+
+
+class TestRegistration:
+    def test_register_and_send(self):
+        network = Network()
+        received = []
+        network.register("b", received.append)
+        network.register("a", lambda message: None)
+        network.send(_message())
+        assert len(received) == 1
+        assert received[0].payload == b"hello"
+
+    def test_duplicate_registration_rejected(self):
+        network = Network()
+        network.register("a", lambda message: None)
+        with pytest.raises(NetworkError):
+            network.register("a", lambda message: None)
+
+    def test_unknown_recipient_raises(self):
+        network = Network()
+        with pytest.raises(HostNotFoundError):
+            network.send(_message(recipient="ghost"))
+
+    def test_unregister(self):
+        network = Network()
+        network.register("b", lambda message: None)
+        network.unregister("b")
+        with pytest.raises(HostNotFoundError):
+            network.send(_message())
+
+    def test_endpoints_sorted(self):
+        network = Network()
+        for name in ("zeta", "alpha"):
+            network.register(name, lambda message: None)
+        assert network.endpoints() == ("alpha", "zeta")
+
+
+class TestFaultInjection:
+    def test_partition_blocks_traffic(self):
+        network = Network()
+        network.register("b", lambda message: None)
+        network.partition("a", "b")
+        with pytest.raises(NetworkError):
+            network.send(_message())
+
+    def test_heal_restores_traffic(self):
+        network = Network()
+        received = []
+        network.register("b", received.append)
+        network.partition("a", "b")
+        network.heal("a", "b")
+        network.send(_message())
+        assert len(received) == 1
+
+    def test_drop_kind_silently_discards(self):
+        network = Network()
+        received = []
+        network.register("b", received.append)
+        network.drop_kind("control")
+        network.send(_message())
+        assert received == []
+        assert network.stats.messages_dropped == 1
+
+    def test_allow_kind_reenables(self):
+        network = Network()
+        received = []
+        network.register("b", received.append)
+        network.drop_kind("control")
+        network.allow_kind("control")
+        network.send(_message())
+        assert len(received) == 1
+
+
+class TestStatsAndLatency:
+    def test_stats_account_bytes_by_kind(self):
+        network = Network()
+        network.register("b", lambda message: None)
+        network.send(_message(payload=b"12345"))
+        network.send(_message(kind="agent-transfer", payload=b"123"))
+        assert network.stats.bytes_sent == 8
+        assert network.stats.bytes_by_kind["control"] == 5
+        assert network.stats.bytes_by_kind["agent-transfer"] == 3
+        assert network.stats.messages_delivered == 2
+
+    def test_delivery_log_filter(self):
+        network = Network()
+        network.register("b", lambda message: None)
+        network.send(_message(kind="control"))
+        network.send(_message(kind="agent-transfer"))
+        assert len(network.delivered_of_kind("control")) == 1
+        assert len(network.delivery_log) == 2
+
+    def test_uniform_latency_same_host_is_free(self):
+        latency = UniformLatency(base_seconds=0.2)
+        assert latency.latency("a", "a", 100) == 0.0
+        assert latency.latency("a", "b", 100) == pytest.approx(0.2)
+
+    def test_latency_with_simulator_defers_delivery(self):
+        simulator = EventSimulator()
+        network = Network(latency_model=UniformLatency(base_seconds=0.5),
+                          simulator=simulator)
+        received = []
+        network.register("b", received.append)
+        network.send(_message())
+        assert received == []  # not yet delivered
+        simulator.run()
+        assert len(received) == 1
+        assert simulator.clock.now() == pytest.approx(0.5)

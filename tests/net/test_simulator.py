@@ -1,0 +1,93 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.simulator import EventSimulator
+
+
+class TestScheduling:
+    def test_events_fire_in_timestamp_order(self):
+        simulator = EventSimulator()
+        fired = []
+        simulator.schedule(3.0, lambda: fired.append("late"))
+        simulator.schedule(1.0, lambda: fired.append("early"))
+        simulator.schedule(2.0, lambda: fired.append("middle"))
+        simulator.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_ties_broken_by_schedule_order(self):
+        simulator = EventSimulator()
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append("first"))
+        simulator.schedule(1.0, lambda: fired.append("second"))
+        simulator.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        simulator = EventSimulator()
+        observed = []
+        simulator.schedule(2.5, lambda: observed.append(simulator.clock.now()))
+        simulator.run()
+        assert observed == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventSimulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        simulator = EventSimulator()
+        simulator.clock.advance_to(5.0)
+        event = simulator.schedule_at(7.0, lambda: None)
+        assert event.timestamp == pytest.approx(7.0)
+
+    def test_schedule_at_past_fires_immediately(self):
+        simulator = EventSimulator()
+        simulator.clock.advance_to(5.0)
+        event = simulator.schedule_at(1.0, lambda: None)
+        assert event.timestamp == pytest.approx(5.0)
+
+
+class TestExecution:
+    def test_step_returns_false_when_empty(self):
+        assert not EventSimulator().step()
+
+    def test_cancelled_events_are_skipped(self):
+        simulator = EventSimulator()
+        fired = []
+        event = simulator.schedule(1.0, lambda: fired.append("cancelled"))
+        simulator.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        simulator.run()
+        assert fired == ["kept"]
+
+    def test_run_respects_max_events(self):
+        simulator = EventSimulator()
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            simulator.schedule(delay, lambda d=delay: fired.append(d))
+        executed = simulator.run(max_events=2)
+        assert executed == 2 and fired == [1.0, 2.0]
+        assert simulator.pending == 1
+
+    def test_run_respects_until(self):
+        simulator = EventSimulator()
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            simulator.schedule(delay, lambda d=delay: fired.append(d))
+        simulator.run(until=2.0)
+        assert fired == [1.0, 2.0]
+
+    def test_events_scheduled_during_execution(self):
+        simulator = EventSimulator()
+        fired = []
+
+        def chain():
+            fired.append("outer")
+            simulator.schedule(1.0, lambda: fired.append("inner"))
+
+        simulator.schedule(1.0, chain)
+        simulator.run()
+        assert fired == ["outer", "inner"]
+        assert simulator.processed == 2

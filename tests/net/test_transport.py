@@ -1,0 +1,101 @@
+"""Tests for agent transfer over the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TransportError
+from repro.net.network import Network
+from repro.net.transport import AgentTransfer, AgentTransport, TransferCodec
+
+
+def _transfer(**overrides):
+    base = dict(
+        agent_class="test-counter-agent",
+        agent_id="owner/agent-1",
+        owner="owner",
+        state={"data": {"counter": 3}, "execution": {"hop_index": 1, "finished": False}},
+        protocol_data={"mechanism": "none"},
+        itinerary={"hosts": ["home", "vendor"], "fixed": False},
+        hop_index=1,
+    )
+    base.update(overrides)
+    return AgentTransfer(**base)
+
+
+class TestTransferCodec:
+    def test_round_trip(self):
+        codec = TransferCodec()
+        transfer = _transfer()
+        restored = codec.decode(codec.encode(transfer))
+        assert restored.agent_class == transfer.agent_class
+        assert restored.state == transfer.state
+        assert restored.hop_index == 1
+        assert restored.protocol_data == {"mechanism": "none"}
+
+    def test_none_protocol_data_round_trips(self):
+        codec = TransferCodec()
+        restored = codec.decode(codec.encode(_transfer(protocol_data=None)))
+        assert restored.protocol_data is None
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(TransportError):
+            TransferCodec().decode(b"definitely not canonical")
+
+    def test_non_dict_payload_rejected(self):
+        from repro.crypto.canonical import canonical_encode
+
+        with pytest.raises(TransportError):
+            TransferCodec().decode(canonical_encode([1, 2, 3]))
+
+    def test_missing_field_rejected(self):
+        from repro.crypto.canonical import canonical_encode
+
+        payload = _transfer().to_canonical()
+        payload.pop("owner")
+        with pytest.raises(TransportError):
+            TransferCodec().decode(canonical_encode(payload))
+
+
+class TestAgentTransport:
+    def test_send_agent_between_endpoints(self):
+        network = Network()
+        sender = AgentTransport("home", network)
+        receiver = AgentTransport("vendor", network)
+        arrived = []
+        receiver.set_handlers(
+            on_transfer=lambda source, transfer: arrived.append((source, transfer))
+        )
+        size = sender.send_agent("vendor", _transfer())
+        assert size > 0
+        assert len(arrived) == 1
+        source, transfer = arrived[0]
+        assert source == "home"
+        assert transfer.agent_id == "owner/agent-1"
+
+    def test_send_control_payload(self):
+        network = Network()
+        sender = AgentTransport("home", network)
+        receiver = AgentTransport("vendor", network)
+        control = []
+        receiver.set_handlers(
+            on_transfer=lambda *_: None,
+            on_control=lambda source, payload: control.append((source, payload)),
+        )
+        sender.send_control("vendor", {"verdict": "ok"})
+        assert control == [("home", {"verdict": "ok"})]
+
+    def test_transfer_without_handler_raises(self):
+        network = Network()
+        sender = AgentTransport("home", network)
+        AgentTransport("vendor", network)  # registered, but no handler set
+        with pytest.raises(TransportError):
+            sender.send_agent("vendor", _transfer())
+
+    def test_traffic_is_counted_by_network(self):
+        network = Network()
+        sender = AgentTransport("home", network)
+        receiver = AgentTransport("vendor", network)
+        receiver.set_handlers(on_transfer=lambda *_: None)
+        sender.send_agent("vendor", _transfer())
+        assert network.stats.bytes_by_kind["agent-transfer"] > 0

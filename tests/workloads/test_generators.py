@@ -1,0 +1,97 @@
+"""Tests for the scenario builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.injector import DataTamperInjector
+from repro.platform.malicious import MaliciousHost
+from repro.workloads.generators import (
+    build_generic_scenario,
+    build_shopping_scenario,
+    build_survey_scenario,
+    paper_parameter_grid,
+)
+
+
+class TestParameterGrid:
+    def test_four_cells_in_paper_order(self):
+        grid = paper_parameter_grid()
+        assert [(cell["inputs"], cell["cycles"]) for cell in grid] == [
+            (1, 1), (100, 1), (1, 10000), (100, 10000),
+        ]
+        assert all("label" in cell for cell in grid)
+
+
+class TestGenericScenario:
+    def test_topology_matches_the_paper(self):
+        scenario, agent = build_generic_scenario()
+        assert scenario.itinerary.hosts == ["home", "vendor", "archive"]
+        assert scenario.host("home").trusted
+        assert not scenario.host("vendor").trusted
+        assert scenario.host("archive").trusted
+        assert scenario.trusted_host_names == ("archive", "home")
+        assert agent.get_code_name() == "generic-agent"
+
+    def test_protected_variant(self):
+        _, agent = build_generic_scenario(protected_agent=True)
+        assert agent.get_code_name() == "protected-generic-agent"
+
+    def test_malicious_vendor_configuration(self):
+        scenario, _ = build_generic_scenario(
+            middle_host_injectors=[DataTamperInjector("sum", 0)],
+        )
+        vendor = scenario.host("vendor")
+        assert isinstance(vendor, MaliciousHost)
+        assert len(vendor.injectors) == 1
+
+    def test_all_hosts_share_the_keystore(self):
+        scenario, _ = build_generic_scenario()
+        for name in scenario.registry.names():
+            assert name in scenario.keystore
+
+
+class TestShoppingScenario:
+    def test_default_topology(self):
+        scenario, agent = build_shopping_scenario(num_shops=3)
+        assert scenario.itinerary.hosts == ["home", "shop-1", "shop-2",
+                                            "shop-3", "home"]
+        assert agent.data["products"] == ["flight"]
+
+    def test_malicious_shop_bounds_checked(self):
+        with pytest.raises(ValueError):
+            build_shopping_scenario(num_shops=2, malicious_shop=5)
+
+    def test_collaborating_next_shop(self):
+        scenario, _ = build_shopping_scenario(
+            num_shops=3, malicious_shop=1,
+            injectors=[DataTamperInjector("budget", 0)],
+            collaborating_next_shop=True,
+        )
+        assert isinstance(scenario.host("shop-2"), MaliciousHost)
+        assert scenario.host("shop-2").collaborates_with("shop-1")
+
+    def test_price_overrides(self):
+        prices = {"shop-1": {"flight": 42.0}}
+        scenario, agent = build_shopping_scenario(num_shops=1, prices=prices)
+        result = scenario.system.launch(agent, scenario.itinerary)
+        assert result.final_state.data["best_offers"]["flight"]["price"] == 42.0
+
+
+class TestSurveyScenario:
+    def test_topology_and_participants(self):
+        scenario, _ = build_survey_scenario(num_participants=2)
+        assert scenario.itinerary.hosts == [
+            "home", "participant-host-1", "participant-host-2", "home",
+        ]
+        # participant identities are registered so signatures can verify
+        assert "participant-1" in scenario.keystore
+        assert "participant-2" in scenario.keystore
+
+    def test_custom_answers(self):
+        scenario, agent = build_survey_scenario(num_participants=2,
+                                                answers=[7.5, 2.5])
+        result = scenario.system.launch(agent, scenario.itinerary)
+        values = sorted(entry["value"]
+                        for entry in result.final_state.data["answers"].values())
+        assert values == [2.5, 7.5]

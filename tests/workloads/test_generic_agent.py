@@ -1,0 +1,93 @@
+"""Tests for the paper's generic example agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import default_registry
+from repro.bench.metrics import TimingCollector
+from repro.core.requesters import requested_data_kinds
+from repro.workloads.generators import build_generic_scenario
+from repro.workloads.generic_agent import (
+    GenericAgent,
+    ProtectedGenericAgent,
+    VALUES_PER_CYCLE,
+    make_input_elements,
+)
+
+
+class TestInputElements:
+    def test_elements_are_ten_bytes(self):
+        for element in make_input_elements(5):
+            assert len(element) == 10
+
+    def test_elements_are_distinct_and_deterministic(self):
+        assert make_input_elements(100) == make_input_elements(100)
+        assert len(set(make_input_elements(100))) == 100
+
+    def test_custom_width(self):
+        assert all(len(e) == 16 for e in make_input_elements(3, width=16))
+
+
+class TestConfiguration:
+    def test_configured_constructor(self):
+        agent = GenericAgent.configured(cycles=10, input_elements=3)
+        assert agent.data["cycles"] == 10
+        assert agent.data["input_elements"] == 3
+        assert agent.data["use_fast_cycles"] is False
+        assert agent.data["sum"] == 0
+
+    def test_both_variants_are_registered(self):
+        assert "generic-agent" in default_registry
+        assert "protected-generic-agent" in default_registry
+
+    def test_protected_variant_declares_reference_data(self):
+        assert requested_data_kinds(GenericAgent) == frozenset()
+        assert len(requested_data_kinds(ProtectedGenericAgent)) == 3
+
+
+class TestExecution:
+    def test_one_hop_sums_and_consumes_inputs(self, three_host_setup):
+        from repro.platform.resources import InputFeedService
+        from repro.workloads.generic_agent import INPUT_FEED_SERVICE
+
+        host = three_host_setup["hosts"]["home"]
+        host.add_service(InputFeedService(INPUT_FEED_SERVICE, make_input_elements(2)))
+        agent = GenericAgent.configured(cycles=2, input_elements=2)
+        host.execute_agent(agent, three_host_setup["itinerary"], 0)
+        expected_sum = 2 * sum(range(VALUES_PER_CYCLE))
+        assert agent.data["sum"] == expected_sum
+        assert len(agent.data["inputs_received"]) == 2
+        assert agent.data["visits"] == 1
+
+    def test_three_hop_journey_accumulates(self):
+        scenario, agent = build_generic_scenario(cycles=1, input_elements=2)
+        result = scenario.system.launch(agent, scenario.itinerary)
+        final = result.final_state.data
+        assert final["visits"] == 3
+        assert final["sum"] == 3 * sum(range(VALUES_PER_CYCLE))
+        assert len(final["inputs_received"]) == 6
+        assert result.final_state.execution["finished"] is True
+
+    def test_fast_cycles_produce_the_same_sum(self):
+        slow_scenario, slow_agent = build_generic_scenario(cycles=3, input_elements=1)
+        fast_scenario, fast_agent = build_generic_scenario(cycles=3, input_elements=1,
+                                                           use_fast_cycles=True)
+        slow = slow_scenario.system.launch(slow_agent, slow_scenario.itinerary)
+        fast = fast_scenario.system.launch(fast_agent, fast_scenario.itinerary)
+        assert slow.final_state.data["sum"] == fast.final_state.data["sum"]
+
+    def test_cycle_time_is_charged_to_the_cycle_category(self):
+        metrics = TimingCollector()
+        scenario, agent = build_generic_scenario(cycles=50, input_elements=1,
+                                                 metrics=metrics)
+        scenario.system.launch(agent, scenario.itinerary)
+        assert metrics.total("cycle") > 0.0
+        assert metrics.count("cycle") == 3  # one measurement per session
+
+    def test_journeys_are_reproducible(self):
+        first_scenario, first_agent = build_generic_scenario(cycles=1, input_elements=3)
+        second_scenario, second_agent = build_generic_scenario(cycles=1, input_elements=3)
+        first = first_scenario.system.launch(first_agent, first_scenario.itinerary)
+        second = second_scenario.system.launch(second_agent, second_scenario.itinerary)
+        assert first.final_state.data == second.final_state.data

@@ -1,0 +1,95 @@
+"""Tests for the shopping workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.generators import build_shopping_scenario
+from repro.workloads.shopping import ShoppingAgent, shopping_rules
+
+
+class TestHonestShoppingJourney:
+    def test_agent_collects_quotes_and_orders_from_the_cheapest(self):
+        prices = {
+            "shop-1": {"flight": 300.0},
+            "shop-2": {"flight": 120.0},
+            "shop-3": {"flight": 480.0},
+        }
+        scenario, agent = build_shopping_scenario(num_shops=3, prices=prices,
+                                                  budget=1000.0)
+        result = scenario.system.launch(agent, scenario.itinerary)
+        final = result.final_state.data
+        assert final["best_offers"]["flight"] == {"price": 120.0, "host": "shop-2"}
+        assert final["cheapest_total"] == 120.0
+        assert final["order_placed"] is True
+        assert final["order"]["within_budget"] is True
+        # the purchase was performed exactly once, at the final (home) host
+        assert len(result.records[-1].actions) == 1
+        assert result.records[-1].actions[0].kind == "purchase"
+
+    def test_multiple_products(self):
+        prices = {
+            "shop-1": {"flight": 300.0, "hotel": 80.0},
+            "shop-2": {"flight": 120.0, "hotel": 200.0},
+        }
+        scenario, agent = build_shopping_scenario(
+            num_shops=2, products=("flight", "hotel"), prices=prices,
+        )
+        result = scenario.system.launch(agent, scenario.itinerary)
+        best = result.final_state.data["best_offers"]
+        assert best["flight"]["host"] == "shop-2"
+        assert best["hotel"]["host"] == "shop-1"
+        assert result.final_state.data["cheapest_total"] == pytest.approx(200.0)
+
+    def test_over_budget_journey_places_no_order(self):
+        prices = {"shop-1": {"flight": 5000.0}, "shop-2": {"flight": 6000.0}}
+        scenario, agent = build_shopping_scenario(num_shops=2, prices=prices,
+                                                  budget=100.0)
+        result = scenario.system.launch(agent, scenario.itinerary)
+        final = result.final_state.data
+        assert final["order_placed"] is False
+        assert final["order"]["within_budget"] is False
+        assert not result.records[-1].actions
+
+    def test_home_host_never_wins(self):
+        scenario, agent = build_shopping_scenario(num_shops=1)
+        result = scenario.system.launch(agent, scenario.itinerary)
+        best = result.final_state.data["best_offers"]["flight"]
+        assert best["host"] == "shop-1"
+
+    def test_quotes_are_recorded_per_host(self):
+        scenario, agent = build_shopping_scenario(num_shops=2)
+        result = scenario.system.launch(agent, scenario.itinerary)
+        quotes = result.final_state.data["quotes"]["flight"]
+        assert set(quotes) == {"shop-1", "shop-2"}
+
+
+class TestShoppingRules:
+    def test_rules_hold_on_an_honest_final_state(self):
+        scenario, agent = build_shopping_scenario(num_shops=2)
+        result = scenario.system.launch(agent, scenario.itinerary)
+        environment = dict(result.final_state.data)
+        environment["initial.budget"] = agent.data["budget"]
+        for rule in shopping_rules():
+            assert rule.holds(environment), rule.name
+
+    def test_budget_rule_detects_over_commitment(self):
+        rules = {rule.name: rule for rule in shopping_rules()}
+        environment = {"cheapest_total": 2000.0, "budget": 1000.0,
+                       "initial.budget": 1000.0}
+        assert not rules["within-budget"].holds(environment)
+
+    def test_budget_change_rule(self):
+        rules = {rule.name: rule for rule in shopping_rules()}
+        environment = {"cheapest_total": 10.0, "budget": 5000.0,
+                       "initial.budget": 1000.0}
+        assert not rules["budget-unchanged"].holds(environment)
+
+
+class TestAgentConstruction:
+    def test_for_products_constructor(self):
+        agent = ShoppingAgent.for_products(["flight", "hotel"], budget=250.0,
+                                           owner="alice")
+        assert agent.data["products"] == ["flight", "hotel"]
+        assert agent.data["budget"] == 250.0
+        assert agent.owner == "alice"
