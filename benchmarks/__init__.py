@@ -1,0 +1,8 @@
+"""Measurement suite regenerating the paper's tables and scale benchmarks.
+
+Not part of the tier-1 test run (``pyproject.toml`` restricts
+``testpaths`` to ``tests/``); run explicitly with ``pytest benchmarks``.
+The package marker keeps the suite importable under pytest's importlib
+import mode even though several modules share basenames with modules
+under ``tests/``.
+"""

@@ -36,9 +36,4 @@ def protected_grid():
     return run_measurement_grid(protected=True)
 
 
-def write_report(name: str, text: str) -> None:
-    """Drop a human-readable report next to the benchmark results."""
-    directory = os.path.join(os.path.dirname(os.path.abspath(__file__)), "reports")
-    os.makedirs(directory, exist_ok=True)
-    with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
-        handle.write(text)
+from benchmarks.reportutil import write_report  # noqa: E402,F401 - re-export

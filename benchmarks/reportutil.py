@@ -1,0 +1,17 @@
+"""Shared helpers for the measurement suite (non-fixture utilities).
+
+Lives outside ``conftest.py`` so benchmark modules can import it
+explicitly under any pytest import mode.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def write_report(name: str, text: str) -> None:
+    """Drop a human-readable report next to the benchmark results."""
+    directory = os.path.join(os.path.dirname(os.path.abspath(__file__)), "reports")
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, name), "w", encoding="utf-8") as handle:
+        handle.write(text)

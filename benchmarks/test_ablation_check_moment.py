@@ -22,7 +22,7 @@ from repro.core.framework import CheckingFramework
 from repro.core.policy import ProtectionPolicy
 from repro.workloads.generators import build_shopping_scenario
 
-from conftest import write_report
+from benchmarks.reportutil import write_report
 
 
 def _policy(moment: CheckMoment) -> ProtectionPolicy:

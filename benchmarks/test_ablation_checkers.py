@@ -25,7 +25,7 @@ from repro.core.policy import ProtectionPolicy
 from repro.workloads.generators import build_shopping_scenario
 from repro.workloads.shopping import shopping_rules
 
-from conftest import write_report
+from benchmarks.reportutil import write_report
 
 
 def _policy_for(checker: Checker, attach_proofs: bool = False) -> ProtectionPolicy:

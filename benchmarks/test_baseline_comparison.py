@@ -37,7 +37,7 @@ from repro.workloads.generic_agent import (
 )
 from repro.workloads.shopping import shopping_rules
 
-from conftest import write_report
+from benchmarks.reportutil import write_report
 
 
 def _tamper():

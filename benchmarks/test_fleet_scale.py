@@ -1,0 +1,151 @@
+"""Fleet-scale benchmarks: 1000 concurrent journeys and batched crypto.
+
+Two claims are measured here:
+
+1. the discrete-event engine completes a deterministic, seeded run of
+   at least 1000 interleaved agent journeys with mixed honest and
+   malicious hosts and reports aggregate detection / latency metrics;
+2. the batched signature-verification path is measurably faster than
+   verifying every signature individually (per-journey style).
+
+The crypto comparison is run at the primitive level (identical inputs,
+repeated, best-of-N) so it stays robust on loaded CI machines; the
+fleet-level batched run is additionally checked for semantic parity.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.reportutil import write_report
+from repro.crypto.dsa import batch_verify, generate_keypair
+from repro.sim import FleetConfig, FleetEngine
+from repro.bench.fleet import fleet_detection_report, fleet_summary_markdown
+
+#: Signature stream shaped like fleet traffic: few signers, many messages.
+_SIGNERS = 8
+_SIGNATURES = 160
+
+
+@pytest.fixture(scope="module")
+def signature_stream():
+    keys = [generate_keypair(seed=index) for index in range(_SIGNERS)]
+    items = []
+    for index in range(_SIGNATURES):
+        private, public = keys[index % _SIGNERS]
+        message = b"fleet-transfer-%06d" % index
+        items.append((public, message, private.sign_recoverable(message)))
+    return items
+
+
+def _best_of(repeats, func):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_batched_verification_is_measurably_faster(signature_stream):
+    def individually():
+        assert all(
+            public.verify_recoverable(message, signature)
+            for public, message, signature in signature_stream
+        )
+
+    def batched():
+        assert batch_verify(signature_stream, rng=random.Random(42))
+
+    individual_seconds = _best_of(3, individually)
+    batch_seconds = _best_of(3, batched)
+    speedup = individual_seconds / batch_seconds
+
+    write_report("fleet_batch_verification.md", "\n".join([
+        "# Batched vs. individual DSA verification",
+        "",
+        "%d signatures from %d signers" % (_SIGNATURES, _SIGNERS),
+        "",
+        "| path | seconds (best of 3) |",
+        "|---|---|",
+        "| individual | %.4f |" % individual_seconds,
+        "| batched | %.4f |" % batch_seconds,
+        "",
+        "speedup: %.1fx" % speedup,
+        "",
+    ]))
+    # The batch test replaces two full-width exponentiations per
+    # signature by one small-exponent term; anything below 1.5x would
+    # mean the fast path regressed.
+    assert speedup > 1.5, "batched verification only %.2fx faster" % speedup
+
+
+@pytest.fixture(scope="module")
+def fleet_1000():
+    config = FleetConfig(
+        num_agents=1000,
+        num_hosts=40,
+        hops_per_journey=4,
+        malicious_host_fraction=0.2,
+        seed=2026,
+        batched_verification=True,
+    )
+    engine = FleetEngine(config)
+    return engine, engine.run()
+
+
+def test_fleet_completes_1000_concurrent_journeys(fleet_1000):
+    _, result = fleet_1000
+    assert result.journeys == 1000
+    assert all(outcome.hops == 6 for outcome in result.outcomes)
+    # mixed population, both slices populated
+    assert result.attacked_journeys and result.honest_journeys
+
+    # aggregate detection metrics match the paper's single-journey rates
+    assert result.detection_rate == 1.0
+    assert result.false_positives == 0
+    assert result.undetectable_flagged == 0
+    assert result.blame_accuracy == 1.0
+
+    # aggregate latency metrics are populated and sane
+    assert result.virtual_makespan > 0
+    assert result.mean_journey_latency() > 0
+    phases = result.per_phase_seconds()
+    assert all(seconds >= 0 for seconds in phases.values())
+
+    report = fleet_detection_report(result)
+    assert report.conforms_to_expectation
+    write_report("fleet_scale_1000.md", fleet_summary_markdown(result))
+
+
+def test_fleet_run_is_seed_deterministic_at_scale(fleet_1000):
+    _, result = fleet_1000
+    smaller = FleetConfig(
+        num_agents=1000,
+        num_hosts=40,
+        hops_per_journey=4,
+        malicious_host_fraction=0.2,
+        seed=2026,
+        batched_verification=True,
+    )
+    again = FleetEngine(smaller).run()
+    assert again.deterministic_signature() == result.deterministic_signature()
+
+
+def test_batched_fleet_matches_eager_fleet_semantics():
+    base = dict(
+        num_agents=120,
+        num_hosts=16,
+        hops_per_journey=3,
+        malicious_host_fraction=0.25,
+        seed=9,
+    )
+    eager = FleetEngine(FleetConfig(batched_verification=False, **base)).run()
+    batched = FleetEngine(FleetConfig(batched_verification=True, **base)).run()
+    assert ([o.to_canonical() for o in eager.outcomes]
+            == [o.to_canonical() for o in batched.outcomes])
+    assert batched.verifier_stats["failed"] == 0
+    assert batched.verifier_stats["batches"] >= 1

@@ -15,7 +15,7 @@ import pytest
 
 from repro.bench.harness import measure_generic_agent
 
-from conftest import write_report
+from benchmarks.reportutil import write_report
 
 
 @pytest.mark.parametrize("cycles,inputs", [(1, 1), (10000, 1)],

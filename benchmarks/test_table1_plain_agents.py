@@ -25,7 +25,7 @@ from repro.bench.harness import measure_generic_agent
 from repro.bench.tables import PAPER_TABLE_1, format_table
 from repro.workloads.generators import paper_parameter_grid
 
-from conftest import write_report
+from benchmarks.reportutil import write_report
 
 _GRID = paper_parameter_grid()
 

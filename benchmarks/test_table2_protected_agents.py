@@ -36,7 +36,7 @@ from repro.bench.tables import (
 )
 from repro.workloads.generators import paper_parameter_grid
 
-from conftest import write_report
+from benchmarks.reportutil import write_report
 
 _GRID = paper_parameter_grid()
 

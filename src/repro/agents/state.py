@@ -19,10 +19,16 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional
 
 from repro.crypto.canonical import canonical_encode, canonical_equal
-from repro.crypto.hashing import StateDigest, hash_value
+from repro.crypto.hashing import HashCache, StateDigest, hash_bytes
 from repro.exceptions import AgentStateError
 
 __all__ = ["DataState", "ExecutionState", "AgentState", "state_diff"]
+
+#: Shared memo for state encodings: snapshots are immutable by
+#: contract, so every digest/equality/size check of the same snapshot
+#: object reuses one canonical encoding (the hot path of fleet-scale
+#: checking).  Entries die with their states via weak references.
+_ENCODING_CACHE = HashCache()
 
 
 class DataState:
@@ -169,17 +175,29 @@ class AgentState:
         except (KeyError, TypeError) as exc:
             raise AgentStateError("malformed agent state snapshot") from exc
 
+    def canonical_bytes(self) -> bytes:
+        """Canonical encoding of the snapshot, memoized per instance.
+
+        A snapshot is immutable by contract (every producer deep-copies
+        on capture, every tampering path builds a *new* state), so the
+        encoding is computed once — in the shared
+        :class:`~repro.crypto.hashing.HashCache` — and reused by
+        :meth:`digest`, :meth:`equals`, and :meth:`size_bytes`, the hot
+        comparisons of fleet-scale checking.
+        """
+        return _ENCODING_CACHE.encode(self)
+
     def digest(self) -> StateDigest:
         """Secure hash of the snapshot (what hosts sign and compare)."""
-        return hash_value(self.to_canonical())
+        return hash_bytes(self.canonical_bytes())
 
     def equals(self, other: "AgentState") -> bool:
         """Exact (canonical) equality with another snapshot."""
-        return canonical_equal(self.to_canonical(), other.to_canonical())
+        return self.canonical_bytes() == other.canonical_bytes()
 
     def size_bytes(self) -> int:
         """Size of the canonical encoding, for transfer accounting."""
-        return len(canonical_encode(self.to_canonical()))
+        return len(self.canonical_bytes())
 
 
 def state_diff(reference: AgentState, observed: AgentState) -> Dict[str, Any]:

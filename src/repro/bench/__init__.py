@@ -1,5 +1,10 @@
 """Benchmark harness: timing decomposition, table rendering, reporting."""
 
+from repro.bench.fleet import (
+    fleet_detection_report,
+    fleet_latency_rows,
+    fleet_summary_markdown,
+)
 from repro.bench.harness import (
     MeasurementResult,
     measure_generic_agent,
@@ -21,6 +26,9 @@ from repro.bench.tables import (
 )
 
 __all__ = [
+    "fleet_detection_report",
+    "fleet_latency_rows",
+    "fleet_summary_markdown",
     "MeasurementResult",
     "measure_generic_agent",
     "run_measurement_grid",

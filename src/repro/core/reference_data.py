@@ -171,8 +171,33 @@ class ReferenceDataSet:
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckingError("malformed reference data payload") from exc
 
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Assigning any field invalidates the canonical-encoding memo,
+        # so digest()/size_bytes() can never describe stale contents.
+        if name != "_canonical_cache":
+            self.__dict__.pop("_canonical_cache", None)
+        object.__setattr__(self, name, value)
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical encoding of the bundle, memoized per instance.
+
+        The memo is dropped automatically whenever a field is assigned,
+        so repeated calls are cheap while mutation stays safe.
+        """
+        cached = self.__dict__.get("_canonical_cache")
+        if cached is None:
+            from repro.crypto.canonical import canonical_encode
+
+            cached = canonical_encode(self.to_canonical())
+            self._canonical_cache = cached
+        return cached
+
+    def digest(self):
+        """Secure hash of the bundle (memoized), for signing and logs."""
+        from repro.crypto.hashing import hash_bytes
+
+        return hash_bytes(self.canonical_bytes())
+
     def size_bytes(self) -> int:
         """Canonical size of the bundle (transport overhead accounting)."""
-        from repro.crypto.canonical import canonical_encode
-
-        return len(canonical_encode(self.to_canonical()))
+        return len(self.canonical_bytes())

@@ -8,11 +8,20 @@ substrate for the reproduction, implemented from scratch:
   states and protocol payloads,
 * :mod:`repro.crypto.hashing` — secure hashes of states and traces,
 * :mod:`repro.crypto.dsa` — DSA key generation, signing, verification,
+  and randomized batch verification,
+* :mod:`repro.crypto.batch` — verification queues and memo caches that
+  amortize signature cost across fleet-scale simulation runs,
 * :mod:`repro.crypto.keys` — identities and key stores,
 * :mod:`repro.crypto.signing` — signed and counter-signed envelopes,
 * :mod:`repro.crypto.certificates` — a minimal CA / trust-anchor model.
 """
 
+from repro.crypto.batch import (
+    BatchReport,
+    BatchVerifier,
+    BatchedTransferVerifier,
+    VerificationCache,
+)
 from repro.crypto.canonical import (
     CanonicalDecoder,
     CanonicalEncoder,
@@ -36,12 +45,16 @@ from repro.crypto.dsa import (
     DSASignature,
     PARAMETERS_512,
     PARAMETERS_1024,
+    RecoverableSignature,
+    batch_verify,
+    find_invalid,
     generate_keypair,
     generate_parameters,
     is_probable_prime,
 )
 from repro.crypto.hashing import (
     DEFAULT_HASH_ALGORITHM,
+    HashCache,
     StateDigest,
     constant_time_equal,
     digest_hex,
@@ -50,9 +63,18 @@ from repro.crypto.hashing import (
     hash_value,
 )
 from repro.crypto.keys import Identity, IdentityRing, KeyStore, derive_seed
-from repro.crypto.signing import MultiSignedEnvelope, SignedEnvelope, Signer
+from repro.crypto.signing import (
+    MultiSignedEnvelope,
+    RecoverableEnvelope,
+    SignedEnvelope,
+    Signer,
+)
 
 __all__ = [
+    "BatchReport",
+    "BatchVerifier",
+    "BatchedTransferVerifier",
+    "VerificationCache",
     "CanonicalDecoder",
     "CanonicalEncoder",
     "canonical_decode",
@@ -71,10 +93,14 @@ __all__ = [
     "DSASignature",
     "PARAMETERS_512",
     "PARAMETERS_1024",
+    "RecoverableSignature",
+    "batch_verify",
+    "find_invalid",
     "generate_keypair",
     "generate_parameters",
     "is_probable_prime",
     "DEFAULT_HASH_ALGORITHM",
+    "HashCache",
     "StateDigest",
     "constant_time_equal",
     "digest_hex",
@@ -86,6 +112,7 @@ __all__ = [
     "KeyStore",
     "derive_seed",
     "MultiSignedEnvelope",
+    "RecoverableEnvelope",
     "SignedEnvelope",
     "Signer",
 ]

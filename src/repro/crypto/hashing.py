@@ -13,13 +13,15 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import weakref
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Dict, Iterable, Tuple
 
 from repro.crypto.canonical import canonical_encode
 
 __all__ = [
     "StateDigest",
+    "HashCache",
     "hash_bytes",
     "hash_value",
     "hash_chain",
@@ -97,6 +99,60 @@ def hash_chain(
 def digest_hex(value: Any, algorithm: str = DEFAULT_HASH_ALGORITHM) -> str:
     """Convenience wrapper returning the hex digest of ``value``."""
     return hash_value(value, algorithm=algorithm).hex()
+
+
+class HashCache:
+    """Identity-keyed memo for canonical encodings and digests.
+
+    Fleet-scale runs canonically encode the *same* snapshot objects
+    over and over — an arriving state is encoded for the dual
+    commitment, for the arrival-consistency comparison, and again for
+    the re-execution verdict.  The cache keys by object identity
+    (guarded by a weak reference so a recycled ``id`` can never alias a
+    dead object) and therefore must only be used for values treated as
+    immutable snapshots, which is the library-wide contract for
+    :class:`~repro.agents.state.AgentState` and reference data.
+
+    Values that cannot be weak-referenced (plain dicts, lists) are
+    encoded directly without caching — correct, just not accelerated.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[weakref.ref, bytes]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def encode(self, value: Any) -> bytes:
+        """Canonical encoding of ``value``, memoized per object."""
+        key = id(value)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is value:
+            self.hits += 1
+            return entry[1]
+        encoded = canonical_encode(value)
+        try:
+            ref = weakref.ref(value, lambda _, key=key: self._entries.pop(key, None))
+        except TypeError:
+            return encoded
+        self.misses += 1
+        self._entries[key] = (ref, encoded)
+        return encoded
+
+    def digest(self, value: Any,
+               algorithm: str = DEFAULT_HASH_ALGORITHM) -> StateDigest:
+        """Memoized equivalent of :func:`hash_value`."""
+        return hash_bytes(self.encode(value), algorithm=algorithm)
+
+    def clear(self) -> None:
+        """Drop all memoized encodings (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus current size."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
 
 
 def constant_time_equal(left: StateDigest, right: StateDigest) -> bool:

@@ -23,12 +23,17 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.crypto.canonical import canonical_encode
-from repro.crypto.dsa import DSASignature
+from repro.crypto.dsa import DSASignature, RecoverableSignature
 from repro.crypto.hashing import StateDigest, hash_bytes
 from repro.crypto.keys import Identity, KeyStore
 from repro.exceptions import SignatureError
 
-__all__ = ["SignedEnvelope", "MultiSignedEnvelope", "Signer"]
+__all__ = [
+    "SignedEnvelope",
+    "RecoverableEnvelope",
+    "MultiSignedEnvelope",
+    "Signer",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,48 @@ class SignedEnvelope:
                 "signature by %r over payload %s does not verify"
                 % (self.signer, self.payload_digest())
             )
+
+
+@dataclass(frozen=True)
+class RecoverableEnvelope:
+    """A payload signed with a commitment-carrying DSA signature.
+
+    Same trust semantics as :class:`SignedEnvelope`, but the signature
+    keeps the full nonce commitment so many envelopes can be verified
+    together via :func:`repro.crypto.dsa.batch_verify` (see
+    :class:`repro.crypto.batch.BatchVerifier`).  :meth:`to_envelope`
+    downgrades to a plain envelope for consumers that do not batch.
+    """
+
+    payload: Any
+    signer: str
+    signature: RecoverableSignature
+
+    def message(self) -> bytes:
+        """The canonical byte string the signature covers."""
+        return canonical_encode(self.payload)
+
+    def to_envelope(self) -> SignedEnvelope:
+        """Drop the commitment, yielding a plain signed envelope."""
+        return SignedEnvelope(
+            payload=self.payload,
+            signer=self.signer,
+            signature=self.signature.to_signature(),
+        )
+
+    def to_canonical(self) -> dict:
+        return {
+            "payload": self.payload,
+            "signer": self.signer,
+            "signature": self.signature.to_canonical(),
+        }
+
+    def verify(self, keystore: KeyStore) -> bool:
+        """Verify individually (commitment consistency included)."""
+        public_key = keystore.maybe_get(self.signer)
+        if public_key is None:
+            return False
+        return public_key.verify_recoverable(self.message(), self.signature)
 
 
 @dataclass
@@ -160,6 +207,14 @@ class Signer:
         message = canonical_encode(payload)
         signature = self._identity.private_key.sign(message)
         return SignedEnvelope(
+            payload=payload, signer=self._identity.name, signature=signature
+        )
+
+    def sign_recoverable(self, payload: Any) -> RecoverableEnvelope:
+        """Sign ``payload`` keeping the nonce commitment for batching."""
+        message = canonical_encode(payload)
+        signature = self._identity.private_key.sign_recoverable(message)
+        return RecoverableEnvelope(
             payload=payload, signer=self._identity.name, signature=signature
         )
 

@@ -4,8 +4,10 @@ from repro.platform.host import Host
 from repro.platform.malicious import MaliciousHost
 from repro.platform.registry import (
     AgentSystem,
+    HopOutcome,
     HostRegistry,
     JourneyResult,
+    JourneyRunner,
     ProtectionMechanism,
 )
 from repro.platform.resources import (
@@ -23,8 +25,10 @@ __all__ = [
     "Host",
     "MaliciousHost",
     "AgentSystem",
+    "HopOutcome",
     "HostRegistry",
     "JourneyResult",
+    "JourneyRunner",
     "ProtectionMechanism",
     "CallableService",
     "HostService",

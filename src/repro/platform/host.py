@@ -22,7 +22,12 @@ from repro.agents.itinerary import Itinerary
 from repro.agents.messaging import MessageBoard
 from repro.agents.state import AgentState
 from repro.crypto.keys import Identity, KeyStore
-from repro.crypto.signing import MultiSignedEnvelope, SignedEnvelope, Signer
+from repro.crypto.signing import (
+    MultiSignedEnvelope,
+    RecoverableEnvelope,
+    SignedEnvelope,
+    Signer,
+)
 from repro.exceptions import ProtocolError
 from repro.platform.resources import ResourceCatalog, SystemFacilities
 from repro.platform.session import (
@@ -212,6 +217,12 @@ class Host:
         """Sign a payload; time is charged to the given timing category."""
         with self.metrics.measure(category):
             return self.signer.sign(payload)
+
+    def sign_recoverable(self, payload: Any,
+                         category: str = "protocol_crypto") -> RecoverableEnvelope:
+        """Sign a payload keeping the nonce commitment (batch path)."""
+        with self.metrics.measure(category):
+            return self.signer.sign_recoverable(payload)
 
     def verify(self, envelope: SignedEnvelope,
                expected_signer: Optional[str] = None,

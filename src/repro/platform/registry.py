@@ -34,6 +34,8 @@ __all__ = [
     "HostRegistry",
     "ProtectionMechanism",
     "JourneyResult",
+    "HopOutcome",
+    "JourneyRunner",
     "AgentSystem",
 ]
 
@@ -223,6 +225,236 @@ class JourneyResult:
         return tuple(sorted(blamed))
 
 
+@dataclass(frozen=True)
+class HopOutcome:
+    """What one :meth:`JourneyRunner.step` call did.
+
+    The wall-clock phase timings let a driver (notably the fleet
+    simulation engine) attribute real compute cost to the checking,
+    session, and migration phases of a hop without owning a metrics
+    collector.
+
+    Attributes
+    ----------
+    host:
+        Name of the host that executed this hop's session.
+    hop_index:
+        Zero-based hop position in the itinerary.
+    is_final:
+        Whether this was the last hop (the agent did not migrate).
+    wire_bytes:
+        Size of the outbound transfer, or ``None`` on the final hop.
+    new_verdicts:
+        Verdicts produced during this hop (arrival check and, on the
+        final hop, the after-task check).
+    check_seconds:
+        Wall time spent in the protection mechanism's checking hooks
+        (``on_arrival`` and ``after_task``).
+    session_seconds:
+        Wall time spent executing the agent's session.
+    migrate_seconds:
+        Wall time spent producing commitments (``after_session``) and
+        packing / signing / shipping the agent.
+    """
+
+    host: str
+    hop_index: int
+    is_final: bool
+    wire_bytes: Optional[int]
+    new_verdicts: Tuple[Any, ...] = ()
+    check_seconds: float = 0.0
+    session_seconds: float = 0.0
+    migrate_seconds: float = 0.0
+
+
+class JourneyRunner:
+    """Drives one agent journey hop by hop.
+
+    :meth:`AgentSystem.launch` runs a whole journey in one call by
+    draining a runner; the discrete-event fleet engine instead
+    schedules each :meth:`step` as an event on a virtual timeline so
+    that thousands of journeys interleave.
+
+    Parameters
+    ----------
+    system:
+        The agent system providing hosts, codec, and migration engine.
+    agent:
+        The agent instance to execute at the home host.
+    itinerary:
+        The route to drive the agent along.
+    protection:
+        Optional protection mechanism; defaults to the no-op mechanism.
+    transfer_verifier:
+        Optional override for whole-transfer signature checking.  When
+        given, it must expose ``verify_transfer(sender, receiver,
+        payload) -> bool``; the batched fleet path plugs in a
+        :class:`~repro.crypto.batch.BatchedTransferVerifier` here.
+    """
+
+    def __init__(
+        self,
+        system: "AgentSystem",
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        protection: Optional[ProtectionMechanism] = None,
+        transfer_verifier: Optional[Any] = None,
+    ) -> None:
+        self.system = system
+        self.itinerary = itinerary
+        self.mechanism = protection or ProtectionMechanism()
+        self.transfer_verifier = transfer_verifier
+        self.route_record = RouteRecord() if system.record_route else None
+        self.result = JourneyResult(
+            agent=agent,
+            itinerary=itinerary,
+            final_state=agent.capture_state(),
+            mechanism=self.mechanism.name,
+            route_record=self.route_record,
+        )
+        self._agent = agent
+        self._protocol_data: Optional[Dict[str, Any]] = None
+        self._arrived_from: Optional[str] = None
+        self._hop_index = 0
+        self._started_at: Optional[float] = None
+        self._done = False
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the journey has finished (after-task check included)."""
+        return self._done
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run."""
+        return self._started_at is not None
+
+    @property
+    def next_hop_index(self) -> int:
+        """Index of the hop the next :meth:`step` call will execute."""
+        return self._hop_index
+
+    @property
+    def agent(self) -> MobileAgent:
+        """The current agent instance (re-instantiated at each hop)."""
+        return self._agent
+
+    # -- driving -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the launch-time hook of the protection mechanism."""
+        if self.started:
+            raise ProtocolError("journey has already been started")
+        self._started_at = time.perf_counter()
+        home = self.system.registry.get(self.itinerary.home)
+        self._protocol_data = self.mechanism.prepare_launch(
+            self._agent, self.itinerary, home
+        )
+
+    def step(self) -> HopOutcome:
+        """Execute the next hop (arrival check, session, migration).
+
+        Returns the :class:`HopOutcome` describing what happened.  On
+        the final hop the after-task check runs and the journey result
+        is finalized.
+        """
+        if not self.started:
+            self.start()
+        if self._done:
+            raise ProtocolError("journey has already finished")
+
+        hop_index = self._hop_index
+        itinerary = self.itinerary
+        host = self.system.registry.get(itinerary.host_at(hop_index))
+        verdicts_before = len(self.result.verdicts)
+        check_seconds = 0.0
+
+        if self.route_record is not None:
+            self.route_record.append(
+                host.signer,
+                RouteEntry(hop_index=hop_index, host=host.name,
+                           arrived_from=self._arrived_from),
+            )
+
+        if hop_index > 0:
+            checkpoint = time.perf_counter()
+            verdicts, self._protocol_data = self.mechanism.on_arrival(
+                host, self._agent, itinerary, hop_index, self._protocol_data
+            )
+            check_seconds += time.perf_counter() - checkpoint
+            self.result.verdicts.extend(verdicts)
+
+        checkpoint = time.perf_counter()
+        record = host.execute_agent(self._agent, itinerary, hop_index)
+        session_seconds = time.perf_counter() - checkpoint
+        self.result.records.append(record)
+
+        checkpoint = time.perf_counter()
+        self._protocol_data = self.mechanism.after_session(
+            host, self._agent, itinerary, hop_index, record, self._protocol_data
+        )
+        migrate_seconds = time.perf_counter() - checkpoint
+
+        is_final = itinerary.is_last_hop(hop_index)
+        wire_bytes: Optional[int] = None
+        if is_final:
+            checkpoint = time.perf_counter()
+            self.result.verdicts.extend(
+                self.mechanism.after_task(
+                    host, self._agent, itinerary, self._protocol_data
+                )
+            )
+            check_seconds += time.perf_counter() - checkpoint
+            self._finish()
+        else:
+            checkpoint = time.perf_counter()
+            # The (possibly malicious) current host assembles the transfer.
+            tamper = getattr(host, "tamper_protocol_data", None)
+            if callable(tamper):
+                self._protocol_data = tamper(self._protocol_data)
+
+            self._agent, self._protocol_data, size, signature_ok = (
+                self.system._migrate(
+                    host,
+                    self.system.registry.get(itinerary.host_at(hop_index + 1)),
+                    self._agent,
+                    itinerary,
+                    hop_index + 1,
+                    self._protocol_data,
+                    transfer_verifier=self.transfer_verifier,
+                )
+            )
+            migrate_seconds += time.perf_counter() - checkpoint
+            wire_bytes = size
+            self.result.transfer_sizes.append(size)
+            if not signature_ok:
+                self.result.transfer_signature_failures.append(hop_index)
+            self._arrived_from = host.name
+            self._hop_index += 1
+
+        return HopOutcome(
+            host=host.name,
+            hop_index=hop_index,
+            is_final=is_final,
+            wire_bytes=wire_bytes,
+            new_verdicts=tuple(self.result.verdicts[verdicts_before:]),
+            check_seconds=check_seconds,
+            session_seconds=session_seconds,
+            migrate_seconds=migrate_seconds,
+        )
+
+    def _finish(self) -> None:
+        self.result.agent = self._agent
+        self.result.final_state = self._agent.capture_state()
+        self.result.final_protocol_data = self._protocol_data
+        self.result.wall_time_seconds = (
+            time.perf_counter() - (self._started_at or 0.0)
+        )
+        self._done = True
+
+
 class AgentSystem:
     """Drives agents along itineraries across the registered hosts.
 
@@ -275,75 +507,24 @@ class AgentSystem:
         state, exactly as a real platform would do.  The returned
         result's ``agent`` attribute is the *final* instance.
         """
-        mechanism = protection or ProtectionMechanism()
-        home = self.registry.get(itinerary.home)
-        route_record = RouteRecord() if self.record_route else None
+        runner = self.runner(agent, itinerary, protection)
+        runner.start()
+        while not runner.done:
+            runner.step()
+        return runner.result
 
-        result = JourneyResult(
-            agent=agent,
-            itinerary=itinerary,
-            final_state=agent.capture_state(),
-            mechanism=mechanism.name,
-            route_record=route_record,
+    def runner(
+        self,
+        agent: MobileAgent,
+        itinerary: Itinerary,
+        protection: Optional[ProtectionMechanism] = None,
+        transfer_verifier: Optional[Any] = None,
+    ) -> JourneyRunner:
+        """Build a :class:`JourneyRunner` for stepwise journey driving."""
+        return JourneyRunner(
+            self, agent, itinerary, protection,
+            transfer_verifier=transfer_verifier,
         )
-
-        started = time.perf_counter()
-        protocol_data = mechanism.prepare_launch(agent, itinerary, home)
-        current_agent = agent
-        arrived_from: Optional[str] = None
-
-        for hop_index in range(len(itinerary)):
-            host = self.registry.get(itinerary.host_at(hop_index))
-
-            if route_record is not None:
-                route_record.append(
-                    host.signer,
-                    RouteEntry(hop_index=hop_index, host=host.name,
-                               arrived_from=arrived_from),
-                )
-
-            if hop_index > 0:
-                verdicts, protocol_data = mechanism.on_arrival(
-                    host, current_agent, itinerary, hop_index, protocol_data
-                )
-                result.verdicts.extend(verdicts)
-
-            record = host.execute_agent(current_agent, itinerary, hop_index)
-            result.records.append(record)
-
-            protocol_data = mechanism.after_session(
-                host, current_agent, itinerary, hop_index, record, protocol_data
-            )
-
-            if itinerary.is_last_hop(hop_index):
-                result.verdicts.extend(
-                    mechanism.after_task(host, current_agent, itinerary, protocol_data)
-                )
-                break
-
-            # The (possibly malicious) current host assembles the transfer.
-            tamper = getattr(host, "tamper_protocol_data", None)
-            if callable(tamper):
-                protocol_data = tamper(protocol_data)
-
-            current_agent, protocol_data, size, signature_ok = self._migrate(
-                host,
-                self.registry.get(itinerary.host_at(hop_index + 1)),
-                current_agent,
-                itinerary,
-                hop_index + 1,
-                protocol_data,
-            )
-            result.transfer_sizes.append(size)
-            if not signature_ok:
-                result.transfer_signature_failures.append(hop_index)
-            arrived_from = host.name
-
-        result.agent = current_agent
-        result.final_state = current_agent.capture_state()
-        result.final_protocol_data = protocol_data
-        result.wall_time_seconds = time.perf_counter() - started
-        return result
 
     # -- internal helpers -------------------------------------------------------
 
@@ -355,6 +536,7 @@ class AgentSystem:
         itinerary: Itinerary,
         next_hop_index: int,
         protocol_data: Optional[Dict[str, Any]],
+        transfer_verifier: Optional[Any] = None,
     ) -> Tuple[MobileAgent, Optional[Dict[str, Any]], int, bool]:
         """Pack, (optionally) sign, ship, verify, and unpack the agent."""
         transfer = self._engine.pack(agent, itinerary, next_hop_index, protocol_data)
@@ -364,10 +546,15 @@ class AgentSystem:
         if self.sign_transfers:
             # Whole-message signature: this is what the "sign & verify"
             # column of the paper's tables measures.
-            envelope = sender.sign(transfer.to_canonical(), category="sign_verify")
-            signature_ok = receiver.verify(
-                envelope, expected_signer=sender.name, category="sign_verify"
-            )
+            if transfer_verifier is not None:
+                signature_ok = transfer_verifier.verify_transfer(
+                    sender, receiver, transfer.to_canonical()
+                )
+            else:
+                envelope = sender.sign(transfer.to_canonical(), category="sign_verify")
+                signature_ok = receiver.verify(
+                    envelope, expected_signer=sender.name, category="sign_verify"
+                )
 
         received = self._codec.decode(wire_bytes)
         unpacked = self._engine.unpack(received)

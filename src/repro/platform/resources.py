@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.crypto.keys import derive_seed
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -102,7 +103,9 @@ class PriceQuoteService(HostService):
         if request in self._catalog:
             return self._catalog[request]
         # Deterministic pseudo-price in [0.5, 1.5) * base, per host+product.
-        seed = hash((self._host_name, request)) & 0xFFFFFFFF
+        # derive_seed (not built-in hash()) so the price survives process
+        # boundaries: string hashing is randomized per interpreter run.
+        seed = derive_seed("%s|%s" % (self._host_name, request)) & 0xFFFFFFFF
         rng = random.Random(seed)
         price = round(self._base_price * (0.5 + rng.random()), 2)
         self._catalog[request] = price
@@ -165,7 +168,8 @@ class SystemFacilities:
     def __post_init__(self) -> None:
         actual_seed = self.seed
         if actual_seed is None:
-            actual_seed = hash(self.host_name) & 0xFFFFFFFF
+            # Stable across interpreter runs, unlike built-in hash().
+            actual_seed = derive_seed(self.host_name) & 0xFFFFFFFF
         self._rng = random.Random(actual_seed)
 
     def call(self, name: str) -> Any:

@@ -1,0 +1,27 @@
+"""Fleet-scale discrete-event simulation of protected-agent journeys.
+
+* :mod:`repro.sim.fleet` — the event-queue engine interleaving
+  thousands of agent journeys across a host topology with a tunable
+  malicious fraction, plus the :class:`FleetResult` aggregate;
+* :mod:`repro.sim.trace` — deterministic per-journey JSONL traces,
+  replayable through :class:`~repro.agents.execution_log.ExecutionLog`.
+"""
+
+from repro.sim.fleet import FleetConfig, FleetEngine, FleetResult, JourneyOutcome
+from repro.sim.trace import (
+    TraceWriter,
+    execution_log_at,
+    journey_events,
+    read_trace,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetEngine",
+    "FleetResult",
+    "JourneyOutcome",
+    "TraceWriter",
+    "execution_log_at",
+    "journey_events",
+    "read_trace",
+]

@@ -1,0 +1,117 @@
+"""JSONL journey traces for fleet simulation runs.
+
+Every fleet run emits a stream of per-journey events on the virtual
+timeline — one JSON object per line, in event-processing order.  The
+format follows the trace/replay idiom of post-hoc analysis tools: the
+trace alone is enough to reconstruct what happened, when, and to replay
+the recorded execution logs through
+:class:`~repro.agents.execution_log.ExecutionLog` (``hop`` events embed
+each session's trace entries in their canonical form).
+
+Event kinds
+-----------
+``fleet``
+    One header line: the configuration snapshot of the run.
+``launch``
+    A journey entered the system (itinerary, workload, agent id).
+``hop``
+    One execution session finished (host, verdicts, transfer size, and
+    the session's execution log).
+``complete``
+    A journey finished (detection outcome, blamed hosts, totals).
+
+Only virtual-clock quantities go into a trace; wall-clock timings are
+deliberately excluded so that the same seed produces a byte-identical
+trace file on any machine.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.agents.execution_log import ExecutionLog
+
+__all__ = [
+    "TraceWriter",
+    "read_trace",
+    "journey_events",
+    "execution_log_at",
+]
+
+
+class TraceWriter:
+    """Accumulates trace events and serializes them as JSONL.
+
+    Events are kept in memory (a fleet run is a few thousand small
+    dictionaries) and written out in one pass so a crashed run never
+    leaves a half-written line behind.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[Dict[str, Any]] = []
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; ``kind`` becomes the ``event`` field."""
+        event = {"event": kind}
+        event.update(fields)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """All events emitted so far, in order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_jsonl(self) -> str:
+        """The whole trace as a JSONL string (sorted keys, stable floats)."""
+        buffer = io.StringIO()
+        for event in self._events:
+            json.dump(event, buffer, sort_keys=True, separators=(",", ":"))
+            buffer.write("\n")
+        return buffer.getvalue()
+
+    def write(self, path: str) -> None:
+        """Write the trace to ``path`` (overwrites)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into a list of event dictionaries."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def journey_events(events: Iterable[Dict[str, Any]],
+                   journey_id: str) -> List[Dict[str, Any]]:
+    """Filter a trace down to one journey's events, in order."""
+    return [event for event in events if event.get("journey") == journey_id]
+
+
+def execution_log_at(events: Iterable[Dict[str, Any]], journey_id: str,
+                     hop_index: int) -> Optional[ExecutionLog]:
+    """Reconstruct the execution log recorded at one hop of a journey.
+
+    Returns ``None`` when the trace has no matching ``hop`` event.  The
+    reconstructed log round-trips through the same canonical form the
+    checking framework uses, so trace digests match the live run's.
+    """
+    for event in events:
+        if (event.get("event") == "hop"
+                and event.get("journey") == journey_id
+                and event.get("hop_index") == hop_index):
+            log = event.get("execution_log")
+            if log is None:
+                return None
+            return ExecutionLog.from_canonical(log)
+    return None

@@ -1,0 +1,238 @@
+"""Batched DSA verification: correctness before speed.
+
+The randomized batch test must accept exactly the signature sets the
+individual verifier accepts; these tests pin the acceptance boundary
+(valid batches, tampered components, forged commitments, mixed domain
+parameters) and the queue/cache machinery built on top.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.batch import BatchVerifier, BatchedTransferVerifier, VerificationCache
+from repro.crypto.dsa import (
+    PARAMETERS_1024,
+    RecoverableSignature,
+    batch_verify,
+    find_invalid,
+    generate_keypair,
+)
+from repro.crypto.keys import Identity, KeyStore
+from repro.crypto.signing import Signer
+
+
+@pytest.fixture(scope="module")
+def signers():
+    return [generate_keypair(seed=index) for index in range(3)]
+
+
+def _batch(signers, count):
+    items = []
+    for index in range(count):
+        private, public = signers[index % len(signers)]
+        message = b"fleet-transfer-%d" % index
+        items.append((public, message, private.sign_recoverable(message)))
+    return items
+
+
+class TestRecoverableSignatures:
+    def test_embeds_the_plain_signature(self, signers):
+        private, public = signers[0]
+        message = b"agent state"
+        recoverable = private.sign_recoverable(message)
+        plain = private.sign(message)
+        assert recoverable.to_signature() == plain
+        assert public.verify(message, recoverable.to_signature())
+
+    def test_individual_verification_accepts_and_rejects(self, signers):
+        private, public = signers[0]
+        message = b"payload"
+        signature = private.sign_recoverable(message)
+        assert public.verify_recoverable(message, signature)
+        assert not public.verify_recoverable(b"other payload", signature)
+
+    def test_forged_commitment_with_matching_r_is_rejected(self, signers):
+        """``R mod q == r`` alone must not be enough: the commitment has
+        to be the actual group element, else batches could be fooled."""
+        private, public = signers[0]
+        q, p = public.parameters.q, public.parameters.p
+        message = b"payload"
+        signature = private.sign_recoverable(message)
+        shifted = signature.commitment + q
+        if shifted >= p:
+            shifted = signature.commitment - q
+        forged = RecoverableSignature(
+            r=signature.r, s=signature.s, commitment=shifted
+        )
+        assert forged.commitment % q == signature.r
+        assert not public.verify_recoverable(message, forged)
+
+    def test_canonical_round_trip(self, signers):
+        private, _ = signers[0]
+        signature = private.sign_recoverable(b"x")
+        assert RecoverableSignature.from_canonical(
+            signature.to_canonical()
+        ) == signature
+
+
+class TestBatchVerify:
+    def test_empty_batch_is_valid(self):
+        assert batch_verify([])
+
+    def test_valid_batch_accepts(self, signers):
+        assert batch_verify(_batch(signers, 24), rng=random.Random(1))
+
+    def test_tampered_s_component_rejects(self, signers):
+        items = _batch(signers, 24)
+        public, message, signature = items[7]
+        q = public.parameters.q
+        items[7] = (public, message, RecoverableSignature(
+            r=signature.r, s=(signature.s + 1) % q,
+            commitment=signature.commitment,
+        ))
+        assert not batch_verify(items, rng=random.Random(2))
+        assert find_invalid(items) == [7]
+
+    def test_swapped_messages_reject(self, signers):
+        items = _batch(signers, 6)
+        items[0], items[1] = (
+            (items[0][0], items[1][1], items[0][2]),
+            (items[1][0], items[0][1], items[1][2]),
+        )
+        assert not batch_verify(items, rng=random.Random(3))
+        assert set(find_invalid(items)) == {0, 1}
+
+    def test_mixed_parameters_fall_back_to_individual(self, signers):
+        items = _batch(signers, 4)
+        private_big, public_big = generate_keypair(PARAMETERS_1024, seed=9)
+        message = b"big-key message"
+        items.append((public_big, message, private_big.sign_recoverable(message)))
+        assert batch_verify(items, rng=random.Random(4))
+        q = public_big.parameters.q
+        bad = items[-1][2]
+        items[-1] = (public_big, message, RecoverableSignature(
+            r=bad.r, s=(bad.s + 1) % q, commitment=bad.commitment,
+        ))
+        assert not batch_verify(items, rng=random.Random(5))
+
+
+class TestBatchVerifier:
+    def _keystore_and_signer(self, name="host-a"):
+        keystore = KeyStore()
+        identity = Identity.generate(name)
+        keystore.register_identity(identity)
+        return keystore, Signer(identity, keystore)
+
+    def test_flush_settles_queued_envelopes(self):
+        keystore, signer = self._keystore_and_signer()
+        verifier = BatchVerifier(keystore, batch_size=100, rng=random.Random(0))
+        outcomes = []
+        for index in range(5):
+            verifier.enqueue(
+                signer.sign_recoverable({"n": index}), outcomes.append
+            )
+        assert verifier.pending == 5
+        report = verifier.flush()
+        assert report.verified == 5 and report.failed == 0
+        assert outcomes == [True] * 5
+
+    def test_auto_flush_at_batch_size(self):
+        keystore, signer = self._keystore_and_signer()
+        verifier = BatchVerifier(keystore, batch_size=3, rng=random.Random(0))
+        for index in range(3):
+            verifier.enqueue(signer.sign_recoverable({"n": index}))
+        assert verifier.pending == 0
+        assert verifier.report.verified == 3
+
+    def test_unknown_signer_fails_immediately(self):
+        keystore, signer = self._keystore_and_signer()
+        stranger = Identity.generate("stranger")
+        envelope = Signer(stranger, keystore).sign_recoverable({"x": 1})
+        outcomes = []
+        verifier = BatchVerifier(keystore, batch_size=10)
+        assert verifier.enqueue(envelope, outcomes.append) is False
+        assert outcomes == [False]
+        assert verifier.pending == 0
+
+    def test_cache_short_circuits_repeat_verifications(self):
+        keystore, signer = self._keystore_and_signer()
+        cache = VerificationCache()
+        verifier = BatchVerifier(keystore, batch_size=10, cache=cache)
+        envelope = signer.sign_recoverable({"same": "payload"})
+        verifier.enqueue(envelope)
+        verifier.flush()
+        assert verifier.enqueue(envelope) is True  # settled from cache
+        assert cache.hits == 1
+        assert verifier.report.verified == 2
+        assert verifier.report.batches == 1  # no second batch ran
+
+    def test_cache_eviction_keeps_size_bounded(self):
+        cache = VerificationCache(max_entries=2)
+        for index in range(5):
+            cache.put(("s", b"%d" % index, index, index, index), True)
+        assert len(cache) == 2
+
+    def test_forged_commitment_does_not_alias_a_cached_valid_outcome(self):
+        """Regression: the cache key must include the commitment.  A
+        forged envelope sharing (signer, message, r, s) with a cached
+        valid one must still be verified — and rejected — on its own."""
+        keystore, signer = self._keystore_and_signer()
+        verifier = BatchVerifier(keystore, batch_size=100)
+        envelope = signer.sign_recoverable({"payload": 1})
+        verifier.enqueue(envelope)
+        verifier.flush()
+
+        parameters = keystore.get(envelope.signer).parameters
+        shifted = envelope.signature.commitment + parameters.q
+        if shifted >= parameters.p:
+            shifted = envelope.signature.commitment - parameters.q
+        from dataclasses import replace
+
+        forged = replace(envelope, signature=RecoverableSignature(
+            r=envelope.signature.r, s=envelope.signature.s,
+            commitment=shifted,
+        ))
+        outcomes = []
+        settled = verifier.enqueue(forged, outcomes.append)
+        if settled is None:
+            verifier.flush()
+        assert outcomes == [False]
+
+
+class TestBatchedTransferVerifier:
+    def test_deferred_failure_attribution(self):
+        keystore = KeyStore()
+        sender = Identity.generate("sender")
+        keystore.register_identity(sender)
+
+        class _FakeHost:
+            def __init__(self, name, identity, keystore):
+                self.name = name
+                self._signer = Signer(identity, keystore)
+
+            def sign_recoverable(self, payload, category="sign_verify"):
+                return self._signer.sign_recoverable(payload)
+
+        # The receiving side's keystore does not know the rogue signer,
+        # so its transfer must fail at settlement time.
+        rogue = Identity.generate("rogue")
+        verifier = BatchedTransferVerifier(keystore, batch_size=10)
+        good_host = _FakeHost("sender", sender, keystore)
+        rogue_host = _FakeHost("rogue", rogue, keystore)
+        receiver = _FakeHost("receiver", sender, keystore)
+
+        verifier.bind("j00001")
+        assert verifier.verify_transfer(good_host, receiver, {"hop": 1})
+        verifier.bind("j00002")
+        assert verifier.verify_transfer(rogue_host, receiver, {"hop": 2})
+        verifier.flush()
+
+        assert len(verifier.deferred_failures) == 1
+        failure = verifier.deferred_failures[0]
+        assert failure["journey"] == "j00002"
+        assert failure["sender"] == "rogue"
+        stats = verifier.stats()
+        assert stats["verified"] == 1 and stats["failed"] == 1

@@ -1,0 +1,100 @@
+"""The stepwise journey runner must be indistinguishable from launch().
+
+The fleet engine drives journeys hop by hop; these tests pin that a
+stepped journey produces exactly the observable behaviour of the
+monolithic driver — same verdicts, same final state, same detection —
+plus the runner-specific surface (hop outcomes, lifecycle errors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scenarios import scenario_by_name
+from repro.core.protocol import ReferenceStateProtocol
+from repro.exceptions import ProtocolError
+from repro.platform.registry import HopOutcome
+from repro.workloads.generators import build_shopping_scenario
+
+
+def _scenario(injector=None):
+    scenario, agent = build_shopping_scenario(
+        num_shops=3,
+        malicious_shop=2 if injector is not None else None,
+        injectors=[injector] if injector is not None else None,
+    )
+    protocol = ReferenceStateProtocol(
+        code_registry=scenario.system.code_registry,
+        trusted_hosts=scenario.trusted_host_names,
+    )
+    return scenario, agent, protocol
+
+
+class TestStepwiseEquivalence:
+    def test_stepping_matches_launch_for_honest_run(self):
+        scenario, agent, protocol = _scenario()
+        runner = scenario.system.runner(agent, scenario.itinerary, protocol)
+        outcomes = []
+        while not runner.done:
+            outcomes.append(runner.step())
+
+        launched_scenario, launched_agent, launched_protocol = _scenario()
+        reference = launched_scenario.system.launch(
+            launched_agent, launched_scenario.itinerary,
+            protection=launched_protocol,
+        )
+
+        result = runner.result
+        assert len(outcomes) == len(scenario.itinerary) == result.hops
+        assert result.detected_attack() == reference.detected_attack() is False
+        assert result.final_state.equals(reference.final_state)
+        assert len(result.verdicts) == len(reference.verdicts)
+        assert result.visited_hosts == reference.visited_hosts
+
+    def test_stepping_detects_attacks_like_launch(self):
+        injector = scenario_by_name("tamper-result-variable").build()
+        scenario, agent, protocol = _scenario(injector)
+        runner = scenario.system.runner(agent, scenario.itinerary, protocol)
+        while not runner.done:
+            runner.step()
+        assert runner.result.detected_attack()
+        assert "shop-2" in runner.result.blamed_hosts()
+
+
+class TestRunnerSurface:
+    def test_hop_outcomes_expose_hosts_and_transfers(self):
+        scenario, agent, protocol = _scenario()
+        runner = scenario.system.runner(agent, scenario.itinerary, protocol)
+        outcomes = []
+        while not runner.done:
+            outcomes.append(runner.step())
+
+        assert all(isinstance(outcome, HopOutcome) for outcome in outcomes)
+        assert [o.host for o in outcomes] == list(scenario.itinerary.hosts)
+        assert [o.hop_index for o in outcomes] == list(range(len(outcomes)))
+        assert outcomes[-1].is_final and outcomes[-1].wire_bytes is None
+        assert all(o.wire_bytes > 0 for o in outcomes[:-1])
+        assert all(o.session_seconds >= 0.0 for o in outcomes)
+
+    def test_start_is_idempotent_through_step_but_not_twice(self):
+        scenario, agent, protocol = _scenario()
+        runner = scenario.system.runner(agent, scenario.itinerary, protocol)
+        runner.step()  # implicit start
+        assert runner.started
+        with pytest.raises(ProtocolError):
+            runner.start()
+
+    def test_stepping_a_finished_journey_raises(self):
+        scenario, agent, protocol = _scenario()
+        runner = scenario.system.runner(agent, scenario.itinerary, protocol)
+        while not runner.done:
+            runner.step()
+        with pytest.raises(ProtocolError):
+            runner.step()
+
+    def test_wall_time_is_populated_on_finish(self):
+        scenario, agent, protocol = _scenario()
+        runner = scenario.system.runner(agent, scenario.itinerary, protocol)
+        while not runner.done:
+            runner.step()
+        assert runner.result.wall_time_seconds > 0.0

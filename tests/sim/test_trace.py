@@ -1,0 +1,77 @@
+"""JSONL journey traces: structure, round-trip, and replayability."""
+
+from __future__ import annotations
+
+from repro.sim import (
+    FleetConfig,
+    FleetEngine,
+    TraceWriter,
+    execution_log_at,
+    journey_events,
+    read_trace,
+)
+
+
+class TestTraceWriter:
+    def test_round_trip_through_jsonl(self, tmp_path):
+        writer = TraceWriter()
+        writer.emit("launch", ts=0.5, journey="j00000")
+        writer.emit("hop", ts=0.75, journey="j00000", hop_index=0,
+                    execution_log=[{"statement": "1", "assignments": {"x": 1}}])
+        path = str(tmp_path / "trace.jsonl")
+        writer.write(path)
+        events = read_trace(path)
+        assert [event["event"] for event in events] == ["launch", "hop"]
+        assert events[1]["execution_log"][0]["assignments"] == {"x": 1}
+
+    def test_emit_preserves_order_and_counts(self):
+        writer = TraceWriter()
+        for index in range(5):
+            writer.emit("hop", n=index)
+        assert len(writer) == 5
+        assert [event["n"] for event in writer.events] == list(range(5))
+
+
+class TestFleetTraces:
+    def _events(self, tmp_path):
+        path = str(tmp_path / "fleet.jsonl")
+        config = FleetConfig(
+            num_agents=6, num_hosts=5, hops_per_journey=2,
+            malicious_host_fraction=0.2, seed=2, trace_path=path,
+        )
+        result = FleetEngine(config).run()
+        return result, read_trace(path)
+
+    def test_every_journey_has_a_complete_lifecycle(self, tmp_path):
+        result, events = self._events(tmp_path)
+        assert events[0]["event"] == "fleet"
+        for outcome in result.outcomes:
+            kinds = [e["event"] for e in journey_events(events, outcome.journey_id)]
+            assert kinds[0] == "launch"
+            assert kinds[-1] == "complete"
+            assert kinds.count("hop") == outcome.hops
+
+    def test_timestamps_are_monotonic_per_journey(self, tmp_path):
+        _, events = self._events(tmp_path)
+        for journey_id in {e.get("journey") for e in events} - {None}:
+            stamps = [e["ts"] for e in journey_events(events, journey_id)]
+            assert stamps == sorted(stamps)
+
+    def test_execution_logs_replay_from_the_trace(self, tmp_path):
+        """The trace embeds each session's execution log in canonical
+        form, so post-hoc analysis can rebuild and digest it exactly as
+        the live checking framework did."""
+        result, events = self._events(tmp_path)
+        outcome = result.outcomes[0]
+        replayed = execution_log_at(events, outcome.journey_id, hop_index=1)
+        assert replayed is not None
+        raw = [
+            e for e in journey_events(events, outcome.journey_id)
+            if e["event"] == "hop" and e["hop_index"] == 1
+        ][0]["execution_log"]
+        assert replayed.to_canonical() == raw
+        assert replayed.digest() == replayed.copy().digest()
+
+    def test_missing_hop_returns_none(self, tmp_path):
+        _, events = self._events(tmp_path)
+        assert execution_log_at(events, "j99999", 0) is None

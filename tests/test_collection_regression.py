@@ -1,0 +1,62 @@
+"""Regression: pytest collection with both test trees present.
+
+The seed of this repository shipped a collection failure:
+``tests/integration/test_baseline_comparison.py`` and
+``benchmarks/test_baseline_comparison.py`` share a module basename, and
+under the default prepend import mode (with no ini configuration) the
+second import collides with the first — especially with stale
+``__pycache__`` directories lying around.  ``pyproject.toml`` fixes this
+with ``--import-mode=importlib``; this test keeps the fix honest by
+collecting both trees in a subprocess, with byte-compiled caches
+freshly materialized.
+"""
+
+from __future__ import annotations
+
+import compileall
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_COLLIDING = [
+    os.path.join("tests", "integration", "test_baseline_comparison.py"),
+    os.path.join("benchmarks", "test_baseline_comparison.py"),
+]
+
+
+def _collect(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_both_trees_collect_despite_same_basenames_and_stale_pycache():
+    for relative in _COLLIDING:
+        assert compileall.compile_file(
+            os.path.join(REPO_ROOT, relative), quiet=2
+        ), "could not byte-compile %s" % relative
+
+    completed = _collect(*_COLLIDING)
+    output = completed.stdout + completed.stderr
+    assert completed.returncode == 0, output
+    assert "import file mismatch" not in output
+    assert "ERROR" not in output
+
+
+def test_default_invocation_collects_only_the_test_tree():
+    """Tier-1 (`pytest` with no arguments) must scope to tests/ so the
+    measurement suite stays opt-in."""
+    completed = _collect()
+    output = completed.stdout + completed.stderr
+    assert completed.returncode == 0, output
+    assert "benchmarks/" not in completed.stdout

@@ -23,6 +23,7 @@ _PACKAGES = [
     "repro.baselines",
     "repro.workloads",
     "repro.bench",
+    "repro.sim",
 ]
 
 
