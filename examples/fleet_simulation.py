@@ -11,10 +11,18 @@ Runs the discrete-event fleet engine end to end:
 4. print the aggregate detection / latency report and (optionally)
    write the per-journey JSONL trace.
 
-Run with::
+With ``--workers K`` the fleet is split into K deterministic shards and
+executed across a multiprocess pool; the merged result (and trace) is
+bit-identical to the single-process run of the same seed.
 
-    python examples/fleet_simulation.py --agents 200 --hosts 16
-    python examples/fleet_simulation.py --agents 1000 --trace fleet.jsonl
+Invocation — run from the repository root with ``PYTHONPATH=src`` (the
+script also falls back to inserting ``../src`` relative to its own
+location, but CI and documentation set the path explicitly rather than
+relying on checkout layout)::
+
+    PYTHONPATH=src python examples/fleet_simulation.py --agents 200 --hosts 16
+    PYTHONPATH=src python examples/fleet_simulation.py --agents 1000 \\
+        --workers 4 --trace fleet.jsonl
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.bench.fleet import fleet_summary_markdown
 from repro.exceptions import ConfigurationError
-from repro.sim import FleetConfig, FleetEngine
+from repro.sim import FleetConfig, run_fleet
 
 
 def main() -> int:
@@ -47,8 +55,12 @@ def main() -> int:
     parser.add_argument("--eager-verification", action="store_true",
                         help="verify each transfer signature eagerly "
                              "instead of in batches")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; the fleet is split into "
+                             "that many deterministic shards (default: 1)")
     parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="write the per-journey JSONL trace here")
+                        help="write the merged per-journey JSONL trace "
+                             "here (per-shard files appear next to it)")
     args = parser.parse_args()
 
     config = FleetConfig(
@@ -61,16 +73,22 @@ def main() -> int:
         batched_verification=not args.eager_verification,
         trace_path=args.trace,
     )
+    if args.workers < 1:
+        parser.error("--workers must be positive")
     try:
-        engine = FleetEngine(config)
+        config.validate()
     except ConfigurationError as error:
         parser.error(str(error))
-    result = engine.run()
+    # Past this point a ConfigurationError would be an engine bug, not a
+    # usage error — let it traceback instead of masquerading as one.
+    result = run_fleet(config, workers=args.workers)
 
     print(fleet_summary_markdown(result))
     print("deterministic signature: %s" % result.deterministic_signature())
     if args.trace:
-        print("trace: %s (%d events)" % (args.trace, len(engine.trace)))
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            events = sum(1 for line in handle if line.strip())
+        print("trace: %s (%d events)" % (args.trace, events))
     return 0
 
 

@@ -16,7 +16,7 @@ handler that are plugged in.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.agents.execution_log import ExecutionLog

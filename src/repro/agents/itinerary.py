@@ -16,7 +16,7 @@ options are modelled here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.keys import KeyStore

@@ -11,7 +11,7 @@ the actual network delivery is handled by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from repro.agents.agent import AgentCodeRegistry, MobileAgent
 from repro.agents.itinerary import Itinerary

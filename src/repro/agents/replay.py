@@ -13,15 +13,15 @@ checked host's trace commitment matches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
 
-from repro.agents.agent import AgentCodeRegistry, MobileAgent
+from repro.agents.agent import AgentCodeRegistry
 from repro.agents.context import ExecutionContext, OutwardAction
 from repro.agents.execution_log import ExecutionLog
 from repro.agents.input import InputLog, ReplayInputSource
 from repro.agents.state import AgentState
-from repro.exceptions import ExecutionError, InputReplayError
+from repro.exceptions import InputReplayError
 
 __all__ = ["ReExecutionResult", "ReExecutor"]
 

@@ -18,17 +18,32 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional
 
-from repro.crypto.canonical import canonical_encode, canonical_equal
+from repro.crypto.canonical import canonical_equal
 from repro.crypto.hashing import HashCache, StateDigest, hash_bytes
 from repro.exceptions import AgentStateError
 
-__all__ = ["DataState", "ExecutionState", "AgentState", "state_diff"]
+__all__ = [
+    "DataState",
+    "ExecutionState",
+    "AgentState",
+    "encoding_cache_stats",
+    "state_diff",
+]
 
 #: Shared memo for state encodings: snapshots are immutable by
 #: contract, so every digest/equality/size check of the same snapshot
 #: object reuses one canonical encoding (the hot path of fleet-scale
 #: checking).  Entries die with their states via weak references.
 _ENCODING_CACHE = HashCache()
+
+
+def encoding_cache_stats() -> Dict[str, Any]:
+    """Hit/miss statistics of the process-wide state-encoding cache.
+
+    The benchmark harness samples this before and after a fleet run to
+    report the canonical-hash cache hit rate of real checking traffic.
+    """
+    return _ENCODING_CACHE.stats()
 
 
 class DataState:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, unique
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 __all__ = ["AttackArea", "Detectability", "AttackDescriptor", "BLACKBOX_SET"]
 

@@ -36,7 +36,6 @@ from repro.agents.state import AgentState
 from repro.core.attributes import CheckMoment
 from repro.core.verdict import CheckResult, Verdict, VerdictStatus
 from repro.crypto.dsa import DSASignature
-from repro.crypto.hashing import hash_value
 from repro.crypto.signing import SignedEnvelope
 from repro.platform.host import Host
 from repro.platform.registry import ProtectionMechanism

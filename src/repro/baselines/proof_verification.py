@@ -17,8 +17,7 @@ from the hosts at verification time; the price is a larger agent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.agents.agent import MobileAgent
 from repro.agents.execution_log import ExecutionLog

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
 from repro.agents.itinerary import Itinerary

@@ -30,7 +30,6 @@ from repro.core.reference_data import ReferenceDataSet
 from repro.core.verdict import Verdict, VerdictStatus
 from repro.platform.host import Host
 from repro.platform.registry import ProtectionMechanism
-from repro.platform.session import SessionRecord
 
 __all__ = ["StateAppraisalMechanism"]
 

@@ -1,32 +1,68 @@
-"""Measurement harness: plain vs. protected generic agents.
+"""Measurement harness: paper tables and the perf-baseline runner.
 
-This module regenerates the measurements behind Tables 1 and 2:
+The module plays two roles:
 
-* a *plain* agent runs the three-host path unprotected, but is — like in
-  the paper — "signed and verified as a whole" at each migration;
-* a *protected* agent runs the same path under the
-  :class:`~repro.core.protocol.ReferenceStateProtocol` (per-session
-  re-execution checking by the next host, trusted hosts not checked).
+**Paper tables** — :func:`measure_generic_agent` /
+:func:`run_measurement_grid` regenerate the measurements behind Tables 1
+and 2: a *plain* agent runs the three-host path unprotected but "signed
+and verified as a whole" at each migration, a *protected* agent runs the
+same path under the
+:class:`~repro.core.protocol.ReferenceStateProtocol`.  Timing is
+decomposed into the paper's columns via
+:class:`~repro.bench.metrics.TimingCollector`.
 
-Timing is decomposed into the paper's columns via
-:class:`~repro.bench.metrics.TimingCollector`.  Absolute numbers differ
-from the 1999 hardware/JVM numbers, but the harness reports the same
-structure (four configurations × four columns, plus overhead factors)
-so the shape can be compared directly.
+**Perf baseline** — ``python -m repro.bench.harness`` benchmarks the
+production-scale machinery and emits a schema-versioned
+``BENCH_fleet.json``:
+
+* fleet throughput, single-process versus the sharded multiprocess pool
+  of :func:`repro.sim.shard.run_fleet` (with a determinism cross-check:
+  both runs must produce the same deterministic signature);
+* batched versus individual DSA signature verification at the
+  primitive level;
+* canonical-hash cache hit rates observed during real fleet checking
+  traffic (:func:`repro.agents.state.encoding_cache_stats`).
+
+The emitted report carries environment metadata so recorded numbers are
+comparable across machines, and :func:`compare_to_baseline` implements
+the CI regression gate: throughput must not fall more than a configured
+fraction below the committed baseline.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from random import Random
 from typing import Any, Dict, List, Optional
 
+from repro.agents.state import encoding_cache_stats
 from repro.bench.metrics import TimingBreakdown, TimingCollector
 from repro.core.protocol import ReferenceStateProtocol
+from repro.crypto.dsa import batch_verify, generate_keypair
 from repro.platform.registry import JourneyResult
+from repro.sim.fleet import FleetConfig
+from repro.sim.shard import run_fleet
 from repro.workloads.generators import build_generic_scenario, paper_parameter_grid
 
-__all__ = ["MeasurementResult", "measure_generic_agent", "run_measurement_grid"]
+__all__ = [
+    "MeasurementResult",
+    "measure_generic_agent",
+    "run_measurement_grid",
+    "BENCH_SCHEMA",
+    "collect_environment",
+    "bench_fleet_throughput",
+    "bench_dsa_verification",
+    "build_report",
+    "compare_to_baseline",
+    "main",
+]
 
 
 @dataclass
@@ -115,3 +151,333 @@ def run_measurement_grid(protected: bool,
             )
         )
     return results
+
+
+# ---------------------------------------------------------------------------
+# Perf-baseline runner (``python -m repro.bench.harness``)
+# ---------------------------------------------------------------------------
+
+#: Schema identifier of the emitted report.  Bump on incompatible
+#: structural changes so baseline comparisons can refuse to compare
+#: apples with oranges.
+BENCH_SCHEMA = "repro-bench-fleet/1"
+
+
+def collect_environment() -> Dict[str, Any]:
+    """Machine and interpreter metadata recorded with every report."""
+    try:
+        commit: Optional[str] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_commit": commit,
+    }
+
+
+def bench_fleet_throughput(
+    config: FleetConfig,
+    workers: int,
+    start_method: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Time the fleet single-process and across a ``workers``-wide pool.
+
+    Also serves as an end-to-end determinism check: the sharded run's
+    deterministic signature must equal the single-process run's, and a
+    mismatch is a hard error, not a number in a report.
+    """
+    kwargs: Dict[str, Any] = {}
+    if start_method is not None:
+        kwargs["start_method"] = start_method
+
+    runs: Dict[str, Any] = {}
+    signatures: Dict[str, str] = {}
+    cache_before = encoding_cache_stats()
+    cache_after = cache_before
+    for worker_count in sorted({1, workers}):
+        started = time.perf_counter()
+        result = run_fleet(config, workers=worker_count, **kwargs)
+        wall = time.perf_counter() - started
+        key = "workers_%d" % worker_count
+        signatures[key] = result.deterministic_signature()
+        runs[key] = {
+            "workers": worker_count,
+            "num_shards": len(result.shards or []) or 1,
+            "wall_seconds": round(wall, 4),
+            "throughput_journeys_per_second": round(
+                config.num_agents / wall, 3
+            ),
+            "detection_rate": result.detection_rate,
+            "false_positives": result.false_positives,
+            "events_processed": result.events_processed,
+        }
+        if worker_count == 1:
+            cache_after = encoding_cache_stats()
+    if len(set(signatures.values())) != 1:
+        raise RuntimeError(
+            "sharded run diverged from the single-process run: %r"
+            % signatures
+        )
+
+    single = runs["workers_1"]["wall_seconds"]
+    multi_key = "workers_%d" % workers
+    speedup = (
+        single / runs[multi_key]["wall_seconds"] if workers > 1 else 1.0
+    )
+    hits = cache_after["hits"] - cache_before["hits"]
+    misses = cache_after["misses"] - cache_before["misses"]
+    return {
+        "num_agents": config.num_agents,
+        "num_hosts": config.num_hosts,
+        "hops_per_journey": config.hops_per_journey,
+        "malicious_host_fraction": config.malicious_host_fraction,
+        "seed": config.seed,
+        "batched_verification": config.batched_verification,
+        "deterministic_signature": signatures["workers_1"],
+        "runs": runs,
+        "speedup_vs_single": round(speedup, 3),
+        "hash_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4)
+            if hits + misses else 0.0,
+        },
+    }
+
+
+def bench_dsa_verification(
+    signatures: int = 160,
+    signers: int = 8,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Batched vs. individual DSA verification at the primitive level.
+
+    The stream is shaped like fleet traffic (few signers, many
+    messages); best-of-N wall times keep the numbers robust on loaded
+    machines.
+    """
+    keys = [generate_keypair(seed=index) for index in range(signers)]
+    items = []
+    for index in range(signatures):
+        private, public = keys[index % signers]
+        message = b"fleet-transfer-%06d" % index
+        items.append((public, message, private.sign_recoverable(message)))
+
+    def individually() -> None:
+        if not all(
+            public.verify_recoverable(message, signature)
+            for public, message, signature in items
+        ):
+            raise RuntimeError("individual verification failed")
+
+    def batched() -> None:
+        if not batch_verify(items, rng=Random(42)):
+            raise RuntimeError("batched verification failed")
+
+    def best_of(func) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            func()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    individual_seconds = best_of(individually)
+    batched_seconds = best_of(batched)
+    return {
+        "signatures": signatures,
+        "signers": signers,
+        "repeats": repeats,
+        "individual_seconds": round(individual_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup": round(individual_seconds / batched_seconds, 3),
+    }
+
+
+def build_report(
+    config: FleetConfig,
+    workers: int,
+    quick: bool,
+    start_method: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run all perf benchmarks and assemble the BENCH_fleet report."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "environment": collect_environment(),
+        "benchmarks": {
+            "fleet": bench_fleet_throughput(
+                config, workers, start_method=start_method
+            ),
+            "dsa_verification": bench_dsa_verification(),
+        },
+    }
+
+
+def compare_to_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.30,
+) -> List[str]:
+    """Regression check: returns human-readable failures (empty = pass).
+
+    Wall-clock throughput is the gated quantity; a run key present in
+    the baseline but missing from the current report is itself a
+    failure (a silently dropped measurement must not pass the gate).
+    Schema or workload-shape mismatches make the comparison refuse
+    rather than guess.
+    """
+    failures: List[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        return [
+            "schema mismatch: baseline %r vs current %r — refresh the "
+            "baseline" % (baseline.get("schema"), current.get("schema"))
+        ]
+    base_fleet = baseline["benchmarks"]["fleet"]
+    cur_fleet = current["benchmarks"]["fleet"]
+    for knob in ("num_agents", "num_hosts", "hops_per_journey", "seed"):
+        if base_fleet.get(knob) != cur_fleet.get(knob):
+            return [
+                "workload mismatch on %s: baseline %r vs current %r — "
+                "throughputs are not comparable; refresh the baseline"
+                % (knob, base_fleet.get(knob), cur_fleet.get(knob))
+            ]
+    for key, base_run in sorted(base_fleet["runs"].items()):
+        cur_run = cur_fleet["runs"].get(key)
+        if cur_run is None:
+            failures.append("baseline run %r missing from current report" % key)
+            continue
+        base_tp = base_run["throughput_journeys_per_second"]
+        cur_tp = cur_run["throughput_journeys_per_second"]
+        floor = base_tp * (1.0 - max_regression)
+        if cur_tp < floor:
+            failures.append(
+                "%s throughput regressed: %.3f < %.3f journeys/s "
+                "(baseline %.3f, allowed regression %.0f%%)"
+                % (key, cur_tp, floor, base_tp, 100 * max_regression)
+            )
+    return failures
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.harness",
+        description="Fleet perf-baseline harness: emits BENCH_fleet.json",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fleet for CI (600 agents, 20 hosts)")
+    parser.add_argument("--agents", type=int, default=None,
+                        help="override journey count")
+    parser.add_argument("--hosts", type=int, default=None,
+                        help="override service-host count")
+    parser.add_argument("--hops", type=int, default=None,
+                        help="override hops per journey")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="fleet master seed (default: 2026)")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="pool width of the sharded run "
+                             "(default: min(4, cpu_count))")
+    parser.add_argument("--start-method", default=None,
+                        help="multiprocessing start method override")
+    parser.add_argument("--output", default="BENCH_fleet.json",
+                        help="report path (default: BENCH_fleet.json)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="compare against this committed baseline "
+                             "and exit non-zero on regression")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional throughput regression "
+                             "against the baseline (default: 0.30)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the sharded run is at least "
+                             "this much faster than single-process")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.quick:
+        agents, hosts, hops = 600, 20, 3
+    else:
+        agents, hosts, hops = 1000, 40, 4
+    config = FleetConfig(
+        num_agents=args.agents if args.agents is not None else agents,
+        num_hosts=args.hosts if args.hosts is not None else hosts,
+        hops_per_journey=args.hops if args.hops is not None else hops,
+        malicious_host_fraction=0.2,
+        seed=args.seed,
+        batched_verification=True,
+    )
+
+    report = build_report(
+        config, workers=args.workers, quick=args.quick,
+        start_method=args.start_method,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    fleet = report["benchmarks"]["fleet"]
+    print("fleet: %d journeys, signature %s" % (
+        fleet["num_agents"], fleet["deterministic_signature"][:16],
+    ))
+    for key, run in sorted(fleet["runs"].items()):
+        print("  %-10s %7.2fs  %8.1f journeys/s" % (
+            key, run["wall_seconds"],
+            run["throughput_journeys_per_second"],
+        ))
+    print("  speedup vs single: %.2fx" % fleet["speedup_vs_single"])
+    print("  hash-cache hit rate: %.1f%%" % (
+        100 * fleet["hash_cache"]["hit_rate"],
+    ))
+    dsa = report["benchmarks"]["dsa_verification"]
+    print("dsa verification: batched %.2fx faster (%.4fs vs %.4fs)" % (
+        dsa["speedup"], dsa["batched_seconds"], dsa["individual_seconds"],
+    ))
+    print("report written to %s" % args.output)
+
+    status = 0
+    if args.min_speedup is not None and args.workers > 1:
+        if fleet["speedup_vs_single"] < args.min_speedup:
+            print("FAIL: speedup %.2fx below required %.2fx" % (
+                fleet["speedup_vs_single"], args.min_speedup,
+            ), file=sys.stderr)
+            status = 1
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        base_env = baseline.get("environment", {})
+        cur_env = report["environment"]
+        for knob in ("cpu_count", "machine"):
+            if base_env.get(knob) != cur_env.get(knob):
+                # Wall-clock throughput is only loosely comparable
+                # across machines; say so next to any verdict instead
+                # of letting a hardware swap read as a perf change.
+                print(
+                    "note: baseline %s=%r differs from this machine's %r "
+                    "— consider refreshing the baseline on matching "
+                    "hardware" % (knob, base_env.get(knob), cur_env.get(knob)),
+                    file=sys.stderr,
+                )
+        failures = compare_to_baseline(
+            report, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print("FAIL: %s" % failure, file=sys.stderr)
+            status = 1
+        else:
+            print("baseline check passed (%s)" % args.baseline)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

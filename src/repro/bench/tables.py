@@ -10,10 +10,12 @@ overall overhead factors against the paper's.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.bench.harness import MeasurementResult, run_measurement_grid
 from repro.bench.metrics import TimingBreakdown
+
+if TYPE_CHECKING:  # lazy: keeps `python -m repro.bench.harness` warning-free
+    from repro.bench.harness import MeasurementResult
 
 __all__ = [
     "PAPER_TABLE_1",
@@ -157,6 +159,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--fast-cycles", action="store_true",
                         help="use the C-level cycle loop (JIT ablation)")
     options = parser.parse_args(argv)
+
+    from repro.bench.harness import run_measurement_grid
 
     plain = run_measurement_grid(protected=False,
                                  use_fast_cycles=options.fast_cycles)

@@ -16,7 +16,7 @@ get protection without writing checking code.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 from repro.agents.agent import MobileAgent
 from repro.core.attributes import CheckMoment

@@ -27,7 +27,7 @@ ignores selected volatile variables).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.agents.input import INPUT_KIND_MESSAGE
 from repro.agents.messaging import verify_signed_message

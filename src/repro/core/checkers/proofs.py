@@ -32,7 +32,7 @@ the benchmarks a realistic "cheaper than re-execution" data point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.agents.execution_log import ExecutionLog
 from repro.agents.state import AgentState

@@ -24,7 +24,7 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.attributes import CheckerKind
 from repro.core.checkers.base import Checker, CheckContext

@@ -20,12 +20,12 @@ custom ("arbitrary program") check.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
 from repro.agents.itinerary import Itinerary
 from repro.agents.state import AgentState
-from repro.core.attributes import CheckMoment, ReferenceDataKind
+from repro.core.attributes import CheckMoment
 from repro.core.callbacks import dispatch_check
 from repro.core.checkers.base import CheckContext
 from repro.core.checkers.proofs import build_proof

@@ -22,8 +22,8 @@ discussed in Section 4.1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.core.attributes import (
     ALL_REFERENCE_DATA,

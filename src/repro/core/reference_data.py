@@ -14,7 +14,7 @@ assemble itself from a host's :class:`~repro.platform.session.SessionRecord`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, Optional
 
 from repro.agents.execution_log import ExecutionLog

@@ -14,9 +14,9 @@ and transport.  :func:`requested_data_kinds` performs that inspection.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Type, Union
+from typing import FrozenSet, Iterable, Union
 
-from repro.core.attributes import ALL_REFERENCE_DATA, ReferenceDataKind
+from repro.core.attributes import ReferenceDataKind
 
 __all__ = [
     "InitialStateRequester",

@@ -36,7 +36,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.exceptions import CryptoError, SignatureError
+from repro.exceptions import CryptoError
 
 __all__ = [
     "DSAParameters",

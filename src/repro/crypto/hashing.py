@@ -150,9 +150,15 @@ class HashCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss counters plus current size."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss counters, current size, and the lifetime hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
 
 
 def constant_time_equal(left: StateDigest, right: StateDigest) -> bool:

@@ -3,15 +3,35 @@
 * :mod:`repro.sim.fleet` — the event-queue engine interleaving
   thousands of agent journeys across a host topology with a tunable
   malicious fraction, plus the :class:`FleetResult` aggregate;
+* :mod:`repro.sim.shard` — deterministic sharding of a fleet across a
+  multiprocess worker pool, merging to a result bit-identical to the
+  single-process run;
 * :mod:`repro.sim.trace` — deterministic per-journey JSONL traces,
   replayable through :class:`~repro.agents.execution_log.ExecutionLog`.
 """
 
-from repro.sim.fleet import FleetConfig, FleetEngine, FleetResult, JourneyOutcome
+from repro.sim.fleet import (
+    FleetConfig,
+    FleetEngine,
+    FleetResult,
+    JourneyOutcome,
+    derive_substream,
+    journey_arrival_times,
+)
+from repro.sim.shard import (
+    ShardResult,
+    ShardSpec,
+    merge_shard_results,
+    run_fleet,
+    run_shard,
+    split_fleet,
+)
 from repro.sim.trace import (
     TraceWriter,
     execution_log_at,
+    fleet_event_key,
     journey_events,
+    merge_shard_events,
     read_trace,
 )
 
@@ -20,8 +40,18 @@ __all__ = [
     "FleetEngine",
     "FleetResult",
     "JourneyOutcome",
+    "ShardResult",
+    "ShardSpec",
     "TraceWriter",
+    "derive_substream",
     "execution_log_at",
+    "fleet_event_key",
+    "journey_arrival_times",
     "journey_events",
+    "merge_shard_events",
+    "merge_shard_results",
     "read_trace",
+    "run_fleet",
+    "run_shard",
+    "split_fleet",
 ]

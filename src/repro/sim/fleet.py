@@ -18,9 +18,16 @@ aggregates everything into a :class:`FleetResult`.
 Determinism is a design requirement, not an accident: the same
 :class:`FleetConfig` (same seed) produces bit-identical journey
 outcomes, virtual timestamps, and JSONL traces on any machine.  All
-randomness flows from one seeded generator whose draws happen in a fixed
-order, and wall-clock measurements are kept strictly out of the
-deterministic surface (they are reported separately).
+randomness flows from named substreams derived from the master seed
+(:func:`derive_substream`): one stream decides the topology, one stream
+decides the arrival timeline, and every journey owns a private stream
+for its workload and itinerary draws.  Because no draw of one journey
+ever consumes randomness from another journey's stream, the fleet is
+*shard-decomposable*: running any subset of the agent-index range
+(:mod:`repro.sim.shard`) reproduces exactly the journeys of that subset,
+and the merge of all shards is bit-identical to the full run.
+Wall-clock measurements are kept strictly out of the deterministic
+surface (they are reported separately).
 """
 
 from __future__ import annotations
@@ -47,7 +54,47 @@ from repro.sim.trace import TraceWriter
 from repro.workloads.shopping import QUOTE_SERVICE, ShoppingAgent
 from repro.workloads.survey import SURVEY_MAILBOX, SurveyAgent
 
-__all__ = ["FleetConfig", "JourneyOutcome", "FleetResult", "FleetEngine"]
+__all__ = [
+    "FleetConfig",
+    "JourneyOutcome",
+    "FleetResult",
+    "FleetEngine",
+    "derive_substream",
+    "journey_arrival_times",
+]
+
+
+def derive_substream(seed: int, *labels: Any) -> int:
+    """Derive an independent RNG seed from the master seed and a label path.
+
+    Substreams make the fleet's randomness *positional* rather than
+    sequential: the topology, the arrival timeline, and every journey
+    each own a named stream, so computing any one of them never requires
+    replaying the draws of the others.  This is the property that lets
+    :mod:`repro.sim.shard` execute disjoint agent ranges in separate
+    processes and still merge to a bit-identical result.
+    """
+    material = "|".join([str(seed)] + [str(label) for label in labels])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def journey_arrival_times(config: "FleetConfig") -> List[float]:
+    """Absolute virtual launch times for every journey of the run.
+
+    The gaps are exponential (Poisson arrivals) and drawn from the
+    dedicated ``arrivals`` substream in journey-index order, so a shard
+    covering ``[start, stop)`` recomputes the identical prefix sums the
+    full run uses — the arrival timeline is a pure function of the
+    configuration.
+    """
+    rng = Random(derive_substream(config.seed, "arrivals"))
+    arrivals: List[float] = []
+    now = 0.0
+    for _ in range(config.num_agents):
+        now += rng.expovariate(config.arrival_rate)
+        arrivals.append(now)
+    return arrivals
 
 
 @dataclass(frozen=True)
@@ -217,6 +264,10 @@ class FleetResult:
     wall_seconds: float
     verifier_stats: Optional[Dict[str, Any]] = None
     deferred_signature_failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-shard execution metadata when the result came out of
+    #: :func:`repro.sim.shard.run_fleet` (wall times, ranges, workers).
+    #: Not part of the deterministic surface.
+    shards: Optional[List[Dict[str, Any]]] = None
 
     # -- population slices -------------------------------------------------------
 
@@ -357,13 +408,49 @@ class _Journey:
 
 
 class FleetEngine:
-    """Runs one fleet simulation described by a :class:`FleetConfig`."""
+    """Runs one fleet simulation described by a :class:`FleetConfig`.
 
-    def __init__(self, config: FleetConfig) -> None:
+    Parameters
+    ----------
+    config:
+        The run description.
+    agent_start / agent_stop:
+        Journey-index range ``[agent_start, agent_stop)`` this engine
+        executes.  Defaults to the whole fleet; :mod:`repro.sim.shard`
+        passes disjoint sub-ranges.  Journey identities, randomness, and
+        virtual timestamps are global — a partial engine reproduces
+        exactly the journeys of its range, bit for bit.
+    shard_index / num_shards:
+        Position of this engine in a sharded run (recorded in the trace
+        header and used to derive the batch-verifier substream).
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        agent_start: int = 0,
+        agent_stop: Optional[int] = None,
+        shard_index: int = 0,
+        num_shards: int = 1,
+    ) -> None:
         config.validate()
+        stop = config.num_agents if agent_stop is None else agent_stop
+        if not 0 <= agent_start <= stop <= config.num_agents:
+            raise ConfigurationError(
+                "agent range [%d, %d) must lie within [0, %d)"
+                % (agent_start, stop, config.num_agents)
+            )
+        if not 0 <= shard_index < num_shards:
+            raise ConfigurationError(
+                "shard_index %d outside [0, %d)" % (shard_index, num_shards)
+            )
         self.config = config
+        self.agent_start = agent_start
+        self.agent_stop = stop
+        self.shard_index = shard_index
+        self.num_shards = num_shards
         self.trace = TraceWriter()
-        self._rng = Random(config.seed)
+        self._topology_rng = Random(derive_substream(config.seed, "topology"))
         self._simulator = EventSimulator()
         self._registry = HostRegistry()
         self._keystore = KeyStore()
@@ -395,11 +482,21 @@ class FleetEngine:
             self._transfer_verifier = BatchedTransferVerifier(
                 self._keystore,
                 batch_size=self.config.verification_batch_size,
-                rng=Random(self.config.seed ^ 0xBA7C4),
+                rng=Random(derive_substream(
+                    self.config.seed, "batch", self.shard_index
+                )),
                 cache=VerificationCache(),
             )
 
-        self.trace.emit("fleet", config=self.config.to_canonical())
+        header: Dict[str, Any] = {"config": self.config.to_canonical()}
+        if self.num_shards > 1:
+            header["shard"] = {
+                "index": self.shard_index,
+                "of": self.num_shards,
+                "agent_start": self.agent_start,
+                "agent_stop": self.agent_stop,
+            }
+        self.trace.emit("fleet", **header)
         journeys = self._build_journeys(system)
         self._schedule_launches(journeys)
         self._simulator.run()
@@ -411,6 +508,12 @@ class FleetEngine:
             deferred = list(self._transfer_verifier.deferred_failures)
             verifier_stats = self._transfer_verifier.stats()
 
+        # Canonical outcome order: completion time, journey id.  Heap
+        # tie-breaking between different journeys depends on global
+        # schedule sequence numbers, which a sharded run cannot
+        # reconstruct — so the result order is made content-addressed
+        # here, identically for full and sharded runs.
+        self._outcomes.sort(key=lambda o: (o.completed_at, o.journey_id))
         result = FleetResult(
             config=self.config,
             outcomes=self._outcomes,
@@ -422,7 +525,7 @@ class FleetEngine:
             deferred_signature_failures=deferred,
         )
         if self.config.trace_path:
-            self.trace.write(self.config.trace_path)
+            self.trace.write(self.config.trace_path, canonical_order=True)
         return result
 
     # -- setup -------------------------------------------------------------------
@@ -443,7 +546,7 @@ class FleetEngine:
             config.malicious_host_fraction * config.num_hosts
         ))
         malicious_names = (
-            self._rng.sample(self._host_names, malicious_count)
+            self._topology_rng.sample(self._host_names, malicious_count)
             if malicious_count else []
         )
         scenarios: Dict[str, AttackScenario] = {}
@@ -478,16 +581,22 @@ class FleetEngine:
             self._registry.add(host)
 
     def _build_journeys(self, system: AgentSystem) -> List[_Journey]:
-        """Sample itineraries, workloads, and agents for every journey."""
+        """Sample itineraries, workloads, and agents for this engine's range.
+
+        Every journey draws from its own ``("journey", index)`` substream,
+        so journey ``index`` looks identical no matter which other
+        journeys run alongside it — the property shard merging relies on.
+        """
         config = self.config
         workloads, weights = zip(*config.workload_mix)
         journeys: List[_Journey] = []
         survey_visits: Dict[str, int] = {}
 
-        for index in range(config.num_agents):
+        for index in range(self.agent_start, self.agent_stop):
             journey_id = "j%05d" % index
-            workload = self._rng.choices(workloads, weights=weights, k=1)[0]
-            visited = self._rng.sample(self._host_names, config.hops_per_journey)
+            journey_rng = Random(derive_substream(config.seed, "journey", index))
+            workload = journey_rng.choices(workloads, weights=weights, k=1)[0]
+            visited = journey_rng.sample(self._host_names, config.hops_per_journey)
             route = ["home"] + visited + ["home"]
             if workload == "shopping":
                 agent: Any = ShoppingAgent(
@@ -545,12 +654,17 @@ class FleetEngine:
         return journeys
 
     def _schedule_launches(self, journeys: Sequence[_Journey]) -> None:
-        """Spread journey launches along the virtual timeline."""
-        arrival = 0.0
-        for journey in journeys:
-            arrival += self._rng.expovariate(self.config.arrival_rate)
-            self._simulator.schedule(
-                arrival, lambda journey=journey: self._launch(journey)
+        """Spread journey launches along the (global) virtual timeline.
+
+        Arrival times come from :func:`journey_arrival_times`, which is a
+        pure function of the configuration — a sharded engine schedules
+        its journeys at the exact absolute timestamps the full run uses.
+        """
+        arrivals = journey_arrival_times(self.config)
+        for offset, journey in enumerate(journeys):
+            self._simulator.schedule_at(
+                arrivals[self.agent_start + offset],
+                lambda journey=journey: self._launch(journey),
             )
 
     # -- event handlers ----------------------------------------------------------

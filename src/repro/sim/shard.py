@@ -1,0 +1,373 @@
+"""Sharded multiprocess fleet execution.
+
+A fleet run is shard-decomposable because :class:`~repro.sim.fleet.FleetEngine`
+derives all of its randomness from named substreams
+(:func:`~repro.sim.fleet.derive_substream`): the topology and arrival
+timeline are pure functions of the configuration, and every journey owns
+a private stream.  This module exploits that property:
+
+* :func:`split_fleet` partitions the journey-index range of a
+  :class:`~repro.sim.fleet.FleetConfig` into ``num_shards`` contiguous,
+  disjoint :class:`ShardSpec` ranges with per-shard derived seeds;
+* :func:`run_shard` executes one shard in the current process and
+  returns a pickle-safe :class:`ShardResult` (plain dataclasses and
+  dictionaries only — no hosts, runners, or simulators cross the
+  process boundary);
+* :func:`run_fleet` fans the shards out over a
+  :mod:`multiprocessing` pool and merges the shard outputs into a
+  single :class:`~repro.sim.fleet.FleetResult` that is **bit-identical**
+  to the single-process run of the same seed — same deterministic
+  signature, same merged JSONL trace bytes.
+
+Trace handling is shard-aware: each shard writes its own JSONL file
+(``<trace>.shard-K-of-N``) and the coordinator merges them through
+:func:`~repro.sim.trace.merge_shard_events`, whose canonical ordering
+makes the merged file independent of shard count and completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.sim.fleet import FleetConfig, FleetEngine, FleetResult, JourneyOutcome
+from repro.sim.trace import TraceWriter, merge_shard_events, read_trace
+
+__all__ = [
+    "ShardSpec",
+    "ShardResult",
+    "derive_shard_seed",
+    "shard_trace_path",
+    "split_fleet",
+    "run_shard",
+    "merge_shard_results",
+    "run_fleet",
+]
+
+#: Start method used for worker processes.  ``spawn`` gives every worker
+#: a fresh interpreter (same behaviour on Linux, macOS, and Windows, and
+#: no inherited state that could differ between pool and in-process
+#: execution); determinism never relies on it, only portability does.
+DEFAULT_START_METHOD = "spawn"
+
+
+def derive_shard_seed(seed: int, shard_index: int, num_shards: int) -> int:
+    """Deterministic per-shard seed from the master seed and position."""
+    material = "shard|%d|%d|%d" % (seed, shard_index, num_shards)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_trace_path(trace_path: str, shard_index: int, num_shards: int) -> str:
+    """Per-shard JSONL path derived from the merged trace path."""
+    return "%s.shard-%02d-of-%02d" % (trace_path, shard_index, num_shards)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One deterministic slice of a fleet run.
+
+    Attributes
+    ----------
+    config:
+        The full fleet configuration (``trace_path`` stripped — shard
+        traces go to :attr:`trace_path` instead).
+    shard_index / num_shards:
+        Position of this shard in the partition.
+    agent_start / agent_stop:
+        Journey-index range ``[agent_start, agent_stop)`` this shard
+        executes.  Ranges of a partition are contiguous and disjoint.
+    seed:
+        Per-shard derived seed (:func:`derive_shard_seed`).  Recorded
+        for provenance (shard metadata, reports) only — it must never
+        feed engine randomness, which flows exclusively from the global
+        substreams of ``config.seed``; a shard-local draw would break
+        the bit-identity of sharded and single-process runs.
+    trace_path:
+        Optional path for this shard's own JSONL trace file.
+    """
+
+    config: FleetConfig
+    shard_index: int
+    num_shards: int
+    agent_start: int
+    agent_stop: int
+    seed: int
+    trace_path: Optional[str] = None
+
+    @property
+    def num_agents(self) -> int:
+        """Number of journeys this shard executes."""
+        return self.agent_stop - self.agent_start
+
+    def describe(self) -> Dict[str, Any]:
+        """Compact metadata dictionary (reports, merged results)."""
+        return {
+            "shard_index": self.shard_index,
+            "num_shards": self.num_shards,
+            "agent_start": self.agent_start,
+            "agent_stop": self.agent_stop,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard sends back to the coordinator.
+
+    Deliberately pickle-safe: journey outcomes, plain dictionaries, and
+    numbers only.  Trace events travel through the per-shard JSONL file
+    named in ``spec.trace_path`` (when tracing is on), not through the
+    pickle channel.
+    """
+
+    spec: ShardSpec
+    outcomes: List[JourneyOutcome]
+    malicious_hosts: Dict[str, str]
+    virtual_makespan: float
+    events_processed: int
+    wall_seconds: float
+    verifier_stats: Optional[Dict[str, Any]] = None
+    deferred_signature_failures: List[Dict[str, Any]] = field(
+        default_factory=list
+    )
+
+
+def split_fleet(
+    config: FleetConfig,
+    num_shards: int,
+    trace_path: Optional[str] = None,
+) -> List[ShardSpec]:
+    """Partition a fleet into ``num_shards`` contiguous shard specs.
+
+    Shard sizes differ by at most one journey (the first
+    ``num_agents % num_shards`` shards take the extra one).  More shards
+    than journeys is rejected rather than silently producing empty
+    shards.  ``trace_path`` is the *merged* trace destination; per-shard
+    files are derived from it via :func:`shard_trace_path`.
+    """
+    config.validate()
+    if num_shards < 1:
+        raise ConfigurationError("num_shards must be positive")
+    if num_shards > config.num_agents:
+        raise ConfigurationError(
+            "cannot split %d journeys into %d shards"
+            % (config.num_agents, num_shards)
+        )
+    merged_trace = trace_path if trace_path is not None else config.trace_path
+    shard_config = replace(config, trace_path=None)
+    base, extra = divmod(config.num_agents, num_shards)
+    specs: List[ShardSpec] = []
+    start = 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        specs.append(ShardSpec(
+            config=shard_config,
+            shard_index=index,
+            num_shards=num_shards,
+            agent_start=start,
+            agent_stop=stop,
+            seed=derive_shard_seed(config.seed, index, num_shards),
+            trace_path=(
+                shard_trace_path(merged_trace, index, num_shards)
+                if merged_trace else None
+            ),
+        ))
+        start = stop
+    return specs
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Execute one shard in the current process.
+
+    Module-level on purpose: worker pools resolve it by qualified name
+    under the ``spawn`` start method.  When the spec names a trace path,
+    the shard's JSONL file is written before returning so the
+    coordinator can merge files instead of shipping events through
+    pickles.
+    """
+    engine = FleetEngine(
+        spec.config,
+        agent_start=spec.agent_start,
+        agent_stop=spec.agent_stop,
+        shard_index=spec.shard_index,
+        num_shards=spec.num_shards,
+    )
+    result = engine.run()
+    if spec.trace_path:
+        engine.trace.write(spec.trace_path, canonical_order=True)
+    return ShardResult(
+        spec=spec,
+        outcomes=result.outcomes,
+        malicious_hosts=result.malicious_hosts,
+        virtual_makespan=result.virtual_makespan,
+        events_processed=result.events_processed,
+        wall_seconds=result.wall_seconds,
+        verifier_stats=result.verifier_stats,
+        deferred_signature_failures=result.deferred_signature_failures,
+    )
+
+
+def _merge_verifier_stats(
+    stats: Sequence[Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    if not stats:
+        return None
+    merged: Dict[str, Any] = {
+        "verified": 0, "failed": 0, "batches": 0,
+        "cache": {"hits": 0, "misses": 0, "entries": 0},
+        "deferred_failures": 0,
+        "shards": len(stats),
+    }
+    for entry in stats:
+        merged["verified"] += entry.get("verified", 0)
+        merged["failed"] += entry.get("failed", 0)
+        merged["batches"] += entry.get("batches", 0)
+        merged["deferred_failures"] += entry.get("deferred_failures", 0)
+        cache = entry.get("cache", {})
+        for key in ("hits", "misses", "entries"):
+            merged["cache"][key] += cache.get(key, 0)
+    # Keep the merged cache dict shape-compatible with
+    # VerificationCache.stats() so reporting code never has to care
+    # whether a result came out of one process or many.
+    lookups = merged["cache"]["hits"] + merged["cache"]["misses"]
+    merged["cache"]["hit_rate"] = (
+        merged["cache"]["hits"] / lookups if lookups else 0.0
+    )
+    return merged
+
+
+def merge_shard_results(
+    config: FleetConfig,
+    shard_results: Sequence[ShardResult],
+    wall_seconds: float,
+) -> FleetResult:
+    """Fold shard outputs into one :class:`FleetResult`.
+
+    The merged result carries the canonical outcome order (completion
+    time, then journey id) — the same order a single-process engine
+    produces — so its deterministic signature equals the unsharded
+    run's.  Shards rebuild the topology independently; a mismatch in
+    their malicious-host maps would mean the topology substream leaked
+    shard-local state, so it is asserted rather than papered over.
+    """
+    if not shard_results:
+        raise ConfigurationError("cannot merge zero shard results")
+    ordered = sorted(shard_results, key=lambda r: r.spec.shard_index)
+    covered = [(r.spec.agent_start, r.spec.agent_stop) for r in ordered]
+    expected_start = 0
+    for start, stop in covered:
+        if start != expected_start:
+            raise ConfigurationError(
+                "shard ranges %r do not tile the agent range" % (covered,)
+            )
+        expected_start = stop
+    if expected_start != config.num_agents:
+        raise ConfigurationError(
+            "shard ranges %r do not cover %d journeys"
+            % (covered, config.num_agents)
+        )
+
+    malicious = dict(ordered[0].malicious_hosts)
+    for result in ordered[1:]:
+        if result.malicious_hosts != malicious:
+            raise ConfigurationError(
+                "shard %d rebuilt a different topology — the topology "
+                "substream is no longer shard-independent"
+                % result.spec.shard_index
+            )
+
+    outcomes: List[JourneyOutcome] = []
+    deferred: List[Dict[str, Any]] = []
+    for result in ordered:
+        outcomes.extend(result.outcomes)
+        deferred.extend(result.deferred_signature_failures)
+    outcomes.sort(key=lambda o: (o.completed_at, o.journey_id))
+
+    return FleetResult(
+        config=config,
+        outcomes=outcomes,
+        malicious_hosts=malicious,
+        virtual_makespan=max(r.virtual_makespan for r in ordered),
+        events_processed=sum(r.events_processed for r in ordered),
+        wall_seconds=wall_seconds,
+        verifier_stats=_merge_verifier_stats(
+            [r.verifier_stats for r in ordered if r.verifier_stats]
+        ),
+        deferred_signature_failures=deferred,
+        shards=[
+            dict(r.spec.describe(), wall_seconds=r.wall_seconds,
+                 events_processed=r.events_processed)
+            for r in ordered
+        ],
+    )
+
+
+def _write_merged_trace(
+    config: FleetConfig,
+    trace_path: str,
+    specs: Sequence[ShardSpec],
+) -> None:
+    """Merge per-shard JSONL files into the canonical merged trace."""
+    writer = TraceWriter()
+    writer.emit("fleet", config=config.to_canonical())
+    for event in merge_shard_events(
+        read_trace(spec.trace_path)
+        for spec in sorted(specs, key=lambda s: s.shard_index)
+        if spec.trace_path
+    ):
+        writer.emit(event.pop("event"), **event)
+    writer.write(trace_path, canonical_order=True)
+
+
+def run_fleet(
+    config: FleetConfig,
+    workers: int = 1,
+    num_shards: Optional[int] = None,
+    start_method: str = DEFAULT_START_METHOD,
+) -> FleetResult:
+    """Run a fleet across a multiprocess worker pool and merge the shards.
+
+    Parameters
+    ----------
+    config:
+        The fleet description.  ``config.trace_path`` (if set) receives
+        the merged JSONL trace; per-shard files appear next to it.
+    workers:
+        Worker processes to use.  ``1`` executes the shards sequentially
+        in this process — same code path, no pool.
+    num_shards:
+        Number of shards; defaults to ``workers``.  The merged result is
+        bit-identical for every ``(num_shards, workers)`` choice,
+        including the unsharded single-process engine.
+    start_method:
+        :mod:`multiprocessing` start method for the pool.
+
+    Returns
+    -------
+    FleetResult
+        Merged result with per-shard metadata in ``result.shards``.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be positive")
+    started = time.perf_counter()
+    shards = num_shards if num_shards is not None else workers
+    specs = split_fleet(config, min(shards, config.num_agents))
+
+    if workers == 1 or len(specs) == 1:
+        shard_results = [run_shard(spec) for spec in specs]
+    else:
+        context = multiprocessing.get_context(start_method)
+        with context.Pool(processes=min(workers, len(specs))) as pool:
+            shard_results = pool.map(run_shard, specs)
+
+    merged = merge_shard_results(
+        config, shard_results, wall_seconds=time.perf_counter() - started
+    )
+    if config.trace_path:
+        _write_merged_trace(config, config.trace_path, specs)
+    return merged

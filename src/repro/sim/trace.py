@@ -23,22 +23,67 @@ Event kinds
 Only virtual-clock quantities go into a trace; wall-clock timings are
 deliberately excluded so that the same seed produces a byte-identical
 trace file on any machine.
+
+Canonical event order
+---------------------
+Event-processing order breaks virtual-timestamp ties by the global
+schedule sequence — a quantity a sharded run cannot reconstruct.  Trace
+*files* therefore use the canonical order of :func:`fleet_event_key`:
+the header first, then events by ``(ts, journey)`` with each journey's
+own events kept in emission order.  Both the single-process engine and
+the shard merger (:func:`merge_shard_events`) write this order, which is
+what makes an N-shard merged trace byte-identical to the 1-process one.
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.agents.execution_log import ExecutionLog
 
 __all__ = [
     "TraceWriter",
+    "fleet_event_key",
+    "merge_shard_events",
     "read_trace",
     "journey_events",
     "execution_log_at",
 ]
+
+
+def fleet_event_key(event: Dict[str, Any]) -> Tuple[int, float, str]:
+    """Canonical sort key for fleet trace events.
+
+    Header lines (no ``ts``) sort before everything else; timeline
+    events sort by ``(ts, journey)``.  The key is content-based on
+    purpose: sorting with it is stable against how the events were
+    produced, so any partition of the fleet yields the same file.
+    """
+    if "ts" not in event:
+        return (0, 0.0, "")
+    return (1, event["ts"], str(event.get("journey", "")))
+
+
+def merge_shard_events(
+    shard_events: Iterable[Iterable[Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """Merge per-shard event streams into one canonical timeline.
+
+    Per-shard ``fleet`` headers are dropped (the caller emits one merged
+    header for the whole run); the remaining events are stably sorted by
+    :func:`fleet_event_key`.  Shards own disjoint journey-id sets, so
+    the key is unambiguous and the merge is deterministic regardless of
+    shard count or completion order.
+    """
+    merged: List[Dict[str, Any]] = []
+    for events in shard_events:
+        merged.extend(
+            event for event in events if event.get("event") != "fleet"
+        )
+    merged.sort(key=fleet_event_key)
+    return merged
 
 
 class TraceWriter:
@@ -67,18 +112,26 @@ class TraceWriter:
     def __len__(self) -> int:
         return len(self._events)
 
-    def to_jsonl(self) -> str:
-        """The whole trace as a JSONL string (sorted keys, stable floats)."""
+    def to_jsonl(self, canonical_order: bool = False) -> str:
+        """The whole trace as a JSONL string (sorted keys, stable floats).
+
+        With ``canonical_order`` the events are stably sorted by
+        :func:`fleet_event_key` first — the order trace *files* use so
+        that sharded and single-process runs serialize identically.
+        """
+        events = self._events
+        if canonical_order:
+            events = sorted(events, key=fleet_event_key)
         buffer = io.StringIO()
-        for event in self._events:
+        for event in events:
             json.dump(event, buffer, sort_keys=True, separators=(",", ":"))
             buffer.write("\n")
         return buffer.getvalue()
 
-    def write(self, path: str) -> None:
+    def write(self, path: str, canonical_order: bool = False) -> None:
         """Write the trace to ``path`` (overwrites)."""
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_jsonl())
+            handle.write(self.to_jsonl(canonical_order=canonical_order))
 
 
 def read_trace(path: str) -> List[Dict[str, Any]]:

@@ -15,7 +15,7 @@ this workload.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.agents.agent import MobileAgent, register_agent
 from repro.agents.context import ExecutionContext

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.agents.context import ExecutionContext, NullMetrics
 from repro.agents.input import (

@@ -12,7 +12,6 @@ from repro.agents.input import (
     INPUT_KIND_SERVICE,
     INPUT_KIND_SYSTEM,
     InputLog,
-    InputRecord,
     ReplayInputSource,
 )
 from repro.exceptions import InputReplayError

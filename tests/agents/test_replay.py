@@ -9,7 +9,6 @@ from repro.agents.input import INPUT_KIND_SERVICE, INPUT_KIND_SYSTEM, InputLog
 from repro.agents.replay import ReExecutor
 from repro.agents.state import AgentState
 
-from tests.helpers import ActingAgent, CounterAgent, FaultyAgent, RandomConsumerAgent
 
 
 @pytest.fixture

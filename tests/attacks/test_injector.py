@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import dataclasses
 
-import pytest
 
 from repro.agents.execution_log import ExecutionLog
 from repro.agents.input import INPUT_KIND_SERVICE, InputLog

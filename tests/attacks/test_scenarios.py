@@ -6,7 +6,7 @@ import pytest
 
 from repro.attacks.injector import AttackInjector
 from repro.attacks.model import AttackArea
-from repro.attacks.scenarios import AttackScenario, scenario_by_name, standard_catalogue
+from repro.attacks.scenarios import scenario_by_name, standard_catalogue
 
 
 class TestCatalogue:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.attacks.injector import InitialStateTamperInjector, ReadAttackInjector
 from repro.baselines.proof_verification import ProofVerificationMechanism

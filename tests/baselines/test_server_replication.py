@@ -9,7 +9,6 @@ from repro.baselines.server_replication import (
     ReplicationStage,
     ServerReplicationProtocol,
 )
-from repro.crypto.keys import KeyStore
 from repro.exceptions import ReplicationError
 from repro.platform.host import Host
 from repro.platform.malicious import MaliciousHost

@@ -20,7 +20,7 @@ from repro.bench.tables import (
     overall_factors,
     paper_reference_breakdowns,
 )
-from repro.bench.reporting import comparison_section, generate_report, markdown_table
+from repro.bench.reporting import comparison_section, markdown_table
 
 
 class TestMeasureGenericAgent:

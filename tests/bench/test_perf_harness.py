@@ -1,0 +1,142 @@
+"""Perf-baseline harness: report schema, regression gate, CLI exit codes."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    bench_dsa_verification,
+    build_report,
+    collect_environment,
+    compare_to_baseline,
+    main,
+)
+from repro.sim.fleet import FleetConfig
+
+
+def _tiny_config(**overrides):
+    defaults = dict(
+        num_agents=8,
+        num_hosts=6,
+        hops_per_journey=2,
+        malicious_host_fraction=0.2,
+        seed=7,
+        batched_verification=True,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestReportSchema:
+    def test_report_carries_schema_environment_and_benchmarks(self):
+        report = build_report(_tiny_config(), workers=1, quick=True)
+        assert report["schema"] == BENCH_SCHEMA
+        environment = report["environment"]
+        for key in ("python_version", "platform", "machine", "cpu_count"):
+            assert environment[key]
+        fleet = report["benchmarks"]["fleet"]
+        assert fleet["num_agents"] == 8
+        assert fleet["deterministic_signature"]
+        assert "workers_1" in fleet["runs"]
+        run = fleet["runs"]["workers_1"]
+        assert run["throughput_journeys_per_second"] > 0
+        assert run["wall_seconds"] > 0
+        cache = fleet["hash_cache"]
+        assert cache["hits"] + cache["misses"] > 0
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+        dsa = report["benchmarks"]["dsa_verification"]
+        assert dsa["speedup"] > 0
+
+    def test_report_is_json_serializable(self):
+        report = build_report(_tiny_config(), workers=1, quick=True)
+        assert json.loads(json.dumps(report)) == report
+
+    def test_dsa_benchmark_prefers_the_batched_path(self):
+        result = bench_dsa_verification(signatures=24, signers=4, repeats=1)
+        assert result["individual_seconds"] > 0
+        assert result["batched_seconds"] > 0
+        assert result["speedup"] > 1.0
+
+    def test_environment_is_collectable_outside_git(self, tmp_path):
+        environment = collect_environment()
+        assert environment["cpu_count"] >= 1
+
+
+class TestBaselineGate:
+    def _report(self):
+        return build_report(_tiny_config(), workers=1, quick=True)
+
+    def test_identical_reports_pass(self):
+        report = self._report()
+        assert compare_to_baseline(report, copy.deepcopy(report)) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        for run in baseline["benchmarks"]["fleet"]["runs"].values():
+            run["throughput_journeys_per_second"] *= 10
+        failures = compare_to_baseline(report, baseline, max_regression=0.30)
+        assert failures and "regressed" in failures[0]
+
+    def test_regression_within_threshold_passes(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        for run in baseline["benchmarks"]["fleet"]["runs"].values():
+            run["throughput_journeys_per_second"] *= 1.2
+        assert compare_to_baseline(report, baseline, max_regression=0.30) == []
+
+    def test_schema_mismatch_refuses_to_compare(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        baseline["schema"] = "something-else/0"
+        failures = compare_to_baseline(report, baseline)
+        assert failures and "schema mismatch" in failures[0]
+
+    def test_workload_mismatch_refuses_to_compare(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        baseline["benchmarks"]["fleet"]["num_agents"] = 999999
+        failures = compare_to_baseline(report, baseline)
+        assert failures and "workload mismatch" in failures[0]
+
+    def test_missing_run_key_fails(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        baseline["benchmarks"]["fleet"]["runs"]["workers_64"] = copy.deepcopy(
+            baseline["benchmarks"]["fleet"]["runs"]["workers_1"]
+        )
+        failures = compare_to_baseline(report, baseline)
+        assert failures and "missing" in failures[0]
+
+
+class TestCommandLine:
+    def test_main_writes_report_and_returns_zero(self, tmp_path):
+        output = tmp_path / "BENCH_fleet.json"
+        status = main([
+            "--agents", "8", "--hosts", "6", "--hops", "2",
+            "--workers", "1", "--output", str(output),
+        ])
+        assert status == 0
+        report = json.loads(output.read_text())
+        assert report["schema"] == BENCH_SCHEMA
+
+    def test_main_fails_against_a_faster_baseline(self, tmp_path):
+        output = tmp_path / "current.json"
+        assert main([
+            "--agents", "8", "--hosts", "6", "--hops", "2",
+            "--workers", "1", "--output", str(output),
+        ]) == 0
+        baseline = json.loads(output.read_text())
+        for run in baseline["benchmarks"]["fleet"]["runs"].values():
+            run["throughput_journeys_per_second"] *= 10
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline))
+        status = main([
+            "--agents", "8", "--hosts", "6", "--hops", "2",
+            "--workers", "1",
+            "--output", str(tmp_path / "again.json"),
+            "--baseline", str(baseline_path),
+        ])
+        assert status == 1

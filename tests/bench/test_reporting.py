@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.metrics import TimingBreakdown
 from repro.bench.reporting import comparison_section, factor_section, markdown_table

@@ -16,7 +16,9 @@ class TestHashCache:
         second = cache.encode(state)
         assert first == canonical_encode(state.to_canonical())
         assert second is first
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "entries": 1, "hit_rate": 0.5,
+        }
 
     def test_distinct_objects_are_distinct_entries(self):
         cache = HashCache()

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.hashing import (
     DEFAULT_HASH_ALGORITHM,
-    StateDigest,
     constant_time_equal,
     digest_hex,
     hash_bytes,

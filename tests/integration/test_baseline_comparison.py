@@ -14,7 +14,6 @@ must reflect the paper's analysis:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.attacks.injector import DataTamperInjector
 from repro.baselines.execution_traces import VignaTracesMechanism
@@ -24,7 +23,6 @@ from repro.baselines.server_replication import (
 )
 from repro.baselines.state_appraisal import StateAppraisalMechanism
 from repro.core.protocol import ReferenceStateProtocol
-from repro.crypto.keys import KeyStore
 from repro.platform.host import Host
 from repro.platform.malicious import MaliciousHost
 from repro.platform.resources import InputFeedService

@@ -9,7 +9,7 @@ from repro.exceptions import ConfigurationError, HostNotFoundError
 from repro.platform.host import Host
 from repro.platform.registry import AgentSystem, HostRegistry, ProtectionMechanism
 
-from tests.helpers import CounterAgent, FaultyAgent, make_number_service
+from tests.helpers import CounterAgent, FaultyAgent
 
 
 class TestHostRegistry:

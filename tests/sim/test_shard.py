@@ -1,0 +1,182 @@
+"""Sharded fleet execution: the merge must be invisible.
+
+The contract under test: for the same seed, every ``(num_shards,
+workers)`` execution strategy — including the unsharded single-process
+engine — produces the same deterministic result signature and the same
+merged JSONL trace bytes.  Plus the plumbing around it: partition
+shape, pickle safety of what crosses process boundaries, per-shard
+trace files, and merge-time sanity checks.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim import (
+    FleetConfig,
+    FleetEngine,
+    merge_shard_results,
+    run_fleet,
+    run_shard,
+    split_fleet,
+)
+from repro.sim.shard import derive_shard_seed, shard_trace_path
+
+
+def _config(**overrides):
+    defaults = dict(
+        num_agents=24,
+        num_hosts=8,
+        hops_per_journey=3,
+        malicious_host_fraction=0.25,
+        seed=11,
+        batched_verification=True,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+class TestSplitFleet:
+    def test_shards_tile_the_agent_range(self):
+        specs = split_fleet(_config(), 5)
+        assert [s.shard_index for s in specs] == [0, 1, 2, 3, 4]
+        assert specs[0].agent_start == 0
+        assert specs[-1].agent_stop == 24
+        for left, right in zip(specs, specs[1:]):
+            assert left.agent_stop == right.agent_start
+        sizes = [s.num_agents for s in specs]
+        assert sum(sizes) == 24
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_per_shard_seeds_are_distinct_and_deterministic(self):
+        specs = split_fleet(_config(), 4)
+        seeds = [s.seed for s in specs]
+        assert len(set(seeds)) == 4
+        assert seeds == [derive_shard_seed(11, i, 4) for i in range(4)]
+
+    def test_more_shards_than_journeys_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_fleet(_config(num_agents=3), 4)
+        with pytest.raises(ConfigurationError):
+            split_fleet(_config(), 0)
+
+    def test_trace_paths_are_derived_per_shard(self, tmp_path):
+        merged = str(tmp_path / "fleet.jsonl")
+        specs = split_fleet(_config(), 3, trace_path=merged)
+        assert [s.trace_path for s in specs] == [
+            shard_trace_path(merged, i, 3) for i in range(3)
+        ]
+        # shard engines must not race on the merged file
+        assert all(s.config.trace_path is None for s in specs)
+
+
+class TestShardDeterminism:
+    """Satellite: equal seeds => identical merged results, workers 1/2/4."""
+
+    @pytest.fixture(scope="class")
+    def single_process(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("plain") / "fleet.jsonl")
+        result = FleetEngine(_config(trace_path=path)).run()
+        with open(path, "rb") as handle:
+            return result, handle.read()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_merged_result_and_trace_match_single_process(
+        self, workers, tmp_path, single_process
+    ):
+        plain_result, plain_trace = single_process
+        path = str(tmp_path / "merged.jsonl")
+        merged = run_fleet(
+            _config(trace_path=path), workers=workers, num_shards=4
+        )
+        assert (merged.deterministic_signature()
+                == plain_result.deterministic_signature())
+        with open(path, "rb") as handle:
+            assert handle.read() == plain_trace
+
+    def test_shard_count_does_not_change_the_result(self, single_process):
+        plain_result, _ = single_process
+        for num_shards in (2, 3):
+            merged = run_fleet(_config(), workers=1, num_shards=num_shards)
+            assert (merged.deterministic_signature()
+                    == plain_result.deterministic_signature())
+
+    def test_merged_aggregates_add_up(self, single_process):
+        plain_result, _ = single_process
+        merged = run_fleet(_config(), workers=1, num_shards=3)
+        assert merged.journeys == plain_result.journeys
+        assert merged.events_processed == plain_result.events_processed
+        assert merged.virtual_makespan == plain_result.virtual_makespan
+        assert merged.malicious_hosts == plain_result.malicious_hosts
+        assert merged.shards is not None and len(merged.shards) == 3
+
+    def test_per_shard_trace_files_are_written(self, tmp_path):
+        path = str(tmp_path / "fleet.jsonl")
+        run_fleet(_config(trace_path=path), workers=1, num_shards=2)
+        for index in range(2):
+            shard_file = shard_trace_path(path, index, 2)
+            with open(shard_file, "r", encoding="utf-8") as handle:
+                first = handle.readline()
+            assert '"event":"fleet"' in first
+            assert '"shard"' in first
+
+
+class TestPickleSafety:
+    """What crosses the pool boundary must survive pickling unchanged."""
+
+    def test_shard_spec_round_trips(self):
+        spec = split_fleet(_config(), 3)[1]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_shard_result_round_trips(self):
+        spec = split_fleet(_config(num_agents=6), 2)[0]
+        result = run_shard(spec)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.spec == spec
+        assert ([o.to_canonical() for o in clone.outcomes]
+                == [o.to_canonical() for o in result.outcomes])
+        assert clone.events_processed == result.events_processed
+
+
+class TestMergeSanity:
+    def test_merge_rejects_incomplete_coverage(self):
+        config = _config(num_agents=6)
+        specs = split_fleet(config, 2)
+        first = run_shard(specs[0])
+        with pytest.raises(ConfigurationError):
+            merge_shard_results(config, [first], wall_seconds=0.0)
+
+    def test_merge_rejects_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            merge_shard_results(_config(), [], wall_seconds=0.0)
+
+    def test_run_fleet_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet(_config(), workers=0)
+
+
+class TestPartialEngine:
+    def test_partial_engine_reproduces_its_slice_of_the_full_run(self):
+        config = _config()
+        full = FleetEngine(config).run()
+        partial = FleetEngine(
+            config, agent_start=8, agent_stop=16,
+            shard_index=1, num_shards=3,
+        ).run()
+        by_id = {o.journey_id: o for o in full.outcomes}
+        assert len(partial.outcomes) == 8
+        for outcome in partial.outcomes:
+            assert outcome.to_canonical() == by_id[outcome.journey_id].to_canonical()
+
+    def test_invalid_ranges_are_rejected(self):
+        config = _config()
+        with pytest.raises(ConfigurationError):
+            FleetEngine(config, agent_start=10, agent_stop=5)
+        with pytest.raises(ConfigurationError):
+            FleetEngine(config, agent_stop=config.num_agents + 1)
+        with pytest.raises(ConfigurationError):
+            FleetEngine(config, shard_index=2, num_shards=2)

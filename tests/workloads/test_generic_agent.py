@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.agents.agent import default_registry
 from repro.bench.metrics import TimingCollector
