@@ -6,6 +6,7 @@ from repro.attacks.injector import (
     DataTamperInjector,
     DropInputRecordInjector,
     ExecutionLogForgeryInjector,
+    INJECTOR_REGISTRY,
     IncorrectExecutionInjector,
     InitialStateTamperInjector,
     InputLyingInjector,
@@ -13,14 +14,21 @@ from repro.attacks.injector import (
     ReadAttackInjector,
     StateFieldOverwriteInjector,
     WrongSystemCallInjector,
+    registered_injectors,
 )
 from repro.attacks.model import (
     AttackArea,
     AttackDescriptor,
     BLACKBOX_SET,
     Detectability,
+    areas_by_detectability,
 )
-from repro.attacks.scenarios import AttackScenario, scenario_by_name, standard_catalogue
+from repro.attacks.scenarios import (
+    AttackScenario,
+    catalogue_names,
+    scenario_by_name,
+    standard_catalogue,
+)
 
 __all__ = [
     "DetectionOutcome",
@@ -41,6 +49,10 @@ __all__ = [
     "BLACKBOX_SET",
     "Detectability",
     "AttackScenario",
+    "INJECTOR_REGISTRY",
+    "areas_by_detectability",
+    "catalogue_names",
+    "registered_injectors",
     "scenario_by_name",
     "standard_catalogue",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.attacks.model import AttackArea, AttackDescriptor
+from repro.attacks.model import AttackArea, AttackDescriptor, Detectability
 
 __all__ = ["DetectionOutcome", "DetectionReport"]
 
@@ -181,6 +181,24 @@ class DetectionReport:
             bucket["mounted"] += 1
             bucket["detected"] += int(outcome.detected)
             bucket["expected"] += int(outcome.expected_detection)
+        return table
+
+    def by_detectability(self) -> Dict[Detectability, Dict[str, int]]:
+        """Per-detectability-class counts of mounted / detected attacks.
+
+        This is the aggregation behind the campaign detectability
+        matrix.  Detectability is a pure function of the area
+        (Sections 2.3, 4.1, 4.2), so the class buckets are folds of
+        :meth:`by_area`.
+        """
+        table: Dict[Detectability, Dict[str, int]] = {}
+        for area, counts in self.by_area().items():
+            bucket = table.setdefault(
+                area.detectability,
+                {"mounted": 0, "detected": 0, "expected": 0},
+            )
+            for key, value in counts.items():
+                bucket[key] += value
         return table
 
     def by_mechanism(self) -> Dict[str, "DetectionReport"]:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.agents.agent import MobileAgent
 from repro.agents.execution_log import ExecutionLog
@@ -49,7 +49,19 @@ __all__ = [
     "DropInputRecordInjector",
     "ProtocolDataTamperInjector",
     "ExecutionLogForgeryInjector",
+    "INJECTOR_REGISTRY",
+    "registered_injectors",
 ]
+
+#: Every concrete :class:`AttackInjector` subclass, keyed by class name.
+#: Populated automatically by ``__init_subclass__`` so the campaign test
+#: matrix covers new injectors without anyone remembering to list them.
+INJECTOR_REGISTRY: Dict[str, Type["AttackInjector"]] = {}
+
+
+def registered_injectors() -> Tuple[Type["AttackInjector"], ...]:
+    """All registered injector classes, sorted by class name."""
+    return tuple(INJECTOR_REGISTRY[name] for name in sorted(INJECTOR_REGISTRY))
 
 
 class AttackInjector:
@@ -61,6 +73,10 @@ class AttackInjector:
     changes_resulting_state: bool = True
     #: Short identifier used in scenario descriptions and reports.
     name: str = "noop"
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        INJECTOR_REGISTRY[cls.__name__] = cls
 
     def describe(self, target_host: str,
                  collaboration: Tuple[str, ...] = ()) -> AttackDescriptor:

@@ -20,7 +20,13 @@ from dataclasses import dataclass
 from enum import Enum, unique
 from typing import Dict, Tuple
 
-__all__ = ["AttackArea", "Detectability", "AttackDescriptor", "BLACKBOX_SET"]
+__all__ = [
+    "AttackArea",
+    "Detectability",
+    "AttackDescriptor",
+    "BLACKBOX_SET",
+    "areas_by_detectability",
+]
 
 
 @unique
@@ -111,6 +117,22 @@ _DETECTABILITY: Dict[AttackArea, Detectability] = {
     AttackArea.MANIPULATION_OF_INTERACTION: Detectability.EXTENSION_REQUIRED,
     AttackArea.WRONG_SYSTEM_CALL_RESULTS: Detectability.NOT_PREVENTABLE,
 }
+
+def areas_by_detectability() -> Dict[Detectability, Tuple[AttackArea, ...]]:
+    """Figure-2 areas grouped by their expected detectability class.
+
+    The grouping is the row structure of the paper-style detectability
+    table (campaign reports render one block per class); areas within a
+    class keep their Figure-2 numbering order.
+    """
+    grouped: Dict[Detectability, Tuple[AttackArea, ...]] = {}
+    for detectability in Detectability:
+        grouped[detectability] = tuple(
+            area for area in AttackArea
+            if area.detectability is detectability
+        )
+    return grouped
+
 
 #: The reduced attack set of [3]: areas 2 and 4-7.  Preventing these is
 #: argued to be sufficient, because the remaining areas are either not

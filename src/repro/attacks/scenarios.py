@@ -14,6 +14,7 @@ or benchmark binds a scenario to a malicious host via
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.agents.state import AgentState
@@ -27,11 +28,17 @@ from repro.attacks.injector import (
     InputLyingInjector,
     ProtocolDataTamperInjector,
     ReadAttackInjector,
+    StateFieldOverwriteInjector,
     WrongSystemCallInjector,
 )
 from repro.attacks.model import AttackDescriptor
 
-__all__ = ["AttackScenario", "standard_catalogue", "scenario_by_name"]
+__all__ = [
+    "AttackScenario",
+    "standard_catalogue",
+    "scenario_by_name",
+    "catalogue_names",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +78,15 @@ def _fabricate_inflated_state(state: AgentState) -> AgentState:
         elif isinstance(value, float):
             data[key] = value * 1.5 + 1.0
     return AgentState(data=data, execution=dict(state.execution))
+
+
+def _plant_marker_field(agent: Any) -> None:
+    """Mutation used by the mutate-state-field scenario.
+
+    Plants a variable that no honest execution produces, so the attack
+    is guaranteed to change the resulting state regardless of workload.
+    """
+    agent.data["planted_by_attacker"] = "owned"
 
 
 def _strip_commitments(protocol_data: Dict[str, Any]) -> Optional[Dict[str, Any]]:
@@ -125,6 +141,18 @@ def standard_catalogue(
             ),
             injector_factory=lambda: InitialStateTamperInjector(
                 tamper_variable, tamper_value, name="tamper-initial-state"
+            ),
+            expected_detected=True,
+        ),
+        AttackScenario(
+            name="mutate-state-field",
+            description=(
+                "apply an arbitrary mutation to the resulting state: plant "
+                "a variable no honest execution produces (manipulation of "
+                "data)"
+            ),
+            injector_factory=lambda: StateFieldOverwriteInjector(
+                _plant_marker_field, name="mutate-state-field"
             ),
             expected_detected=True,
         ),
@@ -212,9 +240,31 @@ def standard_catalogue(
     ]
 
 
+@lru_cache(maxsize=1)
+def _default_catalogue_by_name() -> Dict[str, AttackScenario]:
+    """The default-parameter catalogue, indexed once.
+
+    Scenario objects are immutable and their factories build fresh
+    injectors, so sharing them is safe; campaign analysis looks up
+    expectations per journey and must not rebuild the catalogue each
+    time.
+    """
+    return {s.name: s for s in standard_catalogue()}
+
+
 def scenario_by_name(name: str, **catalogue_kwargs: Any) -> AttackScenario:
     """Look up a single scenario from the standard catalogue by name."""
+    if not catalogue_kwargs:
+        try:
+            return _default_catalogue_by_name()[name]
+        except KeyError:
+            raise KeyError("no attack scenario named %r" % name) from None
     for scenario in standard_catalogue(**catalogue_kwargs):
         if scenario.name == name:
             return scenario
     raise KeyError("no attack scenario named %r" % name)
+
+
+def catalogue_names() -> Tuple[str, ...]:
+    """The names of every scenario in the standard catalogue, in order."""
+    return tuple(_default_catalogue_by_name())

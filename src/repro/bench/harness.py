@@ -21,7 +21,12 @@ production-scale machinery and emits a schema-versioned
 * batched versus individual DSA signature verification at the
   primitive level;
 * canonical-hash cache hit rates observed during real fleet checking
-  traffic (:func:`repro.agents.state.encoding_cache_stats`).
+  traffic (:func:`repro.agents.state.encoding_cache_stats`);
+* an adversarial **campaign**: a fleet whose journeys carry attacks from
+  the full standard catalogue (:mod:`repro.sim.campaign`), reporting the
+  per-scenario precision / recall matrix, the detectability-class
+  matrix, the adversarial throughput against a benign baseline of the
+  same shape, and a workers 1-vs-N bit-identity cross-check.
 
 The emitted report carries environment metadata so recorded numbers are
 comparable across machines, and :func:`compare_to_baseline` implements
@@ -38,7 +43,7 @@ import platform
 import subprocess
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from random import Random
 from typing import Any, Dict, List, Optional
 
@@ -47,6 +52,7 @@ from repro.bench.metrics import TimingBreakdown, TimingCollector
 from repro.core.protocol import ReferenceStateProtocol
 from repro.crypto.dsa import batch_verify, generate_keypair
 from repro.platform.registry import JourneyResult
+from repro.sim.campaign import campaign_config, run_campaign
 from repro.sim.fleet import FleetConfig
 from repro.sim.shard import run_fleet
 from repro.workloads.generators import build_generic_scenario, paper_parameter_grid
@@ -59,6 +65,7 @@ __all__ = [
     "collect_environment",
     "bench_fleet_throughput",
     "bench_dsa_verification",
+    "bench_campaign",
     "build_report",
     "compare_to_baseline",
     "main",
@@ -159,8 +166,8 @@ def run_measurement_grid(protected: bool,
 
 #: Schema identifier of the emitted report.  Bump on incompatible
 #: structural changes so baseline comparisons can refuse to compare
-#: apples with oranges.
-BENCH_SCHEMA = "repro-bench-fleet/1"
+#: apples with oranges.  ``/2`` added the ``campaign`` section.
+BENCH_SCHEMA = "repro-bench-fleet/2"
 
 
 def collect_environment() -> Dict[str, Any]:
@@ -302,13 +309,102 @@ def bench_dsa_verification(
     }
 
 
+def bench_campaign(
+    config: FleetConfig,
+    workers: int,
+    start_method: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Adversarial campaign versus a benign baseline of identical shape.
+
+    ``config`` must be a campaign configuration (``attack_fraction`` >
+    0).  Three runs: a benign twin (attacks stripped) for the overhead
+    baseline, then the campaign at one worker and at ``workers`` — the
+    two campaign runs must be bit-identical (deterministic signature),
+    and a divergence is a hard error, not a number in a report.
+    """
+    if config.attack_fraction <= 0.0:
+        raise ValueError("bench_campaign needs attack_fraction > 0")
+    kwargs: Dict[str, Any] = {}
+    if start_method is not None:
+        kwargs["start_method"] = start_method
+
+    benign_config = replace(
+        config, attack_fraction=0.0, journey_scenarios=()
+    )
+    started = time.perf_counter()
+    run_fleet(benign_config, workers=workers, **kwargs)
+    benign_wall = time.perf_counter() - started
+    benign_throughput = config.num_agents / benign_wall
+
+    runs: Dict[str, Any] = {}
+    signatures: Dict[str, str] = {}
+    campaign = None
+    for worker_count in sorted({1, workers}):
+        started = time.perf_counter()
+        campaign = run_campaign(config, workers=worker_count, **kwargs)
+        wall = time.perf_counter() - started
+        key = "workers_%d" % worker_count
+        signatures[key] = campaign.deterministic_signature()
+        runs[key] = {
+            "workers": worker_count,
+            "wall_seconds": round(wall, 4),
+            "throughput_journeys_per_second": round(
+                config.num_agents / wall, 3
+            ),
+        }
+    if len(set(signatures.values())) != 1:
+        raise RuntimeError(
+            "sharded campaign diverged from the single-process run: %r"
+            % signatures
+        )
+
+    assert campaign is not None
+    multi_key = "workers_%d" % workers
+    adversarial_throughput = runs[multi_key][
+        "throughput_journeys_per_second"
+    ]
+    return {
+        "num_agents": config.num_agents,
+        "num_hosts": config.num_hosts,
+        "hops_per_journey": config.hops_per_journey,
+        "seed": config.seed,
+        "attack_fraction": config.attack_fraction,
+        "scenarios": list(config.journey_scenarios),
+        "deterministic_signature": signatures[multi_key],
+        "runs": runs,
+        "benign_baseline": {
+            "wall_seconds": round(benign_wall, 4),
+            "throughput_journeys_per_second": round(benign_throughput, 3),
+        },
+        "adversarial_overhead": round(
+            benign_throughput / adversarial_throughput, 3
+        ) if adversarial_throughput else None,
+        "detection": campaign.summary(),
+    }
+
+
 def build_report(
     config: FleetConfig,
     workers: int,
     quick: bool,
     start_method: Optional[str] = None,
+    campaign: Optional[FleetConfig] = None,
 ) -> Dict[str, Any]:
-    """Run all perf benchmarks and assemble the BENCH_fleet report."""
+    """Run all perf benchmarks and assemble the BENCH_fleet report.
+
+    ``campaign`` names the adversarial-campaign configuration; when
+    omitted it is derived from ``config`` (same shape, 30% of journeys
+    attacked with the full standard catalogue).
+    """
+    if campaign is None:
+        campaign = campaign_config(
+            num_agents=config.num_agents,
+            num_hosts=config.num_hosts,
+            hops_per_journey=config.hops_per_journey,
+            attack_fraction=0.3,
+            seed=config.seed,
+            batched_verification=config.batched_verification,
+        )
     return {
         "schema": BENCH_SCHEMA,
         "quick": quick,
@@ -318,6 +414,9 @@ def build_report(
                 config, workers, start_method=start_method
             ),
             "dsa_verification": bench_dsa_verification(),
+            "campaign": bench_campaign(
+                campaign, workers, start_method=start_method
+            ),
         },
     }
 
@@ -364,6 +463,41 @@ def compare_to_baseline(
                 "(baseline %.3f, allowed regression %.0f%%)"
                 % (key, cur_tp, floor, base_tp, 100 * max_regression)
             )
+
+    base_campaign = baseline["benchmarks"].get("campaign")
+    if base_campaign is not None:
+        cur_campaign = current["benchmarks"].get("campaign")
+        if cur_campaign is None:
+            return failures + [
+                "campaign section missing from current report — the "
+                "adversarial benchmark must not be silently dropped"
+            ]
+        for knob in ("num_agents", "num_hosts", "hops_per_journey",
+                     "seed", "attack_fraction"):
+            if base_campaign.get(knob) != cur_campaign.get(knob):
+                failures.append(
+                    "campaign workload mismatch on %s: baseline %r vs "
+                    "current %r — refresh the baseline"
+                    % (knob, base_campaign.get(knob), cur_campaign.get(knob))
+                )
+                return failures
+        for key, base_run in sorted(base_campaign["runs"].items()):
+            cur_run = cur_campaign["runs"].get(key)
+            if cur_run is None:
+                failures.append(
+                    "campaign baseline run %r missing from current report"
+                    % key
+                )
+                continue
+            base_tp = base_run["throughput_journeys_per_second"]
+            cur_tp = cur_run["throughput_journeys_per_second"]
+            floor = base_tp * (1.0 - max_regression)
+            if cur_tp < floor:
+                failures.append(
+                    "campaign %s throughput regressed: %.3f < %.3f "
+                    "journeys/s (baseline %.3f, allowed regression %.0f%%)"
+                    % (key, cur_tp, floor, base_tp, 100 * max_regression)
+                )
     return failures
 
 
@@ -399,6 +533,17 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the sharded run is at least "
                              "this much faster than single-process")
+    parser.add_argument("--campaign-agents", type=int, default=1000,
+                        help="journeys of the adversarial campaign "
+                             "benchmark (default: 1000)")
+    parser.add_argument("--attack-fraction", type=float, default=0.3,
+                        help="fraction of campaign journeys carrying an "
+                             "attack (default: 0.3)")
+    parser.add_argument("--min-campaign-recall", type=float, default=1.0,
+                        help="fail when recall on always-detectable "
+                             "scenarios falls below this floor "
+                             "(default: 1.0; pass a negative value to "
+                             "disable)")
     return parser.parse_args(argv)
 
 
@@ -416,10 +561,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         batched_verification=True,
     )
+    campaign = campaign_config(
+        num_agents=args.campaign_agents,
+        num_hosts=config.num_hosts,
+        hops_per_journey=config.hops_per_journey,
+        attack_fraction=args.attack_fraction,
+        seed=args.seed,
+        batched_verification=True,
+    )
 
     report = build_report(
         config, workers=args.workers, quick=args.quick,
-        start_method=args.start_method,
+        start_method=args.start_method, campaign=campaign,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -442,9 +595,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("dsa verification: batched %.2fx faster (%.4fs vs %.4fs)" % (
         dsa["speedup"], dsa["batched_seconds"], dsa["individual_seconds"],
     ))
+    camp = report["benchmarks"]["campaign"]
+    detection = camp["detection"]
+    print("campaign: %d journeys, %.0f%% attacked, signature %s" % (
+        camp["num_agents"], 100 * camp["attack_fraction"],
+        camp["deterministic_signature"][:16],
+    ))
+    print("  precision %.3f  recall %.3f  false-positive rate %.4f" % (
+        detection["precision"], detection["recall"],
+        detection["false_positive_rate"],
+    ))
+    print("  adversarial overhead vs benign: %.2fx" % camp["adversarial_overhead"])
+    for name, row in sorted(detection["per_scenario"].items()):
+        rate = row["detection_rate"]
+        print("  %-24s area %2d  %-18s %3d/%3d detected (%s)" % (
+            name, row["area"], row["detectability"],
+            row["detected"], row["injected"],
+            "%.2f" % rate if rate is not None else "n/a",
+        ))
     print("report written to %s" % args.output)
 
     status = 0
+    if args.min_campaign_recall is not None and args.min_campaign_recall >= 0:
+        observed = detection["always_detectable_recall"]
+        if observed < args.min_campaign_recall:
+            print(
+                "FAIL: campaign recall on always-detectable scenarios "
+                "%.3f below required %.3f" % (
+                    observed, args.min_campaign_recall,
+                ), file=sys.stderr,
+            )
+            status = 1
     if args.min_speedup is not None and args.workers > 1:
         if fleet["speedup_vs_single"] < args.min_speedup:
             print("FAIL: speedup %.2fx below required %.2fx" % (

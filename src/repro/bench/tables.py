@@ -5,6 +5,12 @@ agents), ``--table 2`` regenerates Table 2 (protected agents, with the
 overhead factors relative to a freshly measured Table 1), and
 ``--table both`` prints both plus a side-by-side comparison of measured
 overall overhead factors against the paper's.
+
+``--table detectability`` runs a small adversarial campaign
+(:mod:`repro.sim.campaign`) and renders the paper-style detectability
+table: one row per mounted attack scenario with its Figure-2 area,
+expected detectability class, and the measured detection rate and mean
+hops-to-detection.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.bench.metrics import TimingBreakdown
 
 if TYPE_CHECKING:  # lazy: keeps `python -m repro.bench.harness` warning-free
     from repro.bench.harness import MeasurementResult
+    from repro.sim.campaign import CampaignResult
 
 __all__ = [
     "PAPER_TABLE_1",
@@ -23,6 +30,7 @@ __all__ = [
     "PAPER_OVERALL_FACTORS",
     "format_table",
     "format_overhead_table",
+    "format_detectability_table",
     "overall_factors",
     "main",
 ]
@@ -132,6 +140,46 @@ def overall_factors(protected: Sequence[TimingBreakdown],
     return factors
 
 
+def format_detectability_table(
+    campaign: "CampaignResult",
+    title: str = "Detectability under reference states",
+) -> str:
+    """Render a campaign's per-scenario detection matrix as text.
+
+    One row per mounted scenario (Figure-2 area, expected detectability
+    class, detected / injected, mean hops-to-detection), followed by a
+    rollup per detectability class and the benign false-positive rate —
+    the campaign analogue of the paper's Section 4 coverage discussion.
+    """
+    header = "%-24s %-6s %-20s %-10s %9s %10s" % (
+        title, "area", "class", "expected", "detected", "hops-to-det",
+    )
+    lines = [header, "-" * len(header)]
+    for name, stats in sorted(campaign.per_scenario().items()):
+        hops = stats.mean_hops_to_detection
+        lines.append("%-24s %-6d %-20s %-10s %9s %10s" % (
+            name,
+            stats.area.value,
+            stats.detectability.value,
+            "yes" if stats.expected_detected else "no",
+            "%d/%d" % (stats.detected, stats.injected),
+            "%.1f" % hops if hops is not None else "--",
+        ))
+    lines.append("")
+    for class_name, row in sorted(campaign.detectability_matrix().items()):
+        rate = row["detection_rate"]
+        lines.append("%-28s areas %-12s %3d/%3d detected (%s)" % (
+            class_name,
+            ",".join(str(a) for a in row["areas"]),
+            row["detected"], row["mounted"],
+            "%.2f" % rate if rate is not None else "n/a",
+        ))
+    lines.append("benign journeys: %d, false-positive rate %.4f" % (
+        len(campaign.benign_journeys), campaign.false_positive_rate,
+    ))
+    return "\n".join(lines)
+
+
 def paper_reference_breakdowns(table: Dict[str, Dict[str, float]]
                                ) -> List[TimingBreakdown]:
     """The paper's reference numbers as breakdown rows (for reports)."""
@@ -154,11 +202,32 @@ def _breakdowns(results: Sequence[MeasurementResult]) -> List[TimingBreakdown]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command line entry point: regenerate Table 1 and/or Table 2."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--table", choices=("1", "2", "both"), default="both",
+    parser.add_argument("--table",
+                        choices=("1", "2", "both", "detectability"),
+                        default="both",
                         help="which table to regenerate")
     parser.add_argument("--fast-cycles", action="store_true",
                         help="use the C-level cycle loop (JIT ablation)")
+    parser.add_argument("--campaign-agents", type=int, default=120,
+                        help="campaign size for --table detectability "
+                             "(default: 120)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed for --table detectability")
     options = parser.parse_args(argv)
+
+    if options.table == "detectability":
+        from repro.sim.campaign import campaign_config, run_campaign
+
+        campaign = run_campaign(campaign_config(
+            num_agents=options.campaign_agents,
+            num_hosts=10,
+            hops_per_journey=3,
+            attack_fraction=0.35,
+            seed=options.seed,
+            batched_verification=True,
+        ))
+        print(format_detectability_table(campaign))
+        return 0
 
     from repro.bench.harness import run_measurement_grid
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
 from repro.agents.itinerary import Itinerary, RouteEntry, RouteRecord
@@ -37,7 +37,19 @@ __all__ = [
     "HopOutcome",
     "JourneyRunner",
     "AgentSystem",
+    "verdict_is_attack",
 ]
+
+
+def verdict_is_attack(verdict: Any) -> bool:
+    """Duck-typed attack check shared by every verdict consumer.
+
+    Anything with a truthy ``is_attack`` attribute counts, as does a
+    plain dictionary with ``{"is_attack": True}``.
+    """
+    if getattr(verdict, "is_attack", False):
+        return True
+    return isinstance(verdict, dict) and bool(verdict.get("is_attack"))
 
 
 class HostRegistry:
@@ -199,16 +211,9 @@ class JourneyResult:
     def detected_attack(self) -> bool:
         """Whether any verdict reports a detected attack.
 
-        Verdict objects are duck-typed: anything with a truthy
-        ``is_attack`` attribute counts, as does a plain dictionary with
-        ``{"is_attack": True}``.
+        Verdict objects are duck-typed via :func:`verdict_is_attack`.
         """
-        for verdict in self.verdicts:
-            if getattr(verdict, "is_attack", False):
-                return True
-            if isinstance(verdict, dict) and verdict.get("is_attack"):
-                return True
-        return False
+        return any(verdict_is_attack(verdict) for verdict in self.verdicts)
 
     def blamed_hosts(self) -> Tuple[str, ...]:
         """Hosts blamed by any attack verdict, deduplicated, sorted."""
@@ -290,6 +295,12 @@ class JourneyRunner:
         given, it must expose ``verify_transfer(sender, receiver,
         payload) -> bool``; the batched fleet path plugs in a
         :class:`~repro.crypto.batch.BatchedTransferVerifier` here.
+    hop_injectors:
+        Optional journey-resident attacks: hop index → attack injectors
+        mounted at that hop regardless of which host executes it.  The
+        adversarial campaign layer (:mod:`repro.sim.campaign`) uses
+        this to strike a deterministic fraction of journeys while every
+        other journey crossing the same hosts stays untouched.
     """
 
     def __init__(
@@ -299,11 +310,13 @@ class JourneyRunner:
         itinerary: Itinerary,
         protection: Optional[ProtectionMechanism] = None,
         transfer_verifier: Optional[Any] = None,
+        hop_injectors: Optional[Dict[int, Sequence[Any]]] = None,
     ) -> None:
         self.system = system
         self.itinerary = itinerary
         self.mechanism = protection or ProtectionMechanism()
         self.transfer_verifier = transfer_verifier
+        self.hop_injectors: Dict[int, Sequence[Any]] = dict(hop_injectors or {})
         self.route_record = RouteRecord() if system.record_route else None
         self.result = JourneyResult(
             agent=agent,
@@ -368,6 +381,13 @@ class JourneyRunner:
         hop_index = self._hop_index
         itinerary = self.itinerary
         host = self.system.registry.get(itinerary.host_at(hop_index))
+        injectors = self.hop_injectors.get(hop_index)
+        if injectors:
+            # Journey-resident attack: decorate this hop's host with the
+            # injector hooks without touching the shared host object.
+            from repro.platform.malicious import InjectedHostView
+
+            host = InjectedHostView(host, injectors)
         verdicts_before = len(self.result.verdicts)
         check_seconds = 0.0
 
@@ -519,11 +539,13 @@ class AgentSystem:
         itinerary: Itinerary,
         protection: Optional[ProtectionMechanism] = None,
         transfer_verifier: Optional[Any] = None,
+        hop_injectors: Optional[Dict[int, Sequence[Any]]] = None,
     ) -> JourneyRunner:
         """Build a :class:`JourneyRunner` for stepwise journey driving."""
         return JourneyRunner(
             self, agent, itinerary, protection,
             transfer_verifier=transfer_verifier,
+            hop_injectors=hop_injectors,
         )
 
     # -- internal helpers -------------------------------------------------------

@@ -6,17 +6,31 @@
 * :mod:`repro.sim.shard` — deterministic sharding of a fleet across a
   multiprocess worker pool, merging to a result bit-identical to the
   single-process run;
+* :mod:`repro.sim.campaign` — adversarial campaigns: journey-resident
+  attacks assigned from a dedicated substream, aggregated into
+  per-scenario precision / recall / time-to-detection;
 * :mod:`repro.sim.trace` — deterministic per-journey JSONL traces,
   replayable through :class:`~repro.agents.execution_log.ExecutionLog`.
 """
 
+from repro.sim.campaign import (
+    DEFAULT_CAMPAIGN_SCENARIOS,
+    CampaignResult,
+    ScenarioStats,
+    analyze_campaign,
+    campaign_config,
+    detection_report_from_trace,
+    run_campaign,
+)
 from repro.sim.fleet import (
     FleetConfig,
     FleetEngine,
     FleetResult,
+    JourneyAttack,
     JourneyOutcome,
     derive_substream,
     journey_arrival_times,
+    plan_journey_attack,
 )
 from repro.sim.shard import (
     ShardResult,
@@ -28,6 +42,7 @@ from repro.sim.shard import (
 )
 from repro.sim.trace import (
     TraceWriter,
+    attack_events,
     execution_log_at,
     fleet_event_key,
     journey_events,
@@ -36,21 +51,31 @@ from repro.sim.trace import (
 )
 
 __all__ = [
+    "CampaignResult",
+    "DEFAULT_CAMPAIGN_SCENARIOS",
     "FleetConfig",
     "FleetEngine",
     "FleetResult",
+    "JourneyAttack",
     "JourneyOutcome",
+    "ScenarioStats",
     "ShardResult",
     "ShardSpec",
     "TraceWriter",
+    "analyze_campaign",
+    "attack_events",
+    "campaign_config",
     "derive_substream",
+    "detection_report_from_trace",
     "execution_log_at",
     "fleet_event_key",
     "journey_arrival_times",
     "journey_events",
     "merge_shard_events",
     "merge_shard_results",
+    "plan_journey_attack",
     "read_trace",
+    "run_campaign",
     "run_fleet",
     "run_shard",
     "split_fleet",

@@ -48,7 +48,12 @@ from repro.net.network import UniformLatency
 from repro.net.simulator import EventSimulator
 from repro.platform.host import Host
 from repro.platform.malicious import MaliciousHost
-from repro.platform.registry import AgentSystem, HostRegistry, JourneyRunner
+from repro.platform.registry import (
+    AgentSystem,
+    HostRegistry,
+    JourneyRunner,
+    verdict_is_attack,
+)
 from repro.platform.resources import PriceQuoteService
 from repro.sim.trace import TraceWriter
 from repro.workloads.shopping import QUOTE_SERVICE, ShoppingAgent
@@ -56,11 +61,13 @@ from repro.workloads.survey import SURVEY_MAILBOX, SurveyAgent
 
 __all__ = [
     "FleetConfig",
+    "JourneyAttack",
     "JourneyOutcome",
     "FleetResult",
     "FleetEngine",
     "derive_substream",
     "journey_arrival_times",
+    "plan_journey_attack",
 ]
 
 
@@ -95,6 +102,46 @@ def journey_arrival_times(config: "FleetConfig") -> List[float]:
         now += rng.expovariate(config.arrival_rate)
         arrivals.append(now)
     return arrivals
+
+
+@dataclass(frozen=True)
+class JourneyAttack:
+    """Campaign ground truth for one journey: what strikes, and where.
+
+    Attributes
+    ----------
+    scenario:
+        Name of the standard-catalogue scenario mounted on the journey.
+    hop:
+        Itinerary hop index (1-based service hop) at which the injector
+        strikes.
+    """
+
+    scenario: str
+    hop: int
+
+
+def plan_journey_attack(config: "FleetConfig",
+                        index: int) -> Optional[JourneyAttack]:
+    """Deterministic campaign assignment for journey ``index``.
+
+    A pure function of ``(config, index)``: all draws come from the
+    dedicated ``("campaign", index)`` substream, never from the journey's
+    own stream.  This isolation is load-bearing twice over — benign
+    journeys are bit-identical between a 0%-attack and a 30%-attack
+    campaign of the same seed, and any shard recomputes exactly the
+    assignments of its journey range.
+    """
+    if config.attack_fraction <= 0.0 or not config.journey_scenarios:
+        return None
+    rng = Random(derive_substream(config.seed, "campaign", index))
+    if rng.random() >= config.attack_fraction:
+        return None
+    scenario = config.journey_scenarios[
+        rng.randrange(len(config.journey_scenarios))
+    ]
+    hop = rng.randrange(1, config.hops_per_journey + 1)
+    return JourneyAttack(scenario=scenario, hop=hop)
 
 
 @dataclass(frozen=True)
@@ -136,6 +183,17 @@ class FleetConfig:
         Queue length that triggers a batch settlement.
     trace_path:
         Optional file the JSONL trace is written to after the run.
+    attack_fraction:
+        Campaign layer: fraction of *journeys* that carry a
+        journey-resident attack (an injector mounted at one hop of the
+        itinerary, independent of the host population).  Assignment
+        draws from the dedicated ``("campaign", index)`` substream, so
+        turning a campaign on or off never shifts any benign journey's
+        randomness, and sharded campaign runs stay bit-identical to
+        single-process ones.
+    journey_scenarios:
+        Names from the standard attack catalogue the campaign draws
+        from; required (non-empty) whenever ``attack_fraction`` > 0.
     """
 
     num_agents: int = 1000
@@ -160,6 +218,8 @@ class FleetConfig:
     batched_verification: bool = False
     verification_batch_size: int = 64
     trace_path: Optional[str] = None
+    attack_fraction: float = 0.0
+    journey_scenarios: Tuple[str, ...] = ()
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
@@ -184,6 +244,16 @@ class FleetConfig:
                 raise ConfigurationError("unknown workload %r" % workload)
         for name in self.attack_scenarios:
             scenario_by_name(name)  # raises KeyError on unknown names
+        if not 0.0 <= self.attack_fraction <= 1.0:
+            raise ConfigurationError(
+                "attack_fraction must be within [0, 1]"
+            )
+        if self.attack_fraction > 0.0 and not self.journey_scenarios:
+            raise ConfigurationError(
+                "attack_fraction > 0 requires journey_scenarios"
+            )
+        for name in self.journey_scenarios:
+            scenario_by_name(name)  # raises KeyError on unknown names
 
     def to_canonical(self) -> Dict[str, Any]:
         return {
@@ -200,6 +270,8 @@ class FleetConfig:
             "latency_per_byte": self.latency_per_byte,
             "session_service_time": self.session_service_time,
             "batched_verification": self.batched_verification,
+            "attack_fraction": self.attack_fraction,
+            "journey_scenarios": list(self.journey_scenarios),
         }
 
 
@@ -219,6 +291,13 @@ class JourneyOutcome:
     wire_bytes: int
     launched_at: float
     completed_at: float
+    #: Campaign ground truth: the journey-resident attack, if any.
+    attack_scenario: Optional[str] = None
+    attack_hop: Optional[int] = None
+    #: First hop index / virtual time at which an attack verdict fired
+    #: (``None`` when the journey never alarmed).
+    detected_at_hop: Optional[int] = None
+    detected_at: Optional[float] = None
     #: Wall-clock phase costs (not part of the deterministic surface).
     check_seconds: float = 0.0
     session_seconds: float = 0.0
@@ -231,8 +310,32 @@ class JourneyOutcome:
 
     @property
     def attacked(self) -> bool:
-        """Whether the journey visited at least one malicious host."""
-        return bool(self.malicious_visited)
+        """Whether the journey met a malicious host or a campaign attack."""
+        return bool(self.malicious_visited) or self.attack_scenario is not None
+
+    @property
+    def attacker_hosts(self) -> Tuple[str, ...]:
+        """Hosts that attacked this journey (resident and campaign)."""
+        attackers = list(self.malicious_visited)
+        if self.attack_hop is not None:
+            target = self.itinerary[self.attack_hop]
+            if target not in attackers:
+                attackers.append(target)
+        return tuple(attackers)
+
+    @property
+    def hops_to_detection(self) -> Optional[int]:
+        """Hops between the campaign attack and its first verdict."""
+        if self.attack_hop is None or self.detected_at_hop is None:
+            return None
+        return self.detected_at_hop - self.attack_hop
+
+    @property
+    def time_to_detection(self) -> Optional[float]:
+        """Virtual seconds from launch to the first attack verdict."""
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.launched_at
 
     def to_canonical(self) -> Dict[str, Any]:
         """Deterministic fields only — wall timings are excluded."""
@@ -249,6 +352,10 @@ class JourneyOutcome:
             "wire_bytes": self.wire_bytes,
             "launched_at": self.launched_at,
             "completed_at": self.completed_at,
+            "attack_scenario": self.attack_scenario,
+            "attack_hop": self.attack_hop,
+            "detected_at_hop": self.detected_at_hop,
+            "detected_at": self.detected_at,
         }
 
 
@@ -282,8 +389,13 @@ class FleetResult:
 
     @property
     def honest_journeys(self) -> List[JourneyOutcome]:
-        """Journeys that only met honest hosts."""
+        """Journeys that met neither malicious hosts nor campaign attacks."""
         return [outcome for outcome in self.outcomes if not outcome.attacked]
+
+    @property
+    def campaign_journeys(self) -> List[JourneyOutcome]:
+        """Journeys that carried a journey-resident campaign attack."""
+        return [o for o in self.outcomes if o.attack_scenario is not None]
 
     # -- detection metrics -------------------------------------------------------
 
@@ -329,7 +441,7 @@ class FleetResult:
             return 1.0
         correct = sum(
             1 for o in detected
-            if set(o.blamed_hosts) & set(o.malicious_visited)
+            if set(o.blamed_hosts) & set(o.attacker_hosts)
         )
         return correct / len(detected)
 
@@ -375,6 +487,7 @@ class FleetResult:
         return {
             "journeys": self.journeys,
             "attacked_journeys": len(self.attacked_journeys),
+            "campaign_attacked": len(self.campaign_journeys),
             "honest_journeys": len(self.honest_journeys),
             "detection_rate": self.detection_rate,
             "false_positives": self.false_positives,
@@ -401,7 +514,10 @@ class _Journey:
     malicious_visited: Tuple[str, ...]
     scenarios: Tuple[str, ...]
     expected_detected: bool
+    attack: Optional[JourneyAttack] = None
     launched_at: float = 0.0
+    detected_at_hop: Optional[int] = None
+    detected_at: Optional[float] = None
     check_seconds: float = 0.0
     session_seconds: float = 0.0
     migrate_seconds: float = 0.0
@@ -592,6 +708,20 @@ class FleetEngine:
         journeys: List[_Journey] = []
         survey_visits: Dict[str, int] = {}
 
+        # Campaign scenarios are invariant across journeys (the tamper
+        # variable is one no honest execution produces — an attack that
+        # changes nothing is not an attack the paper's scheme needs to
+        # see), so the parameterized catalogue is built once, not per
+        # attacked journey.
+        campaign_scenarios = {
+            name: scenario_by_name(
+                name,
+                tamper_variable="tampered_by_campaign",
+                tamper_value="campaign-marker",
+            )
+            for name in config.journey_scenarios
+        }
+
         for index in range(self.agent_start, self.agent_stop):
             journey_id = "j%05d" % index
             journey_rng = Random(derive_substream(config.seed, "journey", index))
@@ -622,11 +752,26 @@ class FleetEngine:
                 scenario_by_name(name).expected_detected
                 for name in scenario_names
             )
+
+            # Journey-resident campaign attack: assignment comes from the
+            # dedicated campaign substream (plan_journey_attack), so the
+            # journey stream above is never perturbed by it.
+            attack = plan_journey_attack(config, index)
+            hop_injectors = None
+            if attack is not None:
+                campaign_scenario = campaign_scenarios[attack.scenario]
+                hop_injectors = {attack.hop: [campaign_scenario.build()]}
+                expected = expected or (
+                    bool(config.protected)
+                    and campaign_scenario.expected_detected
+                )
+
             runner = system.runner(
                 agent,
                 Itinerary(hosts=route),
                 protection=self._protocol,
                 transfer_verifier=self._transfer_verifier,
+                hop_injectors=hop_injectors,
             )
             journeys.append(_Journey(
                 journey_id=journey_id,
@@ -636,6 +781,7 @@ class FleetEngine:
                 malicious_visited=malicious_visited,
                 scenarios=scenario_names,
                 expected_detected=expected,
+                attack=attack,
             ))
 
         # Deposit exactly one survey answer per expected visit so the
@@ -680,6 +826,21 @@ class FleetEngine:
             workload=journey.workload,
             itinerary=list(journey.itinerary),
         )
+        if journey.attack is not None:
+            # Ground truth goes into the trace up front: what strikes,
+            # where, and whether the paper expects the scheme to see it.
+            self.trace.emit(
+                "attack",
+                ts=journey.launched_at,
+                journey=journey.journey_id,
+                scenario=journey.attack.scenario,
+                hop=journey.attack.hop,
+                target=journey.itinerary[journey.attack.hop],
+                expected=(
+                    bool(self.config.protected)
+                    and scenario_by_name(journey.attack.scenario).expected_detected
+                ),
+            )
         self._hop(journey)
 
     def _hop(self, journey: _Journey) -> None:
@@ -689,6 +850,12 @@ class FleetEngine:
         journey.check_seconds += outcome.check_seconds
         journey.session_seconds += outcome.session_seconds
         journey.migrate_seconds += outcome.migrate_seconds
+
+        if journey.detected_at is None and any(
+            verdict_is_attack(verdict) for verdict in outcome.new_verdicts
+        ):
+            journey.detected_at_hop = outcome.hop_index
+            journey.detected_at = self._simulator.clock.now()
 
         record = journey.runner.result.records[-1]
         self.trace.emit(
@@ -731,6 +898,12 @@ class FleetEngine:
             wire_bytes=result.total_transfer_bytes,
             launched_at=journey.launched_at,
             completed_at=completed_at,
+            attack_scenario=(
+                journey.attack.scenario if journey.attack else None
+            ),
+            attack_hop=journey.attack.hop if journey.attack else None,
+            detected_at_hop=journey.detected_at_hop,
+            detected_at=journey.detected_at,
             check_seconds=journey.check_seconds,
             session_seconds=journey.session_seconds,
             migrate_seconds=journey.migrate_seconds,
@@ -744,4 +917,10 @@ class FleetEngine:
             blamed=list(outcome.blamed_hosts),
             hops=outcome.hops,
             wire_bytes=outcome.wire_bytes,
+            expected=outcome.expected_detected,
+            malicious_visited=list(outcome.malicious_visited),
+            attack_scenario=outcome.attack_scenario,
+            attack_hop=outcome.attack_hop,
+            detected_at_hop=outcome.detected_at_hop,
+            detected_at=outcome.detected_at,
         )

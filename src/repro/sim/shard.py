@@ -135,6 +135,9 @@ class ShardResult:
     deferred_signature_failures: List[Dict[str, Any]] = field(
         default_factory=list
     )
+    #: Journeys of this shard that carried a campaign attack (adversarial
+    #: load is range-dependent, so it is worth surfacing per shard).
+    campaign_attacked: int = 0
 
 
 def split_fleet(
@@ -209,6 +212,7 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         wall_seconds=result.wall_seconds,
         verifier_stats=result.verifier_stats,
         deferred_signature_failures=result.deferred_signature_failures,
+        campaign_attacked=len(result.campaign_journeys),
     )
 
 
@@ -301,7 +305,8 @@ def merge_shard_results(
         deferred_signature_failures=deferred,
         shards=[
             dict(r.spec.describe(), wall_seconds=r.wall_seconds,
-                 events_processed=r.events_processed)
+                 events_processed=r.events_processed,
+                 campaign_attacked=r.campaign_attacked)
             for r in ordered
         ],
     )

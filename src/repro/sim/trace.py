@@ -14,11 +14,18 @@ Event kinds
     One header line: the configuration snapshot of the run.
 ``launch``
     A journey entered the system (itinerary, workload, agent id).
+``attack``
+    Campaign ground truth for an attacked journey (scenario, strike
+    hop, target host, and whether detection is expected); emitted right
+    after the journey's ``launch`` line.
 ``hop``
     One execution session finished (host, verdicts, transfer size, and
     the session's execution log).
 ``complete``
-    A journey finished (detection outcome, blamed hosts, totals).
+    A journey finished (detection outcome, blamed hosts, totals, and —
+    for campaign analysis — the ground truth and first-detection
+    position, so a trace alone replays to the same
+    :class:`~repro.attacks.detection.DetectionReport` as the live run).
 
 Only virtual-clock quantities go into a trace; wall-clock timings are
 deliberately excluded so that the same seed produces a byte-identical
@@ -45,6 +52,7 @@ from repro.agents.execution_log import ExecutionLog
 
 __all__ = [
     "TraceWriter",
+    "attack_events",
     "fleet_event_key",
     "merge_shard_events",
     "read_trace",
@@ -143,6 +151,16 @@ def read_trace(path: str) -> List[Dict[str, Any]]:
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def attack_events(events: Iterable[Dict[str, Any]]
+                  ) -> Dict[str, Dict[str, Any]]:
+    """Campaign ground truth of a trace: journey id → ``attack`` event."""
+    return {
+        event["journey"]: event
+        for event in events
+        if event.get("event") == "attack"
+    }
 
 
 def journey_events(events: Iterable[Dict[str, Any]],

@@ -8,6 +8,7 @@ from repro.agents.execution_log import ExecutionLog
 from repro.agents.input import INPUT_KIND_SERVICE, InputLog
 from repro.agents.state import AgentState
 from repro.attacks.injector import (
+    INJECTOR_REGISTRY,
     AttackInjector,
     DataTamperInjector,
     DropInputRecordInjector,
@@ -16,6 +17,7 @@ from repro.attacks.injector import (
     ProtocolDataTamperInjector,
     StateFieldOverwriteInjector,
     WrongSystemCallInjector,
+    registered_injectors,
 )
 from repro.platform.session import SessionRecord
 
@@ -130,3 +132,37 @@ class TestEnvironmentAndProtocolTampering:
     def test_protocol_data_tamper_ignores_missing_payload(self):
         injector = ProtocolDataTamperInjector(lambda data: None)
         assert injector.tamper_protocol_data(None) is None
+
+
+class TestInjectorRegistry:
+    """Subclasses register themselves; the campaign matrix relies on it."""
+
+    def test_every_shipped_injector_is_registered(self):
+        expected = {
+            "DataTamperInjector",
+            "StateFieldOverwriteInjector",
+            "InitialStateTamperInjector",
+            "IncorrectExecutionInjector",
+            "InputLyingInjector",
+            "WrongSystemCallInjector",
+            "ReadAttackInjector",
+            "DropInputRecordInjector",
+            "ProtocolDataTamperInjector",
+            "ExecutionLogForgeryInjector",
+        }
+        assert expected <= set(INJECTOR_REGISTRY)
+
+    def test_registered_injectors_is_sorted_and_complete(self):
+        classes = registered_injectors()
+        assert list(classes) == sorted(classes, key=lambda c: c.__name__)
+        assert set(classes) == set(INJECTOR_REGISTRY.values())
+
+    def test_new_subclasses_register_automatically(self):
+        class _ProbeInjector(AttackInjector):
+            name = "probe"
+
+        try:
+            assert INJECTOR_REGISTRY["_ProbeInjector"] is _ProbeInjector
+            assert _ProbeInjector in registered_injectors()
+        finally:
+            del INJECTOR_REGISTRY["_ProbeInjector"]

@@ -5,14 +5,18 @@ from __future__ import annotations
 import copy
 import json
 
+import pytest
+
 from repro.bench.harness import (
     BENCH_SCHEMA,
+    bench_campaign,
     bench_dsa_verification,
     build_report,
     collect_environment,
     compare_to_baseline,
     main,
 )
+from repro.sim.campaign import campaign_config
 from repro.sim.fleet import FleetConfig
 
 
@@ -27,6 +31,19 @@ def _tiny_config(**overrides):
     )
     defaults.update(overrides)
     return FleetConfig(**defaults)
+
+
+def _tiny_campaign_config(**overrides):
+    defaults = dict(
+        num_agents=10,
+        num_hosts=6,
+        hops_per_journey=2,
+        attack_fraction=0.4,
+        seed=7,
+        batched_verification=True,
+    )
+    defaults.update(overrides)
+    return campaign_config(**defaults)
 
 
 class TestReportSchema:
@@ -48,6 +65,9 @@ class TestReportSchema:
         assert 0.0 <= cache["hit_rate"] <= 1.0
         dsa = report["benchmarks"]["dsa_verification"]
         assert dsa["speedup"] > 0
+        campaign = report["benchmarks"]["campaign"]
+        assert campaign["attack_fraction"] == 0.3
+        assert campaign["detection"]["per_scenario"]
 
     def test_report_is_json_serializable(self):
         report = build_report(_tiny_config(), workers=1, quick=True)
@@ -62,6 +82,35 @@ class TestReportSchema:
     def test_environment_is_collectable_outside_git(self, tmp_path):
         environment = collect_environment()
         assert environment["cpu_count"] >= 1
+
+
+class TestCampaignSection:
+    @pytest.fixture(scope="class")
+    def section(self):
+        return bench_campaign(_tiny_campaign_config(), workers=1)
+
+    def test_detection_matrix_is_complete(self, section):
+        detection = section["detection"]
+        assert detection["campaign_attacked"] > 0
+        assert detection["always_detectable_recall"] == 1.0
+        assert detection["false_positive_rate"] == 0.0
+        for row in detection["per_scenario"].values():
+            assert {"precision", "recall", "detection_rate",
+                    "detectability", "area"} <= set(row)
+        assert detection["detectability_matrix"]
+
+    def test_benign_baseline_and_overhead_are_reported(self, section):
+        assert section["benign_baseline"]["throughput_journeys_per_second"] > 0
+        assert section["adversarial_overhead"] > 0
+        assert "workers_1" in section["runs"]
+        assert section["deterministic_signature"]
+
+    def test_campaign_bench_rejects_benign_configs(self):
+        with pytest.raises(ValueError):
+            bench_campaign(
+                _tiny_campaign_config(attack_fraction=0.0, scenarios=()),
+                workers=1,
+            )
 
 
 class TestBaselineGate:
@@ -110,33 +159,69 @@ class TestBaselineGate:
         failures = compare_to_baseline(report, baseline)
         assert failures and "missing" in failures[0]
 
+    def test_dropped_campaign_section_fails(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        del report["benchmarks"]["campaign"]
+        failures = compare_to_baseline(report, baseline)
+        assert failures and "campaign section missing" in failures[-1]
+
+    def test_campaign_throughput_regression_fails(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        for run in baseline["benchmarks"]["campaign"]["runs"].values():
+            run["throughput_journeys_per_second"] *= 10
+        failures = compare_to_baseline(report, baseline, max_regression=0.30)
+        assert failures
+        assert any("campaign" in failure for failure in failures)
+
+    def test_campaign_workload_mismatch_refuses_to_compare(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        baseline["benchmarks"]["campaign"]["attack_fraction"] = 0.9
+        failures = compare_to_baseline(report, baseline)
+        assert failures and "campaign workload mismatch" in failures[-1]
+
+
+_TINY_CLI = [
+    "--agents", "8", "--hosts", "6", "--hops", "2",
+    "--campaign-agents", "10", "--workers", "1",
+]
+
 
 class TestCommandLine:
     def test_main_writes_report_and_returns_zero(self, tmp_path):
         output = tmp_path / "BENCH_fleet.json"
-        status = main([
-            "--agents", "8", "--hosts", "6", "--hops", "2",
-            "--workers", "1", "--output", str(output),
-        ])
+        status = main(_TINY_CLI + ["--output", str(output)])
         assert status == 0
         report = json.loads(output.read_text())
         assert report["schema"] == BENCH_SCHEMA
+        campaign = report["benchmarks"]["campaign"]
+        assert campaign["num_agents"] == 10
+        assert campaign["detection"]["always_detectable_recall"] == 1.0
 
     def test_main_fails_against_a_faster_baseline(self, tmp_path):
         output = tmp_path / "current.json"
-        assert main([
-            "--agents", "8", "--hosts", "6", "--hops", "2",
-            "--workers", "1", "--output", str(output),
-        ]) == 0
+        assert main(_TINY_CLI + ["--output", str(output)]) == 0
         baseline = json.loads(output.read_text())
         for run in baseline["benchmarks"]["fleet"]["runs"].values():
             run["throughput_journeys_per_second"] *= 10
         baseline_path = tmp_path / "baseline.json"
         baseline_path.write_text(json.dumps(baseline))
-        status = main([
-            "--agents", "8", "--hosts", "6", "--hops", "2",
-            "--workers", "1",
+        status = main(_TINY_CLI + [
             "--output", str(tmp_path / "again.json"),
             "--baseline", str(baseline_path),
         ])
         assert status == 1
+
+    def test_main_enforces_the_campaign_recall_floor(self, tmp_path):
+        # An impossible floor (> 1.0) must trip the gate even on a
+        # perfectly detecting campaign; disabling via a negative value
+        # must not.
+        output = tmp_path / "report.json"
+        assert main(_TINY_CLI + [
+            "--output", str(output), "--min-campaign-recall", "1.1",
+        ]) == 1
+        assert main(_TINY_CLI + [
+            "--output", str(output), "--min-campaign-recall", "-1",
+        ]) == 0

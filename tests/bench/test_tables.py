@@ -1,0 +1,43 @@
+"""The paper-style detectability table rendered from a campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_detectability_table
+from repro.sim import campaign_config, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(campaign_config(
+        num_agents=24,
+        num_hosts=6,
+        hops_per_journey=2,
+        attack_fraction=0.5,
+        seed=3,
+        batched_verification=True,
+    ))
+
+
+class TestDetectabilityTable:
+    def test_every_mounted_scenario_gets_a_row(self, campaign):
+        table = format_detectability_table(campaign)
+        for name in campaign.per_scenario():
+            assert name in table
+
+    def test_rows_carry_class_and_counts(self, campaign):
+        table = format_detectability_table(campaign)
+        stats = campaign.per_scenario()
+        for name, row in stats.items():
+            line = next(
+                ln for ln in table.splitlines() if ln.startswith(name)
+            )
+            assert row.detectability.value in line
+            assert "%d/%d" % (row.detected, row.injected) in line
+
+    def test_rollup_and_false_positive_footer(self, campaign):
+        table = format_detectability_table(campaign)
+        assert "state-difference" in table
+        assert "false-positive rate" in table
+        assert "benign journeys: %d" % len(campaign.benign_journeys) in table

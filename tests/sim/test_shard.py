@@ -124,6 +124,64 @@ class TestShardDeterminism:
             assert '"shard"' in first
 
 
+class TestCampaignShardDeterminism:
+    """Satellite: adversarial campaigns shard exactly like benign fleets
+    — workers 1/2/4 produce byte-identical merged traces and identical
+    campaign analyses."""
+
+    @staticmethod
+    def _campaign_config(**overrides):
+        return _config(
+            malicious_host_fraction=0.0,
+            attack_fraction=0.4,
+            journey_scenarios=(
+                "tamper-result-variable",
+                "incorrect-execution",
+                "lie-about-input",
+                "strip-protocol-data",
+            ),
+            **overrides,
+        )
+
+    @pytest.fixture(scope="class")
+    def single_process_campaign(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("campaign") / "campaign.jsonl")
+        result = FleetEngine(self._campaign_config(trace_path=path)).run()
+        with open(path, "rb") as handle:
+            return result, handle.read()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_adversarial_merge_is_bit_identical(
+        self, workers, tmp_path, single_process_campaign
+    ):
+        from repro.sim import analyze_campaign
+
+        plain_result, plain_trace = single_process_campaign
+        path = str(tmp_path / "merged.jsonl")
+        merged = run_fleet(
+            self._campaign_config(trace_path=path),
+            workers=workers, num_shards=4,
+        )
+        assert (merged.deterministic_signature()
+                == plain_result.deterministic_signature())
+        with open(path, "rb") as handle:
+            assert handle.read() == plain_trace
+        # The campaign analysis is a pure function of the outcomes, so
+        # equal runs must yield equal summaries (per-scenario included).
+        assert (analyze_campaign(merged).summary()
+                == analyze_campaign(plain_result).summary())
+
+    def test_campaign_attacks_land_in_every_shard_range(
+        self, single_process_campaign
+    ):
+        plain_result, _ = single_process_campaign
+        merged = run_fleet(self._campaign_config(), workers=1, num_shards=3)
+        assert merged.shards is not None
+        per_shard = [shard["campaign_attacked"] for shard in merged.shards]
+        assert sum(per_shard) == len(plain_result.campaign_journeys)
+        assert len(plain_result.campaign_journeys) > 0
+
+
 class TestPickleSafety:
     """What crosses the pool boundary must survive pickling unchanged."""
 
