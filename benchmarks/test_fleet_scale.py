@@ -45,10 +45,14 @@ def test_batched_verification_is_measurably_faster():
         "speedup: %.1fx" % result["speedup"],
         "",
     ]))
-    # The batch test replaces two full-width exponentiations per
-    # signature by one small-exponent term; anything below 1.5x would
-    # mean the fast path regressed.
-    assert result["speedup"] > 1.5, (
+    # The batch test replaces the per-signature exponentiations by one
+    # small-exponent term per signature plus one full-width term per
+    # *signer*.  Since the individual path gained fixed-base tables
+    # (crypto/dsa.py), its two table-driven exponentiations per
+    # signature are already cheap, so the batch advantage narrowed from
+    # ~5x to ~1.4x — still a win on fleet-shaped streams (few signers,
+    # many messages), and this gate keeps it from regressing below one.
+    assert result["speedup"] > 1.15, (
         "batched verification only %.2fx faster" % result["speedup"]
     )
 

@@ -21,10 +21,12 @@ The example in the paper's Figure 3 (a five statement fragment where
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.crypto.hashing import StateDigest, hash_chain
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.hashing import DEFAULT_HASH_ALGORITHM, StateDigest
 
 __all__ = ["TraceEntry", "ExecutionLog"]
 
@@ -72,8 +74,27 @@ class ExecutionLog:
 
     def __init__(self, entries: Optional[List[TraceEntry]] = None,
                  record_statements: bool = True) -> None:
-        self._entries: List[TraceEntry] = list(entries or [])
+        self._entries: List[TraceEntry] = []
         self._record_statements = record_statements
+        # Incremental chain digest: the hasher absorbs each entry once,
+        # at append time, so committing to the log costs O(delta) per
+        # hop instead of re-hashing the whole history (the digest is
+        # taken at every migration, the entries never change once
+        # appended).  The running state mirrors hash_chain() exactly:
+        # length prefix, colon, canonical encoding, per entry.
+        self._hasher = hashlib.new(DEFAULT_HASH_ALGORITHM)
+        for entry in entries or []:
+            self._absorb(self._append_entry(entry))
+
+    def _append_entry(self, entry: TraceEntry) -> TraceEntry:
+        self._entries.append(entry)
+        return entry
+
+    def _absorb(self, entry: TraceEntry) -> None:
+        encoded = canonical_encode(entry.to_canonical())
+        self._hasher.update(str(len(encoded)).encode("ascii"))
+        self._hasher.update(b":")
+        self._hasher.update(encoded)
 
     @property
     def record_statements(self) -> bool:
@@ -92,7 +113,8 @@ class ExecutionLog:
             statement=statement if self._record_statements else None,
             assignments=dict(assignments or {}),
         )
-        self._entries.append(entry)
+        self._append_entry(entry)
+        self._absorb(entry)
         return entry
 
     def __len__(self) -> int:
@@ -117,8 +139,16 @@ class ExecutionLog:
         return tuple(entry for entry in self._entries if entry.assignments)
 
     def digest(self) -> StateDigest:
-        """Chain hash over all entries (the trace commitment)."""
-        return hash_chain(entry.to_canonical() for entry in self._entries)
+        """Chain hash over all entries (the trace commitment).
+
+        Equal to ``hash_chain(entry.to_canonical() for entry in log)``
+        but O(1): the chain state is maintained incrementally at append
+        time, so a log of any length commits in constant time.
+        """
+        return StateDigest(
+            algorithm=DEFAULT_HASH_ALGORITHM,
+            digest=self._hasher.copy().digest(),
+        )
 
     def to_canonical(self) -> List[Dict[str, Any]]:
         return [entry.to_canonical() for entry in self._entries]
@@ -142,8 +172,11 @@ class ExecutionLog:
         return stripped
 
     def copy(self) -> "ExecutionLog":
-        """Return an independent copy of the log."""
-        return ExecutionLog(list(self._entries), self._record_statements)
+        """Return an independent copy of the log (chain state included)."""
+        clone = ExecutionLog(record_statements=self._record_statements)
+        clone._entries = list(self._entries)
+        clone._hasher = self._hasher.copy()
+        return clone
 
     def matches(self, other: "ExecutionLog") -> bool:
         """Whether two logs commit to the same content.

@@ -18,7 +18,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional
 
-from repro.crypto.canonical import canonical_equal
+from repro.crypto.canonical import canonical_encode, canonical_equal
 from repro.crypto.hashing import HashCache, StateDigest, hash_bytes
 from repro.exceptions import AgentStateError
 
@@ -199,8 +199,20 @@ class AgentState:
         :class:`~repro.crypto.hashing.HashCache` — and reused by
         :meth:`digest`, :meth:`equals`, and :meth:`size_bytes`, the hot
         comparisons of fleet-scale checking.
+
+        The method doubles as the ``__canonical_bytes__`` splice hook of
+        :class:`~repro.crypto.canonical.CanonicalEncoder`: a state
+        embedded in an enclosing payload (a signed commitment, a packed
+        transfer) contributes its memoized bytes instead of being
+        re-encoded, which is what keeps per-hop hashing proportional to
+        the *delta* a hop produced rather than the whole history the
+        agent carries.
         """
-        return _ENCODING_CACHE.encode(self)
+        return _ENCODING_CACHE.encode_object(
+            self, lambda: canonical_encode(self.to_canonical())
+        )
+
+    __canonical_bytes__ = canonical_bytes
 
     def digest(self) -> StateDigest:
         """Secure hash of the snapshot (what hosts sign and compare)."""
@@ -208,6 +220,8 @@ class AgentState:
 
     def equals(self, other: "AgentState") -> bool:
         """Exact (canonical) equality with another snapshot."""
+        if self is other:
+            return True
         return self.canonical_bytes() == other.canonical_bytes()
 
     def size_bytes(self) -> int:

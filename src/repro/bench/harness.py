@@ -54,7 +54,7 @@ from repro.crypto.dsa import batch_verify, generate_keypair
 from repro.platform.registry import JourneyResult
 from repro.sim.campaign import campaign_config, run_campaign
 from repro.sim.fleet import FleetConfig
-from repro.sim.shard import run_fleet
+from repro.sim.shard import DEFAULT_START_METHOD, FleetWorkerPool, run_fleet
 from repro.workloads.generators import build_generic_scenario, paper_parameter_grid
 
 __all__ = [
@@ -166,8 +166,11 @@ def run_measurement_grid(protected: bool,
 
 #: Schema identifier of the emitted report.  Bump on incompatible
 #: structural changes so baseline comparisons can refuse to compare
-#: apples with oranges.  ``/2`` added the ``campaign`` section.
-BENCH_SCHEMA = "repro-bench-fleet/2"
+#: apples with oranges.  ``/2`` added the ``campaign`` section; ``/3``
+#: covers the digest-commitment protocol rewrite (fixed-base DSA,
+#: single-encode transfers, warmed worker pools) and the optional
+#: ``profile`` section.
+BENCH_SCHEMA = "repro-bench-fleet/3"
 
 
 def collect_environment() -> Dict[str, Any]:
@@ -194,12 +197,16 @@ def bench_fleet_throughput(
     config: FleetConfig,
     workers: int,
     start_method: Optional[str] = None,
+    pool: Optional[FleetWorkerPool] = None,
 ) -> Dict[str, Any]:
     """Time the fleet single-process and across a ``workers``-wide pool.
 
     Also serves as an end-to-end determinism check: the sharded run's
     deterministic signature must equal the single-process run's, and a
-    mismatch is a hard error, not a number in a report.
+    mismatch is a hard error, not a number in a report.  ``pool``
+    optionally names a persistent pre-warmed worker pool; the harness
+    passes one so no measured section pays worker spawn or crypto
+    warm-up (production deployments hold a pool open the same way).
     """
     kwargs: Dict[str, Any] = {}
     if start_method is not None:
@@ -211,7 +218,9 @@ def bench_fleet_throughput(
     cache_after = cache_before
     for worker_count in sorted({1, workers}):
         started = time.perf_counter()
-        result = run_fleet(config, workers=worker_count, **kwargs)
+        # run_fleet keeps workers=1 single-process even with a pool, so
+        # the serial leg of the speedup comparison stays serial.
+        result = run_fleet(config, workers=worker_count, pool=pool, **kwargs)
         wall = time.perf_counter() - started
         key = "workers_%d" % worker_count
         signatures[key] = result.deterministic_signature()
@@ -313,6 +322,7 @@ def bench_campaign(
     config: FleetConfig,
     workers: int,
     start_method: Optional[str] = None,
+    pool: Optional[FleetWorkerPool] = None,
 ) -> Dict[str, Any]:
     """Adversarial campaign versus a benign baseline of identical shape.
 
@@ -327,6 +337,8 @@ def bench_campaign(
     kwargs: Dict[str, Any] = {}
     if start_method is not None:
         kwargs["start_method"] = start_method
+    if pool is not None:
+        kwargs["pool"] = pool
 
     benign_config = replace(
         config, attack_fraction=0.0, journey_scenarios=()
@@ -389,12 +401,17 @@ def build_report(
     quick: bool,
     start_method: Optional[str] = None,
     campaign: Optional[FleetConfig] = None,
+    pool: Optional[FleetWorkerPool] = None,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Run all perf benchmarks and assemble the BENCH_fleet report.
 
     ``campaign`` names the adversarial-campaign configuration; when
     omitted it is derived from ``config`` (same shape, 30% of journeys
-    attacked with the full standard catalogue).
+    attacked with the full standard catalogue).  ``pool`` is a
+    persistent worker pool shared by every multi-worker section;
+    ``profile`` additionally runs the fleet under the per-phase
+    profiler (:mod:`repro.bench.profile`) and attaches the attribution.
     """
     if campaign is None:
         campaign = campaign_config(
@@ -405,20 +422,25 @@ def build_report(
             seed=config.seed,
             batched_verification=config.batched_verification,
         )
-    return {
+    report = {
         "schema": BENCH_SCHEMA,
         "quick": quick,
         "environment": collect_environment(),
         "benchmarks": {
             "fleet": bench_fleet_throughput(
-                config, workers, start_method=start_method
+                config, workers, start_method=start_method, pool=pool
             ),
             "dsa_verification": bench_dsa_verification(),
             "campaign": bench_campaign(
-                campaign, workers, start_method=start_method
+                campaign, workers, start_method=start_method, pool=pool
             ),
         },
     }
+    if profile:
+        from repro.bench.profile import profile_fleet
+
+        report["profile"] = profile_fleet(config)
+    return report
 
 
 def compare_to_baseline(
@@ -544,6 +566,15 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "scenarios falls below this floor "
                              "(default: 1.0; pass a negative value to "
                              "disable)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute fleet wall time to crypto / "
+                             "encode / engine / trace phases (cProfile) "
+                             "and attach the result to the report")
+    parser.add_argument("--profile-output", default="BENCH_profile.json",
+                        metavar="PATH",
+                        help="where --profile additionally writes the "
+                             "stand-alone profile artifact "
+                             "(default: BENCH_profile.json)")
     return parser.parse_args(argv)
 
 
@@ -570,13 +601,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         batched_verification=True,
     )
 
-    report = build_report(
-        config, workers=args.workers, quick=args.quick,
-        start_method=args.start_method, campaign=campaign,
-    )
+    # One persistent, pre-warmed pool serves every multi-worker section:
+    # spawning (and re-generating keys/tables in) fresh workers per
+    # measurement is exactly the startup tax the committed 4-worker
+    # regression traced back to.
+    pool: Optional[FleetWorkerPool] = None
+    if args.workers > 1:
+        pool = FleetWorkerPool(
+            args.workers,
+            start_method=args.start_method or DEFAULT_START_METHOD,
+            warm_config=config,
+        )
+    try:
+        report = build_report(
+            config, workers=args.workers, quick=args.quick,
+            start_method=args.start_method, campaign=campaign,
+            pool=pool, profile=args.profile,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if args.profile:
+        with open(args.profile_output, "w", encoding="utf-8") as handle:
+            json.dump(report["profile"], handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     fleet = report["benchmarks"]["fleet"]
     print("fleet: %d journeys, signature %s" % (
@@ -588,6 +639,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             run["throughput_journeys_per_second"],
         ))
     print("  speedup vs single: %.2fx" % fleet["speedup_vs_single"])
+    if args.workers > 1 and fleet["speedup_vs_single"] < 1.0:
+        print(
+            "\n"
+            "*** WARNING ***********************************************\n"
+            "* The %d-worker sharded run was SLOWER than single-process\n"
+            "* (speedup %.2fx < 1.0x): sharding is currently paying a\n"
+            "* penalty instead of scaling.  Check cpu_count in the\n"
+            "* environment section (%s CPUs seen) — on a single-core\n"
+            "* machine multiprocess runs cannot beat one process — and\n"
+            "* make sure a persistent FleetWorkerPool is in use.\n"
+            "***********************************************************"
+            % (
+                args.workers, fleet["speedup_vs_single"],
+                report["environment"].get("cpu_count"),
+            ),
+            file=sys.stderr,
+        )
     print("  hash-cache hit rate: %.1f%%" % (
         100 * fleet["hash_cache"]["hit_rate"],
     ))
@@ -606,13 +674,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         detection["false_positive_rate"],
     ))
     print("  adversarial overhead vs benign: %.2fx" % camp["adversarial_overhead"])
+    from repro.bench.tables import metric_cell
+
     for name, row in sorted(detection["per_scenario"].items()):
-        rate = row["detection_rate"]
-        print("  %-24s area %2d  %-18s %3d/%3d detected (%s)" % (
-            name, row["area"], row["detectability"],
-            row["detected"], row["injected"],
-            "%.2f" % rate if rate is not None else "n/a",
-        ))
+        print("  %-24s area %2d  %-18s %3d/%3d detected "
+              "(recall %s, precision %s, hops-to-det %s)" % (
+                  name, row["area"], row["detectability"],
+                  row["detected"], row["injected"],
+                  metric_cell(row["detection_rate"]),
+                  metric_cell(row["precision"]),
+                  metric_cell(row["mean_hops_to_detection"], "%.1f"),
+              ))
+    if args.profile:
+        from repro.bench.profile import format_profile
+
+        print(format_profile(report["profile"]))
+        print("profile written to %s" % args.profile_output)
     print("report written to %s" % args.output)
 
     status = 0

@@ -1,0 +1,150 @@
+"""Per-phase wall-time attribution for fleet runs.
+
+``python -m repro.bench.harness --profile`` answers the question every
+perf regression starts with: *where did the time go?*  A fleet run is
+executed under :mod:`cProfile` and every profiled function is attributed
+to one of four phases by the module it lives in:
+
+``crypto``
+    DSA signing/verification, batching, envelopes, key handling
+    (:mod:`repro.crypto` minus the canonical codec).
+``encode``
+    Canonical encoding/decoding and hashing of states, logs, and
+    transfers (:mod:`repro.crypto.canonical`, :mod:`repro.crypto.hashing`).
+``trace``
+    JSONL trace writing/merging (:mod:`repro.sim.trace`).
+``engine``
+    Everything else inside the library: the discrete-event engine,
+    platform, agents, workloads, and checkers.
+
+Functions outside the library (interpreter built-ins, stdlib frames
+reached from library code) accumulate under ``other`` — per-phase
+numbers use *tottime* (own time, callees excluded), so the phase split
+is a partition: the phase seconds plus ``other`` sum to the profiled
+wall time, and no cost is double-counted.
+
+The resulting section lands in the ``repro-bench-fleet/3`` report so a
+throughput regression in CI carries its own attribution.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from typing import Any, Dict, List
+
+from repro.sim.fleet import FleetConfig, FleetEngine
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "classify_function",
+    "profile_fleet",
+]
+
+#: Schema tag of the profile section (versioned independently of the
+#: enclosing BENCH report so baseline comparison can ignore it).
+PROFILE_SCHEMA = "repro-bench-profile/1"
+
+#: Phase attribution rules, first match wins.  Paths use forward slashes
+#: after normalization, so the rules are platform-independent.
+_PHASE_RULES = (
+    ("encode", ("repro/crypto/canonical", "repro/crypto/hashing")),
+    ("crypto", ("repro/crypto/",)),
+    ("trace", ("repro/sim/trace",)),
+    ("engine", ("repro/",)),
+)
+
+
+def classify_function(filename: str) -> str:
+    """Phase name for a profiled function's source file."""
+    normalized = filename.replace("\\", "/")
+    for phase, needles in _PHASE_RULES:
+        for needle in needles:
+            if needle in normalized:
+                return phase
+    return "other"
+
+
+def profile_fleet(
+    config: FleetConfig,
+    top_functions: int = 12,
+) -> Dict[str, Any]:
+    """Run ``config`` single-process under cProfile and attribute phases.
+
+    Returns a JSON-ready dictionary: per-phase seconds and fractions,
+    the profiled wall time, and the ``top_functions`` hottest functions
+    by own time (for drill-down when a phase regresses).  Profiling is
+    single-process on purpose — worker processes cannot ship frames
+    back, and the phase *split* is what matters, not absolute time.
+    """
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    result = FleetEngine(config).run()
+    profiler.disable()
+    wall = time.perf_counter() - started
+
+    stats = pstats.Stats(profiler)
+    phases: Dict[str, float] = {
+        "crypto": 0.0, "encode": 0.0, "engine": 0.0,
+        "trace": 0.0, "other": 0.0,
+    }
+    rows: List[Dict[str, Any]] = []
+    for (filename, lineno, name), row in stats.stats.items():
+        calls, _primitive, tottime, cumtime, _callers = (
+            row[0], row[1], row[2], row[3], row[4],
+        )
+        phase = classify_function(filename)
+        phases[phase] += tottime
+        rows.append({
+            "function": "%s:%d:%s" % (filename, lineno, name),
+            "phase": phase,
+            "calls": calls,
+            "own_seconds": round(tottime, 4),
+            "cumulative_seconds": round(cumtime, 4),
+        })
+    rows.sort(key=lambda r: -r["own_seconds"])
+
+    total = sum(phases.values())
+    return {
+        "schema": PROFILE_SCHEMA,
+        "num_agents": config.num_agents,
+        "num_hosts": config.num_hosts,
+        "hops_per_journey": config.hops_per_journey,
+        "seed": config.seed,
+        "journeys": result.journeys,
+        "wall_seconds": round(wall, 4),
+        "profiled_seconds": round(total, 4),
+        "phases": {name: round(seconds, 4) for name, seconds in phases.items()},
+        "phase_fractions": {
+            name: round(seconds / total, 4) if total else 0.0
+            for name, seconds in phases.items()
+        },
+        "top_functions": rows[:top_functions],
+    }
+
+
+def format_profile(profile: Dict[str, Any]) -> str:
+    """Human-readable one-screen rendering of a profile section."""
+    lines = [
+        "phase attribution (%d journeys, %.2fs profiled):" % (
+            profile["journeys"], profile["profiled_seconds"],
+        ),
+    ]
+    fractions = profile["phase_fractions"]
+    for name, seconds in sorted(
+        profile["phases"].items(), key=lambda item: -item[1]
+    ):
+        lines.append("  %-8s %8.3fs  %5.1f%%" % (
+            name, seconds, 100.0 * fractions.get(name, 0.0),
+        ))
+    lines.append("hottest functions (own time):")
+    for row in profile["top_functions"][:5]:
+        lines.append("  %7.3fs  %s" % (
+            row["own_seconds"], row["function"].rsplit("/", 1)[-1],
+        ))
+    return "\n".join(lines)
+
+
+__all__.append("format_profile")

@@ -28,6 +28,8 @@ __all__ = [
     "PAPER_TABLE_1",
     "PAPER_TABLE_2",
     "PAPER_OVERALL_FACTORS",
+    "NOT_APPLICABLE",
+    "metric_cell",
     "format_table",
     "format_overhead_table",
     "format_detectability_table",
@@ -140,6 +142,18 @@ def overall_factors(protected: Sequence[TimingBreakdown],
     return factors
 
 
+#: Placeholder for metrics that are undefined on a row (no detections →
+#: no mean hops-to-detection; no alarms → no precision).  An em-dash
+#: reads as "not applicable" where a literal ``None`` (or ``nan``)
+#: would read as a bug in the table.
+NOT_APPLICABLE = "—"
+
+
+def metric_cell(value: Optional[float], fmt: str = "%.2f") -> str:
+    """Format an optional metric, rendering ``None`` as an em-dash."""
+    return fmt % value if value is not None else NOT_APPLICABLE
+
+
 def format_detectability_table(
     campaign: "CampaignResult",
     title: str = "Detectability under reference states",
@@ -147,32 +161,35 @@ def format_detectability_table(
     """Render a campaign's per-scenario detection matrix as text.
 
     One row per mounted scenario (Figure-2 area, expected detectability
-    class, detected / injected, mean hops-to-detection), followed by a
-    rollup per detectability class and the benign false-positive rate —
-    the campaign analogue of the paper's Section 4 coverage discussion.
+    class, detected / injected, precision, mean hops-to-detection),
+    followed by a rollup per detectability class and the benign
+    false-positive rate — the campaign analogue of the paper's Section 4
+    coverage discussion.  Undefined cells (``precision`` or
+    ``mean_hops_to_detection`` of a scenario that never alarmed) render
+    as :data:`NOT_APPLICABLE` rather than ``None``.
     """
-    header = "%-24s %-6s %-20s %-10s %9s %10s" % (
-        title, "area", "class", "expected", "detected", "hops-to-det",
+    header = "%-24s %-6s %-20s %-10s %9s %10s %12s" % (
+        title, "area", "class", "expected", "detected", "precision",
+        "hops-to-det",
     )
     lines = [header, "-" * len(header)]
     for name, stats in sorted(campaign.per_scenario().items()):
-        hops = stats.mean_hops_to_detection
-        lines.append("%-24s %-6d %-20s %-10s %9s %10s" % (
+        lines.append("%-24s %-6d %-20s %-10s %9s %10s %12s" % (
             name,
             stats.area.value,
             stats.detectability.value,
             "yes" if stats.expected_detected else "no",
             "%d/%d" % (stats.detected, stats.injected),
-            "%.1f" % hops if hops is not None else "--",
+            metric_cell(stats.precision),
+            metric_cell(stats.mean_hops_to_detection, "%.1f"),
         ))
     lines.append("")
     for class_name, row in sorted(campaign.detectability_matrix().items()):
-        rate = row["detection_rate"]
         lines.append("%-28s areas %-12s %3d/%3d detected (%s)" % (
             class_name,
             ",".join(str(a) for a in row["areas"]),
             row["detected"], row["mounted"],
-            "%.2f" % rate if rate is not None else "n/a",
+            metric_cell(row["detection_rate"]),
         ))
     lines.append("benign journeys: %d, false-positive rate %.4f" % (
         len(campaign.benign_journeys), campaign.false_positive_rate,

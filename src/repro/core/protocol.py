@@ -17,9 +17,12 @@ here:
   different state was handed over;
 * sessions on **trusted hosts are not checked** ("trusted hosts will not
   attack by definition");
-* the mechanism transports the **complete state** of the checked
-  session (not only hashes), so the owner "is able to prove his/her
-  damage in case of a fraud";
+* the mechanism transports the **complete initial state** of the checked
+  session (digest-pinned by both signatures), so the next host can
+  re-execute and the owner "is able to prove his/her damage in case of
+  a fraud"; the resulting state needs no copy of its own — it is the
+  very agent state that migrates, pinned by a signed digest (the paper's
+  "signs hashes of initial and resulting states");
 * the known limitation is inherited: **collaboration attacks of two or
   more consecutive hosts cannot be detected** — the collaborating next
   host simply skips the check.
@@ -51,8 +54,13 @@ from repro.platform.session import SessionRecord
 
 __all__ = ["ReferenceStateProtocol"]
 
-#: Key under which the protocol stores its payload version.
-_PROTOCOL_VERSION = 1
+#: Key under which the protocol stores its payload version.  Version 2
+#: switched the per-session commitments from signing full states to
+#: signing state *digests* (the form the paper itself describes: "signs
+#: hashes of initial and resulting states"); the full initial state
+#: still travels once per session — unsigned but digest-pinned — because
+#: the next host needs it for re-execution.
+_PROTOCOL_VERSION = 2
 
 
 class ReferenceStateProtocol(ProtectionMechanism):
@@ -117,11 +125,16 @@ class ReferenceStateProtocol(ProtectionMechanism):
     ) -> Dict[str, Any]:
         data = protocol_data or self.prepare_launch(agent, itinerary, host)
 
+        # The resulting state needs no transport of its own: it *is* the
+        # agent state that migrates.  Signing its digest pins it — the
+        # next host hashes what actually arrived and compares — without
+        # re-encoding the whole state into the protocol payload (the
+        # dominant per-hop cost of protocol version 1).
         resulting_envelope = host.sign({
             "agent_id": record.agent_id,
             "hop_index": hop_index,
             "role": "resulting-state",
-            "state": record.resulting_state.to_canonical(),
+            "state_digest": record.resulting_state.digest().hex(),
         })
         input_envelope = host.sign({
             "agent_id": record.agent_id,
@@ -256,16 +269,28 @@ class ReferenceStateProtocol(ProtectionMechanism):
         state: AgentState,
         sender_envelope: Optional[Dict[str, Any]],
     ) -> Dict[str, Any]:
-        """Build the (dual-signable) commitment on a session's initial state."""
+        """Build the (dual-signable) commitment on a session's initial state.
+
+        Both halves of the dual commitment sign the state's *digest*:
+        the receiver half here, the sender half being the previous
+        host's resulting-state envelope over the same digest.  The full
+        state rides along under ``"state"`` — unsigned, but pinned by
+        the signed digest — because the next host must re-execute from
+        it.  Embedding the :class:`~repro.agents.state.AgentState`
+        object (rather than its expanded dictionary) lets the canonical
+        encoder splice in the state's memoized encoding when the
+        commitment is packed for the wire.
+        """
         payload = {
             "agent_id": agent.agent_id,
             "hop_index": hop_index,
             "role": "initial-state",
-            "state": state.to_canonical(),
+            "state_digest": state.digest().hex(),
         }
         receiver_envelope = receiver.sign(payload)
         return {
             "payload": payload,
+            "state": state,
             "receiver_signature": receiver_envelope.to_canonical(),
             "sender_envelope": sender_envelope,
         }
@@ -323,16 +348,16 @@ class ReferenceStateProtocol(ProtectionMechanism):
             host, prev.get("initial_commitment"), results
         )
 
-        resulting_state: Optional[AgentState] = None
+        claimed_digest: Optional[str] = None
         if resulting is not None:
-            try:
-                resulting_state = AgentState.from_canonical(resulting.get("state"))
-            except Exception:
+            claimed_digest = resulting.get("state_digest")
+            if not isinstance(claimed_digest, str):
                 results.append(CheckResult(
                     checker="resulting-state",
                     status=VerdictStatus.ATTACK_DETECTED,
-                    details={"reason": "malformed committed resulting state"},
+                    details={"reason": "malformed committed resulting-state digest"},
                 ))
+                claimed_digest = None
 
         input_log: Optional[InputLog] = None
         if session_input is not None:
@@ -345,8 +370,12 @@ class ReferenceStateProtocol(ProtectionMechanism):
                     details={"reason": "malformed committed input log"},
                 ))
 
-        # Consistency between what the host signed and what it actually sent.
-        if resulting_state is not None and not resulting_state.equals(observed_state):
+        # Consistency between what the host signed and what it actually
+        # sent: the arriving agent state *is* the claimed resulting
+        # state, so one digest comparison replaces decoding and
+        # re-encoding a transported copy.
+        if (claimed_digest is not None
+                and claimed_digest != observed_state.digest().hex()):
             results.append(CheckResult(
                 checker="arrival-consistency",
                 status=VerdictStatus.ATTACK_DETECTED,
@@ -366,7 +395,12 @@ class ReferenceStateProtocol(ProtectionMechanism):
                 code_name=prev.get("code_name", "unknown"),
                 owner=prev.get("owner", "unknown"),
                 initial_state=initial_state,
-                resulting_state=resulting_state,
+                # The digest match above established that the observed
+                # state is exactly the state the checked host committed
+                # to, so it serves as the claimed resulting state.
+                resulting_state=(
+                    observed_state if claimed_digest is not None else None
+                ),
                 input_log=input_log,
             )
             context = CheckContext(
@@ -462,9 +496,10 @@ class ReferenceStateProtocol(ProtectionMechanism):
         """Verify the dual-signed initial-state commitment.
 
         Returns the committed initial state on success.  The receiver
-        (checked host) signature is mandatory; the sender envelope is
-        verified when present and its state must match the committed
-        state.
+        (checked host) signature over the state digest is mandatory;
+        the transported full state must hash to that digest; the sender
+        envelope — the previous host's resulting-state commitment over
+        the same digest — is verified when present.
         """
         checker_name = "initial-state-commitment"
         if not commitment:
@@ -510,6 +545,36 @@ class ReferenceStateProtocol(ProtectionMechanism):
                 details={"reason": "the receiver signed a different initial state"},
             ))
             return None
+        committed_digest = payload.get("state_digest")
+        if not isinstance(committed_digest, str):
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the committed initial-state digest is malformed"},
+            ))
+            return None
+
+        try:
+            committed_state = AgentState.from_canonical(commitment.get("state"))
+        except Exception:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={"reason": "the committed initial state is malformed"},
+            ))
+            return None
+        if committed_state.digest().hex() != committed_digest:
+            results.append(CheckResult(
+                checker=checker_name,
+                status=VerdictStatus.ATTACK_DETECTED,
+                details={
+                    "reason": (
+                        "the transported initial state does not hash to the "
+                        "digest both hosts signed"
+                    )
+                },
+            ))
+            return None
 
         sender_envelope_data = commitment.get("sender_envelope")
         if sender_envelope_data:
@@ -539,7 +604,7 @@ class ReferenceStateProtocol(ProtectionMechanism):
                 sender_envelope.payload
                 if isinstance(sender_envelope.payload, dict) else {}
             )
-            if not canonical_equal(sender_payload.get("state"), payload.get("state")):
+            if sender_payload.get("state_digest") != committed_digest:
                 results.append(CheckResult(
                     checker=checker_name,
                     status=VerdictStatus.ATTACK_DETECTED,
@@ -552,15 +617,7 @@ class ReferenceStateProtocol(ProtectionMechanism):
                 ))
                 return None
 
-        try:
-            return AgentState.from_canonical(payload.get("state"))
-        except Exception:
-            results.append(CheckResult(
-                checker=checker_name,
-                status=VerdictStatus.ATTACK_DETECTED,
-                details={"reason": "the committed initial state is malformed"},
-            ))
-            return None
+        return committed_state
 
     # ------------------------------------------------------------------ misc --
 

@@ -269,9 +269,21 @@ class BatchedTransferVerifier:
         """Attribute subsequently queued transfers to ``journey``."""
         self._journey = journey
 
-    def verify_transfer(self, sender: Any, receiver: Any, payload: Any) -> bool:
-        """Sign ``payload`` as ``sender``, queue the receiver-side check."""
-        envelope = sender.sign_recoverable(payload, category="sign_verify")
+    def verify_transfer(self, sender: Any, receiver: Any, payload: Any,
+                        message: Optional[bytes] = None) -> bool:
+        """Sign ``payload`` as ``sender``, queue the receiver-side check.
+
+        ``message`` optionally supplies the canonical encoding of
+        ``payload``; the migration path passes the wire bytes it already
+        computed, so the transfer is encoded exactly once per hop.
+        """
+        if message is None:
+            # Duck-typed hosts (test fakes) may not accept the keyword.
+            envelope = sender.sign_recoverable(payload, category="sign_verify")
+        else:
+            envelope = sender.sign_recoverable(
+                payload, category="sign_verify", message=message
+            )
         context = {
             "journey": self._journey,
             "sender": sender.name,

@@ -114,6 +114,18 @@ class CanonicalEncoder:
             parts = sorted(self._encode(item, depth + 1) for item in value)
             return _frame(_TAG_SET, b"".join(parts))
 
+        # Memoized-encoding splice point: immutable snapshot types
+        # (agent states, packed transfers) expose ``__canonical_bytes__``
+        # returning their already-framed canonical encoding, so a value
+        # that appears in several enclosing payloads per hop — signed,
+        # wire-encoded, compared — is only ever encoded once.  The hook
+        # must return exactly what encoding ``to_canonical()`` would
+        # produce; implementations memoize through
+        # :meth:`repro.crypto.hashing.HashCache.encode_object`.
+        cached_bytes = getattr(value, "__canonical_bytes__", None)
+        if callable(cached_bytes):
+            return cached_bytes()
+
         to_canonical = getattr(value, "to_canonical", None)
         if callable(to_canonical):
             return self._encode(to_canonical(), depth + 1)

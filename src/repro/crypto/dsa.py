@@ -44,6 +44,7 @@ __all__ = [
     "DSAPublicKey",
     "DSASignature",
     "RecoverableSignature",
+    "FixedBaseTable",
     "PARAMETERS_512",
     "PARAMETERS_1024",
     "generate_parameters",
@@ -106,6 +107,81 @@ def is_probable_prime(candidate: int, rounds: int = 40,
 
 
 # ---------------------------------------------------------------------------
+# fixed-base exponentiation
+# ---------------------------------------------------------------------------
+
+
+class FixedBaseTable:
+    """Windowed precomputation for modular powers of one fixed base.
+
+    DSA spends almost all of its time on three exponentiations whose
+    *base* never changes: ``g^k`` when signing, ``g^u1`` and ``y^u2``
+    when verifying.  For a fixed base the square-and-multiply ladder is
+    wasteful — all the squarings recompute powers that can be tabulated
+    once.  This table stores ``base^(j * 2^(w*i))`` for every window
+    position ``i`` and window digit ``j``, so one exponentiation with an
+    ``n``-bit exponent costs at most ``ceil(n / w)`` modular
+    multiplications and **no squarings** (Brickell et al., Eurocrypt
+    '92), versus roughly ``n`` squarings plus ``n/2`` multiplications
+    for a cold ``pow()``.
+
+    Tables are sized for exponents up to ``exponent_bits`` (the bit
+    length of the subgroup order ``q`` for DSA); larger or negative
+    exponents transparently fall back to the built-in ``pow()``, so the
+    table is always a drop-in replacement.
+    """
+
+    __slots__ = ("base", "modulus", "window", "capacity_bits", "_columns")
+
+    def __init__(self, base: int, modulus: int, exponent_bits: int,
+                 window: int = 5) -> None:
+        if modulus <= 1:
+            raise CryptoError("fixed-base table needs a modulus > 1")
+        if window < 1:
+            raise CryptoError("fixed-base window must be positive")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        num_windows = (max(1, exponent_bits) + window - 1) // window
+        self.capacity_bits = num_windows * window
+        size = 1 << window
+        columns = []
+        b = self.base
+        for _ in range(num_windows):
+            column = [1] * size
+            acc = 1
+            for digit in range(1, size):
+                acc = acc * b % modulus
+                column[digit] = acc
+            columns.append(column)
+            b = acc * b % modulus  # base^(2^window) for the next column
+        self._columns = columns
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent % modulus`` via table lookups."""
+        if exponent < 0 or exponent.bit_length() > self.capacity_bits:
+            return pow(self.base, exponent, self.modulus)
+        result = 1
+        modulus = self.modulus
+        mask = (1 << self.window) - 1
+        index = 0
+        columns = self._columns
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                result = result * columns[index][digit] % modulus
+            exponent >>= self.window
+            index += 1
+        return result
+
+
+#: Individual verifications before a per-public-key table pays for
+#: itself (building one costs roughly five exponentiations); one-shot
+#: verifies stay on the built-in ``pow`` path.
+_Y_TABLE_THRESHOLD = 3
+
+
+# ---------------------------------------------------------------------------
 # domain parameters
 # ---------------------------------------------------------------------------
 
@@ -142,6 +218,34 @@ class DSAParameters:
     def key_bits(self) -> int:
         """Bit length of the modulus ``p`` (the advertised key size)."""
         return self.p.bit_length()
+
+    def generator_table(self) -> FixedBaseTable:
+        """Fixed-base table for ``g``, built lazily and cached.
+
+        The table is shared by every signer and verifier using this
+        parameter set (the generator is public, common knowledge), so
+        process-wide its construction cost amortizes to nothing.
+        """
+        table = self.__dict__.get("_g_table")
+        if table is None:
+            table = FixedBaseTable(self.g, self.p, self.q.bit_length())
+            object.__setattr__(self, "_g_table", table)
+        return table
+
+    def powg(self, exponent: int) -> int:
+        """``g ** exponent % p`` through the cached fixed-base table."""
+        return self.generator_table().pow(exponent)
+
+    def __getstate__(self) -> dict:
+        # Fixed-base tables are caches, not state: they are megabytes of
+        # derived integers that every process can rebuild lazily, so
+        # they must never ride along in pickles (shard specs cross the
+        # process boundary with their FleetConfig-adjacent key material).
+        return {"p": self.p, "q": self.q, "g": self.g}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     def to_canonical(self) -> dict:
         return {"p": self.p, "q": self.q, "g": self.g}
@@ -276,6 +380,47 @@ class DSAPublicKey:
     parameters: DSAParameters
     y: int
 
+    def _y_power(self, exponent: int) -> int:
+        """``y ** exponent % p``, table-accelerated after a few uses.
+
+        The first :data:`_Y_TABLE_THRESHOLD` calls use the built-in
+        ``pow`` (a one-shot verification should not pay for a table);
+        sustained use — every fleet host key — flips to a cached
+        :class:`FixedBaseTable`.
+        """
+        table = self.__dict__.get("_y_table")
+        if table is None:
+            uses = self.__dict__.get("_y_uses", 0) + 1
+            if uses <= _Y_TABLE_THRESHOLD:
+                object.__setattr__(self, "_y_uses", uses)
+                return pow(self.y, exponent, self.parameters.p)
+            table = self.precompute()
+        return table.pow(exponent)
+
+    def precompute(self) -> FixedBaseTable:
+        """Build (or return) the fixed-base table for ``y`` eagerly.
+
+        Worker-pool initializers call this so shard execution starts
+        with hot tables instead of paying the build inside the first
+        measured verifications.
+        """
+        table = self.__dict__.get("_y_table")
+        if table is None:
+            table = FixedBaseTable(
+                self.y, self.parameters.p, self.parameters.q.bit_length()
+            )
+            object.__setattr__(self, "_y_table", table)
+        return table
+
+    def __getstate__(self) -> dict:
+        # Cached y-tables (and their use counter) are derived data —
+        # see DSAParameters.__getstate__; pickles carry key material only.
+        return {"parameters": self.parameters, "y": self.y}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def verify(self, message: bytes, signature: DSASignature,
                hash_algorithm: str = "sha256") -> bool:
         """Verify ``signature`` over ``message``.
@@ -286,7 +431,7 @@ class DSAPublicKey:
         than raising, because from the verifier's point of view they are
         simply invalid.
         """
-        p, q, g = self.parameters.p, self.parameters.q, self.parameters.g
+        p, q = self.parameters.p, self.parameters.q
         r, s = signature.r, signature.s
         if not (0 < r < q and 0 < s < q):
             return False
@@ -297,7 +442,7 @@ class DSAPublicKey:
             return False
         u1 = (digest * w) % q
         u2 = (r * w) % q
-        v = ((pow(g, u1, p) * pow(self.y, u2, p)) % p) % q
+        v = ((self.parameters.powg(u1) * self._y_power(u2)) % p) % q
         return v == r
 
     def verify_recoverable(self, message: bytes,
@@ -311,7 +456,7 @@ class DSAPublicKey:
         would otherwise let a batch pass signatures the plain verifier
         rejects.
         """
-        p, q, g = self.parameters.p, self.parameters.q, self.parameters.g
+        p, q = self.parameters.p, self.parameters.q
         r, s, R = signature.r, signature.s, signature.commitment
         if not (0 < r < q and 0 < s < q and 1 < R < p):
             return False
@@ -324,7 +469,7 @@ class DSAPublicKey:
             return False
         u1 = (digest * w) % q
         u2 = (r * w) % q
-        return (pow(g, u1, p) * pow(self.y, u2, p)) % p == R
+        return (self.parameters.powg(u1) * self._y_power(u2)) % p == R
 
     def to_canonical(self) -> dict:
         return {"parameters": self.parameters.to_canonical(), "y": self.y}
@@ -369,12 +514,12 @@ class DSAPrivateKey:
 
     def _sign_core(self, message: bytes,
                    hash_algorithm: str) -> Tuple[int, int, int]:
-        p, q, g = self.parameters.p, self.parameters.q, self.parameters.g
+        q = self.parameters.q
         digest = _message_digest(message, q, hash_algorithm)
         counter = 0
         while True:
             k = _deterministic_nonce(self.x, digest, q, counter)
-            commitment = pow(g, k, p)
+            commitment = self.parameters.powg(k)
             r = commitment % q
             if r == 0:
                 counter += 1
@@ -441,7 +586,7 @@ def generate_keypair(parameters: DSAParameters = PARAMETERS_512,
     """
     rng = random.Random(seed if seed is not None else 0xC0FFEE)
     x = rng.randrange(1, parameters.q)
-    y = pow(parameters.g, x, parameters.p)
+    y = parameters.powg(x)
     public = DSAPublicKey(parameters=parameters, y=y)
     private = DSAPrivateKey(parameters=parameters, x=x, public_key=public)
     return private, public
@@ -493,11 +638,12 @@ def batch_verify(items: Sequence[BatchItem],
             key.verify_recoverable(message, signature, hash_algorithm)
             for key, message, signature in items
         )
-    p, q, g = parameters.p, parameters.q, parameters.g
+    p, q = parameters.p, parameters.q
     rng = rng or random.SystemRandom()
 
     g_exponent = 0
     y_exponents: dict = {}
+    key_for_y: dict = {}
     rhs = 1
     for key, message, signature in items:
         r, s, commitment = signature.r, signature.s, signature.commitment
@@ -510,11 +656,14 @@ def batch_verify(items: Sequence[BatchItem],
         z = rng.getrandbits(security_bits) | 1
         g_exponent = (g_exponent + digest * w * z) % q
         y_exponents[key.y] = (y_exponents.get(key.y, 0) + r * w * z) % q
+        key_for_y.setdefault(key.y, key)
+        # Commitments are message-specific bases: no table can help, but
+        # the exponent is only ``security_bits`` wide, so pow() is cheap.
         rhs = rhs * pow(commitment, z, p) % p
 
-    lhs = pow(g, g_exponent, p)
+    lhs = parameters.powg(g_exponent)
     for y, exponent in y_exponents.items():
-        lhs = lhs * pow(y, exponent, p) % p
+        lhs = lhs * key_for_y[y]._y_power(exponent) % p
     return lhs == rhs
 
 

@@ -15,7 +15,7 @@ import hashlib
 import hmac
 import weakref
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Tuple
+from typing import Any, Callable, Dict, Iterable, Tuple
 
 from repro.crypto.canonical import canonical_encode
 
@@ -124,12 +124,24 @@ class HashCache:
 
     def encode(self, value: Any) -> bytes:
         """Canonical encoding of ``value``, memoized per object."""
+        return self.encode_object(value, lambda: canonical_encode(value))
+
+    def encode_object(self, value: Any, build: "Callable[[], bytes]") -> bytes:
+        """Memoized encoding with a caller-supplied encoder thunk.
+
+        This is the primitive behind the ``__canonical_bytes__`` splice
+        hook of :class:`~repro.crypto.canonical.CanonicalEncoder`: a
+        snapshot class memoizes the encoding of its ``to_canonical()``
+        form here, and ``build`` exists precisely so the hook's
+        implementation can encode that form *without* re-entering the
+        hook (which would recurse forever).
+        """
         key = id(value)
         entry = self._entries.get(key)
         if entry is not None and entry[0]() is value:
             self.hits += 1
             return entry[1]
-        encoded = canonical_encode(value)
+        encoded = build()
         try:
             ref = weakref.ref(value, lambda _, key=key: self._entries.pop(key, None))
         except TypeError:

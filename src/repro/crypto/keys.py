@@ -24,6 +24,13 @@ from repro.exceptions import KeyError_
 __all__ = ["Identity", "KeyStore", "derive_seed"]
 
 
+#: Process-wide memo of deterministically generated identities, keyed by
+#: ``(name, p, q, g)``.  Bounded FIFO so unbounded name streams (property
+#: tests) cannot grow it without limit.
+_IDENTITY_CACHE: Dict[Tuple[str, int, int, int], "Identity"] = {}
+_IDENTITY_CACHE_MAX = 8192
+
+
 def derive_seed(name: str) -> int:
     """Derive a deterministic integer seed from a principal name.
 
@@ -65,9 +72,24 @@ class Identity:
     @classmethod
     def generate(cls, name: str,
                  parameters: DSAParameters = PARAMETERS_512) -> "Identity":
-        """Create an identity with a key pair derived from ``name``."""
-        private, _public = generate_keypair(parameters, seed=derive_seed(name))
-        return cls(name=name, private_key=private)
+        """Create an identity with a key pair derived from ``name``.
+
+        Generation is a pure function of ``(name, parameters)`` — the
+        key-derivation seed comes from the name alone — so results are
+        memoized process-wide.  Every fleet (and every harness section)
+        that rebuilds the same topology therefore reuses one key pair
+        per host instead of re-running key generation, and reuses that
+        key's cached fixed-base tables with it.
+        """
+        cache_key = (name, parameters.p, parameters.q, parameters.g)
+        identity = _IDENTITY_CACHE.get(cache_key)
+        if identity is None:
+            private, _public = generate_keypair(parameters, seed=derive_seed(name))
+            identity = cls(name=name, private_key=private)
+            if len(_IDENTITY_CACHE) >= _IDENTITY_CACHE_MAX:
+                _IDENTITY_CACHE.pop(next(iter(_IDENTITY_CACHE)))
+            _IDENTITY_CACHE[cache_key] = identity
+        return identity
 
 
 class KeyStore:

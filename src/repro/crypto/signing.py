@@ -61,12 +61,20 @@ class SignedEnvelope:
             "signature": self.signature.to_canonical(),
         }
 
-    def verify(self, keystore: KeyStore) -> bool:
-        """Verify the signature against the signer's registered key."""
+    def verify(self, keystore: KeyStore,
+               message: Optional[bytes] = None) -> bool:
+        """Verify the signature against the signer's registered key.
+
+        ``message`` lets a caller that already holds the canonical
+        encoding of the payload (e.g. the migration path, which encodes
+        the transfer once for the wire) skip re-encoding it here.
+        """
         public_key = keystore.maybe_get(self.signer)
         if public_key is None:
             return False
-        return public_key.verify(canonical_encode(self.payload), self.signature)
+        if message is None:
+            message = canonical_encode(self.payload)
+        return public_key.verify(message, self.signature)
 
     def verify_or_raise(self, keystore: KeyStore) -> None:
         """Verify and raise :class:`SignatureError` on failure."""
@@ -93,8 +101,29 @@ class RecoverableEnvelope:
     signature: RecoverableSignature
 
     def message(self) -> bytes:
-        """The canonical byte string the signature covers."""
-        return canonical_encode(self.payload)
+        """The canonical byte string the signature covers.
+
+        Memoized on the instance: the batch path needs these bytes at
+        enqueue time and the signer already computed them at signing
+        time, so the envelope carries them along (outside the dataclass
+        fields and outside pickles — see ``__getstate__``).
+        """
+        cached = self.__dict__.get("_message_cache")
+        if cached is None:
+            cached = canonical_encode(self.payload)
+            object.__setattr__(self, "_message_cache", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        return {
+            "payload": self.payload,
+            "signer": self.signer,
+            "signature": self.signature,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     def to_envelope(self) -> SignedEnvelope:
         """Drop the commitment, yielding a plain signed envelope."""
@@ -202,21 +231,32 @@ class Signer:
         """The key store used for verification."""
         return self._keystore
 
-    def sign(self, payload: Any) -> SignedEnvelope:
-        """Sign ``payload`` and return a single-signer envelope."""
-        message = canonical_encode(payload)
+    def sign(self, payload: Any,
+             message: Optional[bytes] = None) -> SignedEnvelope:
+        """Sign ``payload`` and return a single-signer envelope.
+
+        ``message`` optionally supplies the precomputed canonical
+        encoding of ``payload`` (callers that also ship the payload over
+        the wire encode it exactly once).
+        """
+        if message is None:
+            message = canonical_encode(payload)
         signature = self._identity.private_key.sign(message)
         return SignedEnvelope(
             payload=payload, signer=self._identity.name, signature=signature
         )
 
-    def sign_recoverable(self, payload: Any) -> RecoverableEnvelope:
+    def sign_recoverable(self, payload: Any,
+                         message: Optional[bytes] = None) -> RecoverableEnvelope:
         """Sign ``payload`` keeping the nonce commitment for batching."""
-        message = canonical_encode(payload)
+        if message is None:
+            message = canonical_encode(payload)
         signature = self._identity.private_key.sign_recoverable(message)
-        return RecoverableEnvelope(
+        envelope = RecoverableEnvelope(
             payload=payload, signer=self._identity.name, signature=signature
         )
+        object.__setattr__(envelope, "_message_cache", message)
+        return envelope
 
     def counter_sign(self, envelope: MultiSignedEnvelope) -> MultiSignedEnvelope:
         """Add this principal's signature to an existing multi-envelope."""
@@ -230,11 +270,12 @@ class Signer:
         return envelope
 
     def verify(self, envelope: SignedEnvelope,
-               expected_signer: Optional[str] = None) -> bool:
+               expected_signer: Optional[str] = None,
+               message: Optional[bytes] = None) -> bool:
         """Verify an envelope, optionally pinning the expected signer."""
         if expected_signer is not None and envelope.signer != expected_signer:
             return False
-        return envelope.verify(self._keystore)
+        return envelope.verify(self._keystore, message=message)
 
     def verify_or_raise(self, envelope: SignedEnvelope,
                         expected_signer: Optional[str] = None) -> None:

@@ -213,23 +213,32 @@ class Host:
     # ("in the remainder column the protocol has to compare, sign and
     # verify single states").
 
-    def sign(self, payload: Any, category: str = "protocol_crypto") -> SignedEnvelope:
-        """Sign a payload; time is charged to the given timing category."""
+    def sign(self, payload: Any, category: str = "protocol_crypto",
+             message: Optional[bytes] = None) -> SignedEnvelope:
+        """Sign a payload; time is charged to the given timing category.
+
+        ``message`` optionally carries the precomputed canonical
+        encoding of ``payload`` so hot paths encode each transfer once.
+        """
         with self.metrics.measure(category):
-            return self.signer.sign(payload)
+            return self.signer.sign(payload, message=message)
 
     def sign_recoverable(self, payload: Any,
-                         category: str = "protocol_crypto") -> RecoverableEnvelope:
+                         category: str = "protocol_crypto",
+                         message: Optional[bytes] = None) -> RecoverableEnvelope:
         """Sign a payload keeping the nonce commitment (batch path)."""
         with self.metrics.measure(category):
-            return self.signer.sign_recoverable(payload)
+            return self.signer.sign_recoverable(payload, message=message)
 
     def verify(self, envelope: SignedEnvelope,
                expected_signer: Optional[str] = None,
-               category: str = "protocol_crypto") -> bool:
+               category: str = "protocol_crypto",
+               message: Optional[bytes] = None) -> bool:
         """Verify an envelope; time is charged to the given timing category."""
         with self.metrics.measure(category):
-            return self.signer.verify(envelope, expected_signer=expected_signer)
+            return self.signer.verify(
+                envelope, expected_signer=expected_signer, message=message
+            )
 
     def start_multi_signature(self, payload: Any,
                               category: str = "protocol_crypto") -> MultiSignedEnvelope:

@@ -24,6 +24,7 @@ from repro.agents.agent import AgentCodeRegistry, MobileAgent, default_registry
 from repro.agents.itinerary import Itinerary, RouteEntry, RouteRecord
 from repro.agents.migration import MigrationEngine
 from repro.agents.state import AgentState
+from repro.crypto.canonical import canonical_encode
 from repro.crypto.keys import KeyStore
 from repro.exceptions import ConfigurationError, HostNotFoundError, ProtocolError
 from repro.net.transport import TransferCodec
@@ -562,7 +563,12 @@ class AgentSystem:
     ) -> Tuple[MobileAgent, Optional[Dict[str, Any]], int, bool]:
         """Pack, (optionally) sign, ship, verify, and unpack the agent."""
         transfer = self._engine.pack(agent, itinerary, next_hop_index, protocol_data)
-        wire_bytes = self._codec.encode(transfer)
+        # One canonical encoding per migration: the same bytes are the
+        # wire payload AND the message the whole-transfer signature
+        # covers (TransferCodec.encode is canonical_encode of the same
+        # payload), so sign and verify below never re-encode.
+        payload = transfer.to_canonical()
+        wire_bytes = canonical_encode(payload)
 
         signature_ok = True
         if self.sign_transfers:
@@ -570,12 +576,15 @@ class AgentSystem:
             # column of the paper's tables measures.
             if transfer_verifier is not None:
                 signature_ok = transfer_verifier.verify_transfer(
-                    sender, receiver, transfer.to_canonical()
+                    sender, receiver, payload, message=wire_bytes
                 )
             else:
-                envelope = sender.sign(transfer.to_canonical(), category="sign_verify")
+                envelope = sender.sign(
+                    payload, category="sign_verify", message=wire_bytes
+                )
                 signature_ok = receiver.verify(
-                    envelope, expected_signer=sender.name, category="sign_verify"
+                    envelope, expected_signer=sender.name,
+                    category="sign_verify", message=wire_bytes,
                 )
 
         received = self._codec.decode(wire_bytes)

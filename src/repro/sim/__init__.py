@@ -32,13 +32,16 @@ from repro.sim.fleet import (
     journey_arrival_times,
     plan_journey_attack,
 )
+from repro.sim.fleet import fleet_host_names
 from repro.sim.shard import (
+    FleetWorkerPool,
     ShardResult,
     ShardSpec,
     merge_shard_results,
     run_fleet,
     run_shard,
     split_fleet,
+    warm_worker,
 )
 from repro.sim.trace import (
     TraceWriter,
@@ -56,6 +59,7 @@ __all__ = [
     "FleetConfig",
     "FleetEngine",
     "FleetResult",
+    "FleetWorkerPool",
     "JourneyAttack",
     "JourneyOutcome",
     "ScenarioStats",
@@ -69,6 +73,7 @@ __all__ = [
     "detection_report_from_trace",
     "execution_log_at",
     "fleet_event_key",
+    "fleet_host_names",
     "journey_arrival_times",
     "journey_events",
     "merge_shard_events",
@@ -79,4 +84,5 @@ __all__ = [
     "run_fleet",
     "run_shard",
     "split_fleet",
+    "warm_worker",
 ]

@@ -432,17 +432,21 @@ def run_campaign(
     workers: int = 1,
     num_shards: Optional[int] = None,
     start_method: Optional[str] = None,
+    pool: Optional[Any] = None,
 ) -> CampaignResult:
     """Run an adversarial fleet and return its campaign analysis.
 
     A thin layer over :func:`repro.sim.shard.run_fleet`: campaign
     assignment rides in the configuration, so the sharded execution
     path needs no campaign-specific plumbing and the merged run is
-    bit-identical to the single-process one.
+    bit-identical to the single-process one.  ``pool`` optionally names
+    a persistent :class:`~repro.sim.shard.FleetWorkerPool` to reuse.
     """
     kwargs: Dict[str, Any] = {}
     if start_method is not None:
         kwargs["start_method"] = start_method
+    if pool is not None:
+        kwargs["pool"] = pool
     result = run_fleet(
         config, workers=workers, num_shards=num_shards, **kwargs
     )

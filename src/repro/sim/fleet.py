@@ -66,9 +66,22 @@ __all__ = [
     "FleetResult",
     "FleetEngine",
     "derive_substream",
+    "fleet_host_names",
     "journey_arrival_times",
     "plan_journey_attack",
 ]
+
+
+def fleet_host_names(config: "FleetConfig") -> List[str]:
+    """Every host name a fleet run will create, home first.
+
+    A pure function of the configuration, so worker-pool initializers
+    can pre-generate the deterministic host identities (key pairs derive
+    from names alone) before any shard starts executing.
+    """
+    return ["home"] + [
+        "host-%03d" % index for index in range(1, config.num_hosts + 1)
+    ]
 
 
 def derive_substream(seed: int, *labels: Any) -> int:
@@ -655,9 +668,7 @@ class FleetEngine:
         }))
         self._registry.add(home)
 
-        self._host_names = [
-            "host-%03d" % index for index in range(1, config.num_hosts + 1)
-        ]
+        self._host_names = fleet_host_names(config)[1:]
         malicious_count = int(round(
             config.malicious_host_fraction * config.num_hosts
         ))

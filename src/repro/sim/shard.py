@@ -34,16 +34,24 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.sim.fleet import FleetConfig, FleetEngine, FleetResult, JourneyOutcome
+from repro.sim.fleet import (
+    FleetConfig,
+    FleetEngine,
+    FleetResult,
+    JourneyOutcome,
+    fleet_host_names,
+)
 from repro.sim.trace import TraceWriter, merge_shard_events, read_trace
 
 __all__ = [
     "ShardSpec",
     "ShardResult",
+    "FleetWorkerPool",
     "derive_shard_seed",
     "shard_trace_path",
     "split_fleet",
     "run_shard",
+    "warm_worker",
     "merge_shard_results",
     "run_fleet",
 ]
@@ -53,6 +61,82 @@ __all__ = [
 #: no inherited state that could differ between pool and in-process
 #: execution); determinism never relies on it, only portability does.
 DEFAULT_START_METHOD = "spawn"
+
+
+def warm_worker(host_names: Sequence[str]) -> None:
+    """Pre-build deterministic crypto state in a (worker) process.
+
+    Used as the :class:`FleetWorkerPool` initializer: host key pairs are
+    pure functions of their names, so shipping the *names* ships the
+    keys — each worker regenerates them once at pool startup (through
+    the process-wide identity memo) instead of inside every shard's
+    measured execution, and eagerly builds the fixed-base tables for
+    the generator and every host public key.
+
+    Module-level on purpose: ``spawn`` pool initializers are resolved by
+    qualified name.
+    """
+    from repro.crypto.dsa import PARAMETERS_512
+    from repro.crypto.keys import Identity
+
+    PARAMETERS_512.generator_table()
+    for name in host_names:
+        Identity.generate(name).public_key.precompute()
+
+
+class FleetWorkerPool:
+    """A reusable, pre-warmed multiprocessing pool for sharded fleets.
+
+    ``spawn`` workers pay a real startup tax — interpreter boot, imports,
+    and (before this class existed) regenerating every DSA key pair and
+    exponentiation table inside the first measured shard.  The pool
+    moves all of that into a one-time initializer and **persists across
+    runs**: the benchmark harness creates one pool and reuses it for
+    every fleet and campaign section instead of spawning fresh workers
+    per measurement.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: str = DEFAULT_START_METHOD,
+        warm_config: Optional[FleetConfig] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be positive")
+        self.workers = workers
+        self.start_method = start_method
+        host_names = (
+            fleet_host_names(warm_config) if warm_config is not None else []
+        )
+        context = multiprocessing.get_context(start_method)
+        self._pool = context.Pool(
+            processes=workers,
+            initializer=warm_worker,
+            initargs=(host_names,),
+        )
+        if warm_config is not None:
+            # Warm the coordinator process with the same state the
+            # workers build, so single-process comparison runs and the
+            # merge path start equally hot.
+            warm_worker(host_names)
+
+    def map(self, func, iterable):
+        """Forward to :meth:`multiprocessing.pool.Pool.map`."""
+        return self._pool.map(func, iterable)
+
+    def close(self) -> None:
+        """Shut the worker processes down."""
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "FleetWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def derive_shard_seed(seed: int, shard_index: int, num_shards: int) -> int:
@@ -334,6 +418,7 @@ def run_fleet(
     workers: int = 1,
     num_shards: Optional[int] = None,
     start_method: str = DEFAULT_START_METHOD,
+    pool: Optional[FleetWorkerPool] = None,
 ) -> FleetResult:
     """Run a fleet across a multiprocess worker pool and merge the shards.
 
@@ -350,7 +435,15 @@ def run_fleet(
         bit-identical for every ``(num_shards, workers)`` choice,
         including the unsharded single-process engine.
     start_method:
-        :mod:`multiprocessing` start method for the pool.
+        :mod:`multiprocessing` start method for the pool (ignored when
+        ``pool`` is given).
+    pool:
+        Optional persistent :class:`FleetWorkerPool`.  Passing one
+        amortizes worker spawn and crypto warm-up across many runs —
+        the pool is left open for the caller to reuse.  Without it a
+        throwaway pool is created per call, exactly as before.  A
+        ``workers=1`` call stays single-process even when a pool is
+        supplied, so serial baselines remain serial.
 
     Returns
     -------
@@ -365,10 +458,12 @@ def run_fleet(
 
     if workers == 1 or len(specs) == 1:
         shard_results = [run_shard(spec) for spec in specs]
+    elif pool is not None:
+        shard_results = pool.map(run_shard, specs)
     else:
         context = multiprocessing.get_context(start_method)
-        with context.Pool(processes=min(workers, len(specs))) as pool:
-            shard_results = pool.map(run_shard, specs)
+        with context.Pool(processes=min(workers, len(specs))) as throwaway:
+            shard_results = throwaway.map(run_shard, specs)
 
     merged = merge_shard_results(
         config, shard_results, wall_seconds=time.perf_counter() - started

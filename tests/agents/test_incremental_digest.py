@@ -1,0 +1,102 @@
+"""Property tests: incremental digests equal full re-encode digests.
+
+The execution log maintains its chain hash at append time and the agent
+state memoizes its canonical encoding; both must be observationally
+identical to the reference computation (``hash_chain`` over all entries
+/ a fresh ``canonical_encode``) after arbitrary operation sequences.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.agents.execution_log import ExecutionLog, TraceEntry
+from repro.agents.state import AgentState
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.hashing import hash_chain
+
+
+def _reference_digest(log: ExecutionLog) -> bytes:
+    """The non-incremental ground truth the chain state must match."""
+    return hash_chain(entry.to_canonical() for entry in log).digest
+
+
+def _random_assignments(rng: random.Random) -> dict:
+    return {
+        "v%d" % index: rng.choice([rng.random(), rng.randrange(100),
+                                   "s%d" % rng.randrange(10), None, True])
+        for index in range(rng.randrange(4))
+    }
+
+
+class TestIncrementalExecutionLogDigest:
+    def test_digest_matches_full_rehash_after_random_appends(self):
+        rng = random.Random(0xD16E57)
+        for _ in range(10):
+            log = ExecutionLog(record_statements=rng.random() < 0.5)
+            for step in range(rng.randrange(1, 40)):
+                statement = (
+                    "stmt-%d" % step if rng.random() < 0.7 else None
+                )
+                log.append(statement, _random_assignments(rng))
+                assert log.digest().digest == _reference_digest(log)
+
+    def test_constructor_entries_are_absorbed(self):
+        entries = [
+            TraceEntry(statement="s%d" % index, assignments={"x": index})
+            for index in range(7)
+        ]
+        log = ExecutionLog(entries)
+        assert log.digest().digest == _reference_digest(log)
+
+    def test_copy_is_independent(self):
+        log = ExecutionLog()
+        log.append("a", {"x": 1})
+        clone = log.copy()
+        clone.append("b", {"y": 2})
+        assert log.digest().digest == _reference_digest(log)
+        assert clone.digest().digest == _reference_digest(clone)
+        assert log.digest().digest != clone.digest().digest
+
+    def test_round_trip_and_strip_preserve_the_invariant(self):
+        log = ExecutionLog()
+        for index in range(9):
+            log.append("stmt-%d" % index, {"value": index * 1.5})
+        revived = ExecutionLog.from_canonical(log.to_canonical())
+        assert revived.digest().digest == log.digest().digest
+        stripped = log.strip_statements()
+        assert stripped.digest().digest == _reference_digest(stripped)
+        assert stripped.digest().digest != log.digest().digest
+
+    def test_matches_uses_the_incremental_digest(self):
+        left, right = ExecutionLog(), ExecutionLog()
+        for index in range(5):
+            left.append(None, {"k": index})
+            right.append(None, {"k": index})
+        assert left.matches(right)
+        right.append(None, {"k": 99})
+        assert not left.matches(right)
+
+
+class TestAgentStateSpliceHook:
+    def test_embedded_state_encodes_identically_to_expanded_dict(self):
+        state = AgentState(
+            data={"budget": 100.0, "quotes": [1.5, 2.5]},
+            execution={"hop_index": 3, "finished": False},
+        )
+        embedded = canonical_encode({"role": "initial-state", "state": state})
+        expanded = canonical_encode(
+            {"role": "initial-state", "state": state.to_canonical()}
+        )
+        assert embedded == expanded
+
+    def test_memoized_bytes_are_stable_and_digest_consistent(self):
+        state = AgentState(data={"a": 1}, execution={"hop_index": 0})
+        first = state.canonical_bytes()
+        assert state.canonical_bytes() is first  # memo hit, same object
+        assert canonical_encode(state) == first
+        twin = AgentState(data={"a": 1}, execution={"hop_index": 0})
+        assert twin.canonical_bytes() == first
+        assert twin.canonical_bytes() is not first
+        assert state.digest().digest == twin.digest().digest
+        assert state.equals(twin)

@@ -1,0 +1,81 @@
+"""The per-phase profiler: classification, partition, and report shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.profile import (
+    PROFILE_SCHEMA,
+    classify_function,
+    format_profile,
+    profile_fleet,
+)
+from repro.sim.fleet import FleetConfig
+
+
+class TestClassification:
+    @pytest.mark.parametrize("filename,phase", [
+        ("/x/src/repro/crypto/dsa.py", "crypto"),
+        ("/x/src/repro/crypto/batch.py", "crypto"),
+        ("/x/src/repro/crypto/canonical.py", "encode"),
+        ("/x/src/repro/crypto/hashing.py", "encode"),
+        ("/x/src/repro/sim/trace.py", "trace"),
+        ("/x/src/repro/sim/fleet.py", "engine"),
+        ("/x/src/repro/platform/host.py", "engine"),
+        ("/usr/lib/python3.11/hashlib.py", "other"),
+        ("~", "other"),
+    ])
+    def test_module_to_phase(self, filename, phase):
+        assert classify_function(filename) == phase
+
+    def test_windows_separators_are_normalized(self):
+        assert classify_function(
+            "C:\\repo\\src\\repro\\crypto\\canonical.py"
+        ) == "encode"
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_fleet(FleetConfig(
+        num_agents=10,
+        num_hosts=5,
+        hops_per_journey=2,
+        malicious_host_fraction=0.2,
+        seed=5,
+        batched_verification=True,
+    ))
+
+
+class TestProfileFleet:
+    def test_report_shape(self, profile):
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["journeys"] == 10
+        assert set(profile["phases"]) == {
+            "crypto", "encode", "engine", "trace", "other",
+        }
+        assert profile["top_functions"]
+        for row in profile["top_functions"]:
+            assert row["phase"] in profile["phases"]
+
+    def test_phases_partition_the_profiled_time(self, profile):
+        total = sum(profile["phases"].values())
+        assert total == pytest.approx(profile["profiled_seconds"], abs=0.01)
+        # tottime-based attribution never exceeds the wall clock.
+        assert profile["profiled_seconds"] <= profile["wall_seconds"] * 1.05
+        assert sum(profile["phase_fractions"].values()) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_hot_phases_are_nonzero(self, profile):
+        # A protected fleet run must spend attributable time in both the
+        # crypto and the encoding phase; a zero there means the
+        # classifier lost track of the library's own modules.
+        assert profile["phases"]["crypto"] > 0.0
+        assert profile["phases"]["encode"] > 0.0
+        assert profile["phases"]["engine"] > 0.0
+
+    def test_format_profile_renders_one_screen(self, profile):
+        text = format_profile(profile)
+        assert "phase attribution" in text
+        assert "crypto" in text and "encode" in text
+        assert "hottest functions" in text

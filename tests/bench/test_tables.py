@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.tables import format_detectability_table
+from repro.bench.tables import (
+    NOT_APPLICABLE,
+    format_detectability_table,
+    metric_cell,
+)
 from repro.sim import campaign_config, run_campaign
 
 
@@ -41,3 +45,27 @@ class TestDetectabilityTable:
         assert "state-difference" in table
         assert "false-positive rate" in table
         assert "benign journeys: %d" % len(campaign.benign_journeys) in table
+
+    def test_undefined_cells_render_as_em_dash_not_none(self, campaign):
+        # Scenarios the paper concedes (read attacks, input lying) never
+        # alarm, so their precision and hops-to-detection are undefined:
+        # those cells must read as "—", never as a stringified None.
+        stats = campaign.per_scenario()
+        assert any(row.precision is None for row in stats.values())
+        table = format_detectability_table(campaign)
+        assert "None" not in table
+        undetected = next(
+            name for name, row in stats.items() if row.precision is None
+        )
+        line = next(ln for ln in table.splitlines() if ln.startswith(undetected))
+        assert NOT_APPLICABLE in line
+
+
+class TestMetricCell:
+    def test_value_uses_format(self):
+        assert metric_cell(0.5) == "0.50"
+        assert metric_cell(2.0, "%.1f") == "2.0"
+
+    def test_none_renders_as_em_dash(self):
+        assert metric_cell(None) == NOT_APPLICABLE
+        assert metric_cell(None, "%.1f") == NOT_APPLICABLE

@@ -1,0 +1,65 @@
+"""Persistent worker pools: warm start, reuse, and bit-identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.dsa import PARAMETERS_512
+from repro.crypto.keys import Identity
+from repro.exceptions import ConfigurationError
+from repro.sim.fleet import FleetConfig, fleet_host_names
+from repro.sim.shard import FleetWorkerPool, run_fleet, warm_worker
+
+
+CONFIG = FleetConfig(
+    num_agents=12,
+    num_hosts=6,
+    hops_per_journey=2,
+    malicious_host_fraction=0.34,
+    seed=77,
+    batched_verification=True,
+)
+
+
+def test_fleet_host_names_matches_topology():
+    names = fleet_host_names(CONFIG)
+    assert names[0] == "home"
+    assert len(names) == CONFIG.num_hosts + 1
+    assert names[1] == "host-001" and names[-1] == "host-%03d" % CONFIG.num_hosts
+
+
+def test_warm_worker_builds_identities_and_tables():
+    names = fleet_host_names(CONFIG)
+    warm_worker(names)
+    assert "_g_table" in PARAMETERS_512.__dict__
+    for name in names:
+        identity = Identity.generate(name)
+        assert "_y_table" in identity.public_key.__dict__
+
+
+def test_zero_workers_is_rejected():
+    with pytest.raises(ConfigurationError):
+        FleetWorkerPool(0)
+
+
+def test_workers_1_ignores_the_pool_and_stays_serial():
+    # A serial baseline must stay serial even when a pool is supplied —
+    # the harness relies on this for speedup_vs_single.  Using a closed
+    # pool makes any accidental dispatch to it fail loudly.
+    with FleetWorkerPool(2) as closed_pool:
+        pass
+    result = run_fleet(CONFIG, workers=1, pool=closed_pool)
+    assert result.journeys == CONFIG.num_agents
+
+
+def test_pool_reuse_is_bit_identical_to_single_process():
+    single = run_fleet(CONFIG, workers=1)
+    with FleetWorkerPool(2, warm_config=CONFIG) as pool:
+        first = run_fleet(CONFIG, workers=2, pool=pool)
+        second = run_fleet(CONFIG, workers=2, pool=pool)
+    expected = single.deterministic_signature()
+    assert first.deterministic_signature() == expected
+    assert second.deterministic_signature() == expected
+    assert [o.to_canonical() for o in first.outcomes] == [
+        o.to_canonical() for o in single.outcomes
+    ]
