@@ -26,7 +26,15 @@ production-scale machinery and emits a schema-versioned
   the full standard catalogue (:mod:`repro.sim.campaign`), reporting the
   per-scenario precision / recall matrix, the detectability-class
   matrix, the adversarial throughput against a benign baseline of the
-  same shape, and a workers 1-vs-N bit-identity cross-check.
+  same shape, and a workers 1-vs-N bit-identity cross-check;
+* the **verification service** (:mod:`repro.service`): a live asyncio
+  server replaying a fleet's verification traffic over TCP — batched
+  versus batch-size-1 throughput, latency percentiles, cache hit rate,
+  the batch-size histogram, and a hard bit-for-bit parity cross-check
+  of every service verdict against the in-process one.
+
+``--sections`` selects a subset of the benchmark sections (the CI perf
+job runs only the sections it gates).
 
 The emitted report carries environment metadata so recorded numbers are
 comparable across machines, and :func:`compare_to_baseline` implements
@@ -62,10 +70,12 @@ __all__ = [
     "measure_generic_agent",
     "run_measurement_grid",
     "BENCH_SCHEMA",
+    "ALL_SECTIONS",
     "collect_environment",
     "bench_fleet_throughput",
     "bench_dsa_verification",
     "bench_campaign",
+    "bench_service",
     "build_report",
     "compare_to_baseline",
     "main",
@@ -169,8 +179,17 @@ def run_measurement_grid(protected: bool,
 #: apples with oranges.  ``/2`` added the ``campaign`` section; ``/3``
 #: covers the digest-commitment protocol rewrite (fixed-base DSA,
 #: single-encode transfers, warmed worker pools) and the optional
-#: ``profile`` section.
-BENCH_SCHEMA = "repro-bench-fleet/3"
+#: ``profile`` section; ``/4`` adds the ``service`` section (the
+#: verification service benchmarked against in-process ground truth),
+#: the top-level ``sections`` list, and the batch-verification
+#: rewrite (batched inversion, interleaved commitment powers).
+BENCH_SCHEMA = "repro-bench-fleet/4"
+
+#: Sections the harness can run, in run order.  ``--sections`` selects
+#: a subset; the emitted report records which subset ran so the
+#: baseline gate can tell "not requested" apart from "silently
+#: dropped".
+ALL_SECTIONS = ("fleet", "dsa", "campaign", "service")
 
 
 def collect_environment() -> Dict[str, Any]:
@@ -395,6 +414,220 @@ def bench_campaign(
     }
 
 
+def bench_service(
+    config: Optional[FleetConfig] = None,
+    max_batch: int = 256,
+    max_delay: float = 0.010,
+    session_checks: int = 60,
+    connections: int = 2,
+    max_inflight: int = 256,
+) -> Dict[str, Any]:
+    """Benchmark the verification service against in-process ground truth.
+
+    One deterministic journey request stream (:mod:`repro.sim.requests`)
+    is replayed against live in-process servers
+    (:class:`repro.service.server.ServiceThread`) in four legs:
+
+    * **batched** — micro-batching on (``max_batch``), cold cache: the
+      headline service throughput, latency distribution, and batch-size
+      histogram;
+    * **batch_size_1** — the same pipeline with coalescing disabled
+      (every request individually verified): the no-batching baseline
+      the batching gain is measured against, on the same stream;
+    * **cached** — the batched server replaying the stream it has
+      already answered: the LRU verdict cache's hit rate and rate;
+    * **sessions** — captured ReferenceStateProtocol v2 session checks:
+      the service verdict must equal the in-process verdict bit for
+      bit.
+
+    Any verdict mismatch or dropped request in any leg is a hard
+    ``RuntimeError``, not a number in the report.  The in-process
+    reference is a clean single-worker fleet run of the same
+    configuration: its signature-verification rate is the yardstick the
+    ``vs_fleet_ratio`` gate compares service throughput against.
+    """
+    import asyncio
+
+    from repro.service.loadgen import percentile, replay_requests
+    from repro.service.server import ServiceConfig, VerificationService
+    from repro.sim.requests import journey_request_stream
+
+    if config is None:
+        config = FleetConfig(
+            num_agents=150, num_hosts=20, hops_per_journey=3,
+            malicious_host_fraction=0.2, seed=2027,
+            protected=True, batched_verification=True,
+        )
+    else:
+        config = replace(config, protected=True, batched_verification=True)
+
+    stream = journey_request_stream(config, max_session_checks=session_checks)
+    verify_requests = stream.verify_requests
+    session_requests = stream.session_requests
+
+    # In-process reference: a clean (non-recording) single-worker fleet
+    # run of the same configuration, timed end to end.
+    started = time.perf_counter()
+    fleet_result = run_fleet(config, workers=1)
+    fleet_wall = time.perf_counter() - started
+    fleet_verified = int(
+        (fleet_result.verifier_stats or {}).get("verified", 0)
+    )
+    fleet_rate = fleet_verified / fleet_wall if fleet_wall > 0 else 0.0
+
+    async def replay_once(service, requests):
+        """One replay against a live server; hard error on divergence."""
+        host, port = service.address
+        report = await replay_requests(
+            host, port, requests,
+            connections=connections, max_inflight=max_inflight,
+        )
+        if report.mismatches or report.dropped:
+            raise RuntimeError(
+                "service verdicts diverged from the in-process ground "
+                "truth (mismatches=%d, dropped=%d): %r"
+                % (report.mismatches, report.dropped,
+                   report.mismatch_samples[:2])
+            )
+        return report
+
+    async def run_legs():
+        """All four legs, server and client sharing one event loop.
+
+        Everything is CPU-bound Python on both ends, so a second
+        thread would only add GIL scheduling noise to the measurement;
+        one loop over real loopback TCP gives the same byte-level
+        protocol with deterministic interleaving.  The two comparison
+        legs (batched vs batch-size-1) run cache-less so the ratio
+        measures batching alone, best-of-two passes each; the cache
+        leg measures the LRU explicitly.
+        """
+        async def comparison_leg(leg_batch):
+            """Best-of-two cache-less passes, one fresh server each.
+
+            A fresh server per pass keeps the reported batching stats
+            attributable: the histogram attached to the kept report
+            describes exactly the pass whose rps/latency is reported,
+            not an aggregate over discarded passes.
+            """
+            best = None
+            best_stats = None
+            for _ in range(2):
+                service = VerificationService(ServiceConfig(
+                    fleet_hosts=config.num_hosts, max_batch=leg_batch,
+                    max_delay=max_delay, cache_entries=0,
+                ))
+                await service.start()
+                try:
+                    report = await replay_once(service, verify_requests)
+                    stats = service.stats()
+                finally:
+                    await service.stop()
+                if best is None or report.achieved_rps > best.achieved_rps:
+                    best, best_stats = report, stats
+            return best, best_stats
+
+        legs = {}
+        legs["batched"], legs["stats"] = await comparison_leg(max_batch)
+        legs["batch_size_1"], _ = await comparison_leg(1)
+
+        # Cache leg: cold populating pass, then the measured hot pass —
+        # plus the session-check parity leg on the same server.
+        service = VerificationService(ServiceConfig(
+            fleet_hosts=config.num_hosts, max_batch=max_batch,
+            max_delay=max_delay,
+        ))
+        await service.start()
+        try:
+            await replay_once(service, verify_requests)
+            legs["cached"] = await replay_once(service, verify_requests)
+            if session_requests:
+                legs["sessions"] = await replay_once(
+                    service, session_requests
+                )
+        finally:
+            await service.stop()
+        return legs
+
+    def leg_summary(report):
+        return {
+            "requests": report.completed,
+            "wall_seconds": round(report.wall_seconds, 4),
+            "rps": round(report.achieved_rps, 1),
+            "latency_ms": {
+                "p50": round(1e3 * percentile(report.latencies, 0.50), 3),
+                "p99": round(1e3 * percentile(report.latencies, 0.99), 3),
+            },
+        }
+
+    legs = asyncio.run(run_legs())
+    batched_report = legs["batched"]
+    unbatched_report = legs["batch_size_1"]
+    cached_report = legs["cached"]
+    sessions_report = legs.get("sessions")
+    server_stats = legs["stats"]
+
+    batched = leg_summary(batched_report)
+    batched["batch_histogram"] = (
+        server_stats["batching"]["batch_histogram"]
+    )
+    batched["mean_batch_size"] = round(
+        server_stats["batching"]["mean_batch_size"], 2
+    )
+    cached = leg_summary(cached_report)
+    cached["cache_hits"] = cached_report.cache_hits
+    cached["cache_hit_rate"] = round(
+        cached_report.cache_hits / cached_report.completed, 4
+    ) if cached_report.completed else 0.0
+
+    batching_gain = (
+        batched["rps"] / unbatched_report.achieved_rps
+        if unbatched_report.achieved_rps else 0.0
+    )
+    vs_fleet_ratio = batched["rps"] / fleet_rate if fleet_rate else 0.0
+
+    section = {
+        "workload": {
+            "num_agents": config.num_agents,
+            "num_hosts": config.num_hosts,
+            "hops_per_journey": config.hops_per_journey,
+            "seed": config.seed,
+        },
+        "max_batch": max_batch,
+        "max_delay": max_delay,
+        "connections": connections,
+        "stream": {
+            "verify_requests": len(verify_requests),
+            "session_checks": len(session_requests),
+            "fleet_signature": stream.fleet_signature,
+        },
+        "in_process": {
+            "fleet_wall_seconds": round(fleet_wall, 4),
+            "fleet_verifications": fleet_verified,
+            "fleet_verification_rate": round(fleet_rate, 1),
+        },
+        "batched": batched,
+        "batch_size_1": leg_summary(unbatched_report),
+        "cached": cached,
+        "batching_gain": round(batching_gain, 3),
+        "vs_fleet_ratio": round(vs_fleet_ratio, 3),
+        "parity": {
+            "verify_checked": (
+                batched_report.completed + cached_report.completed
+                + unbatched_report.completed
+            ),
+            "sessions_checked": (
+                sessions_report.completed if sessions_report else 0
+            ),
+            "mismatches": 0,
+            "dropped": 0,
+        },
+    }
+    if sessions_report is not None:
+        section["sessions"] = leg_summary(sessions_report)
+    return section
+
+
 def build_report(
     config: FleetConfig,
     workers: int,
@@ -403,8 +636,11 @@ def build_report(
     campaign: Optional[FleetConfig] = None,
     pool: Optional[FleetWorkerPool] = None,
     profile: bool = False,
+    sections: Optional[List[str]] = None,
+    service_config: Optional[FleetConfig] = None,
+    service_options: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Run all perf benchmarks and assemble the BENCH_fleet report.
+    """Run the selected perf benchmarks and assemble the report.
 
     ``campaign`` names the adversarial-campaign configuration; when
     omitted it is derived from ``config`` (same shape, 30% of journeys
@@ -412,8 +648,21 @@ def build_report(
     persistent worker pool shared by every multi-worker section;
     ``profile`` additionally runs the fleet under the per-phase
     profiler (:mod:`repro.bench.profile`) and attaches the attribution.
+    ``sections`` selects a subset of :data:`ALL_SECTIONS` (default:
+    all); the subset is recorded in the report so the baseline gate can
+    distinguish a deliberately skipped section from a silently dropped
+    one.  ``service_config`` shapes the service section's request
+    stream (defaults to a 150-journey fleet) and ``service_options``
+    passes extra keyword arguments to :func:`bench_service`.
     """
-    if campaign is None:
+    selected = list(sections) if sections is not None else list(ALL_SECTIONS)
+    unknown = [name for name in selected if name not in ALL_SECTIONS]
+    if unknown:
+        raise ValueError(
+            "unknown section(s) %r; valid sections: %s"
+            % (unknown, ", ".join(ALL_SECTIONS))
+        )
+    if campaign is None and "campaign" in selected:
         campaign = campaign_config(
             num_agents=config.num_agents,
             num_hosts=config.num_hosts,
@@ -422,19 +671,27 @@ def build_report(
             seed=config.seed,
             batched_verification=config.batched_verification,
         )
+    benchmarks: Dict[str, Any] = {}
+    if "fleet" in selected:
+        benchmarks["fleet"] = bench_fleet_throughput(
+            config, workers, start_method=start_method, pool=pool
+        )
+    if "dsa" in selected:
+        benchmarks["dsa_verification"] = bench_dsa_verification()
+    if "campaign" in selected:
+        benchmarks["campaign"] = bench_campaign(
+            campaign, workers, start_method=start_method, pool=pool
+        )
+    if "service" in selected:
+        benchmarks["service"] = bench_service(
+            service_config, **(service_options or {})
+        )
     report = {
         "schema": BENCH_SCHEMA,
         "quick": quick,
+        "sections": sorted(selected, key=ALL_SECTIONS.index),
         "environment": collect_environment(),
-        "benchmarks": {
-            "fleet": bench_fleet_throughput(
-                config, workers, start_method=start_method, pool=pool
-            ),
-            "dsa_verification": bench_dsa_verification(),
-            "campaign": bench_campaign(
-                campaign, workers, start_method=start_method, pool=pool
-            ),
-        },
+        "benchmarks": benchmarks,
     }
     if profile:
         from repro.bench.profile import profile_fleet
@@ -447,6 +704,7 @@ def compare_to_baseline(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
     max_regression: float = 0.30,
+    sections: Optional[List[str]] = None,
 ) -> List[str]:
     """Regression check: returns human-readable failures (empty = pass).
 
@@ -455,12 +713,40 @@ def compare_to_baseline(
     failure (a silently dropped measurement must not pass the gate).
     Schema or workload-shape mismatches make the comparison refuse
     rather than guess.
+
+    ``sections`` names the benchmark sections the current run was asked
+    to produce (default: the report's own ``sections`` record, falling
+    back to everything).  A baseline section outside that set is
+    skipped — deliberately not running a section is legitimate; a
+    *requested* section missing from the current report still fails.
     """
     failures: List[str] = []
     if baseline.get("schema") != current.get("schema"):
         return [
             "schema mismatch: baseline %r vs current %r — refresh the "
             "baseline" % (baseline.get("schema"), current.get("schema"))
+        ]
+    if sections is None:
+        sections = current.get("sections")
+    if sections is None:
+        sections = list(ALL_SECTIONS)
+
+    if "fleet" not in sections:
+        if "campaign" in sections and "campaign" in baseline["benchmarks"]:
+            failures.extend(_compare_campaign_sections(
+                current, baseline, max_regression
+            ))
+        if "service" in sections and "service" in baseline["benchmarks"]:
+            failures.extend(_compare_service_sections(
+                current, baseline, max_regression
+            ))
+        return failures
+    if "fleet" not in current["benchmarks"]:
+        return ["fleet section missing from current report"]
+    if "fleet" not in baseline["benchmarks"]:
+        return [
+            "baseline has no fleet section (recorded with a sections "
+            "subset?) — refresh the baseline from a full gated run"
         ]
     base_fleet = baseline["benchmarks"]["fleet"]
     cur_fleet = current["benchmarks"]["fleet"]
@@ -486,40 +772,117 @@ def compare_to_baseline(
                 % (key, cur_tp, floor, base_tp, 100 * max_regression)
             )
 
+    if "campaign" in sections:
+        failures.extend(_compare_campaign_sections(
+            current, baseline, max_regression
+        ))
+    if "service" in sections:
+        failures.extend(_compare_service_sections(
+            current, baseline, max_regression
+        ))
+    return failures
+
+
+def _compare_campaign_sections(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> List[str]:
+    """Campaign leg of :func:`compare_to_baseline`."""
+    failures: List[str] = []
     base_campaign = baseline["benchmarks"].get("campaign")
-    if base_campaign is not None:
-        cur_campaign = current["benchmarks"].get("campaign")
-        if cur_campaign is None:
-            return failures + [
-                "campaign section missing from current report — the "
-                "adversarial benchmark must not be silently dropped"
-            ]
-        for knob in ("num_agents", "num_hosts", "hops_per_journey",
-                     "seed", "attack_fraction"):
-            if base_campaign.get(knob) != cur_campaign.get(knob):
-                failures.append(
-                    "campaign workload mismatch on %s: baseline %r vs "
-                    "current %r — refresh the baseline"
-                    % (knob, base_campaign.get(knob), cur_campaign.get(knob))
-                )
-                return failures
-        for key, base_run in sorted(base_campaign["runs"].items()):
-            cur_run = cur_campaign["runs"].get(key)
-            if cur_run is None:
-                failures.append(
-                    "campaign baseline run %r missing from current report"
-                    % key
-                )
-                continue
-            base_tp = base_run["throughput_journeys_per_second"]
-            cur_tp = cur_run["throughput_journeys_per_second"]
-            floor = base_tp * (1.0 - max_regression)
-            if cur_tp < floor:
-                failures.append(
-                    "campaign %s throughput regressed: %.3f < %.3f "
-                    "journeys/s (baseline %.3f, allowed regression %.0f%%)"
-                    % (key, cur_tp, floor, base_tp, 100 * max_regression)
-                )
+    if base_campaign is None:
+        return failures
+    cur_campaign = current["benchmarks"].get("campaign")
+    if cur_campaign is None:
+        return [
+            "campaign section missing from current report — the "
+            "adversarial benchmark must not be silently dropped"
+        ]
+    for knob in ("num_agents", "num_hosts", "hops_per_journey",
+                 "seed", "attack_fraction"):
+        if base_campaign.get(knob) != cur_campaign.get(knob):
+            failures.append(
+                "campaign workload mismatch on %s: baseline %r vs "
+                "current %r — refresh the baseline"
+                % (knob, base_campaign.get(knob), cur_campaign.get(knob))
+            )
+            return failures
+    for key, base_run in sorted(base_campaign["runs"].items()):
+        cur_run = cur_campaign["runs"].get(key)
+        if cur_run is None:
+            failures.append(
+                "campaign baseline run %r missing from current report"
+                % key
+            )
+            continue
+        base_tp = base_run["throughput_journeys_per_second"]
+        cur_tp = cur_run["throughput_journeys_per_second"]
+        floor = base_tp * (1.0 - max_regression)
+        if cur_tp < floor:
+            failures.append(
+                "campaign %s throughput regressed: %.3f < %.3f "
+                "journeys/s (baseline %.3f, allowed regression %.0f%%)"
+                % (key, cur_tp, floor, base_tp, 100 * max_regression)
+            )
+    return failures
+
+
+def _compare_service_sections(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> List[str]:
+    """Service leg of :func:`compare_to_baseline`.
+
+    The gated quantities are the batched and batch-size-1 service
+    throughputs (RPS); workload- or batching-shape mismatches refuse to
+    compare, exactly like the fleet leg.
+    """
+    failures: List[str] = []
+    base_service = baseline["benchmarks"].get("service")
+    if base_service is None:
+        return failures
+    cur_service = current["benchmarks"].get("service")
+    if cur_service is None:
+        return [
+            "service section missing from current report — the "
+            "verification-service benchmark must not be silently dropped"
+        ]
+    base_workload = base_service.get("workload", {})
+    cur_workload = cur_service.get("workload", {})
+    for knob in ("num_agents", "num_hosts", "hops_per_journey", "seed"):
+        if base_workload.get(knob) != cur_workload.get(knob):
+            failures.append(
+                "service workload mismatch on %s: baseline %r vs "
+                "current %r — refresh the baseline"
+                % (knob, base_workload.get(knob), cur_workload.get(knob))
+            )
+            return failures
+    if base_service.get("max_batch") != cur_service.get("max_batch"):
+        failures.append(
+            "service max_batch mismatch: baseline %r vs current %r — "
+            "refresh the baseline"
+            % (base_service.get("max_batch"), cur_service.get("max_batch"))
+        )
+        return failures
+    for leg in ("batched", "batch_size_1"):
+        base_rps = base_service.get(leg, {}).get("rps")
+        cur_rps = cur_service.get(leg, {}).get("rps")
+        if base_rps is None:
+            continue
+        if cur_rps is None:
+            failures.append(
+                "service %s leg missing from current report" % leg
+            )
+            continue
+        floor = base_rps * (1.0 - max_regression)
+        if cur_rps < floor:
+            failures.append(
+                "service %s throughput regressed: %.1f < %.1f rps "
+                "(baseline %.1f, allowed regression %.0f%%)"
+                % (leg, cur_rps, floor, base_rps, 100 * max_regression)
+            )
     return failures
 
 
@@ -530,6 +893,12 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     )
     parser.add_argument("--quick", action="store_true",
                         help="smaller fleet for CI (600 agents, 20 hosts)")
+    parser.add_argument("--sections", default=",".join(ALL_SECTIONS),
+                        metavar="NAMES",
+                        help="comma-separated benchmark sections to run "
+                             "(subset of: %s; default: all).  The CI perf "
+                             "job runs only the sections it gates."
+                             % ",".join(ALL_SECTIONS))
     parser.add_argument("--agents", type=int, default=None,
                         help="override journey count")
     parser.add_argument("--hosts", type=int, default=None,
@@ -566,6 +935,24 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "scenarios falls below this floor "
                              "(default: 1.0; pass a negative value to "
                              "disable)")
+    parser.add_argument("--service-agents", type=int, default=150,
+                        help="journeys of the fleet whose verification "
+                             "traffic the service section replays "
+                             "(default: 150)")
+    parser.add_argument("--service-batch", type=int, default=256,
+                        help="service micro-batch window (default: 256)")
+    parser.add_argument("--service-sessions", type=int, default=60,
+                        help="session-check requests of the service "
+                             "parity leg (default: 60)")
+    parser.add_argument("--min-service-batch-gain", type=float, default=1.3,
+                        help="fail unless service batching beats the "
+                             "batch-size-1 baseline by this factor "
+                             "(default: 1.3; negative disables)")
+    parser.add_argument("--min-service-fleet-ratio", type=float, default=0.5,
+                        help="fail unless batched service throughput "
+                             "reaches this fraction of the in-process "
+                             "single-worker fleet verification rate "
+                             "(default: 0.5; negative disables)")
     parser.add_argument("--profile", action="store_true",
                         help="attribute fleet wall time to crypto / "
                              "encode / engine / trace phases (cProfile) "
@@ -580,6 +967,15 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
+    sections = [
+        name.strip() for name in args.sections.split(",") if name.strip()
+    ]
+    unknown = [name for name in sections if name not in ALL_SECTIONS]
+    if unknown:
+        print("FAIL: unknown section(s) %s (valid: %s)" % (
+            ", ".join(unknown), ", ".join(ALL_SECTIONS),
+        ), file=sys.stderr)
+        return 2
     if args.quick:
         agents, hosts, hops = 600, 20, 3
     else:
@@ -599,14 +995,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         attack_fraction=args.attack_fraction,
         seed=args.seed,
         batched_verification=True,
-    )
+    ) if "campaign" in sections else None
+    service_config = FleetConfig(
+        num_agents=args.service_agents,
+        num_hosts=config.num_hosts,
+        hops_per_journey=config.hops_per_journey,
+        malicious_host_fraction=0.2,
+        seed=args.seed,
+        protected=True,
+        batched_verification=True,
+    ) if "service" in sections else None
 
     # One persistent, pre-warmed pool serves every multi-worker section:
     # spawning (and re-generating keys/tables in) fresh workers per
     # measurement is exactly the startup tax the committed 4-worker
     # regression traced back to.
     pool: Optional[FleetWorkerPool] = None
-    if args.workers > 1:
+    needs_pool = args.workers > 1 and (
+        "fleet" in sections or "campaign" in sections
+    )
+    if needs_pool:
         pool = FleetWorkerPool(
             args.workers,
             start_method=args.start_method or DEFAULT_START_METHOD,
@@ -616,7 +1024,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = build_report(
             config, workers=args.workers, quick=args.quick,
             start_method=args.start_method, campaign=campaign,
-            pool=pool, profile=args.profile,
+            pool=pool, profile=args.profile, sections=sections,
+            service_config=service_config,
+            service_options={
+                "max_batch": args.service_batch,
+                "session_checks": args.service_sessions,
+            },
         )
     finally:
         if pool is not None:
@@ -629,61 +1042,101 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(report["profile"], handle, indent=2, sort_keys=True)
             handle.write("\n")
 
-    fleet = report["benchmarks"]["fleet"]
-    print("fleet: %d journeys, signature %s" % (
-        fleet["num_agents"], fleet["deterministic_signature"][:16],
-    ))
-    for key, run in sorted(fleet["runs"].items()):
-        print("  %-10s %7.2fs  %8.1f journeys/s" % (
-            key, run["wall_seconds"],
-            run["throughput_journeys_per_second"],
+    fleet = report["benchmarks"].get("fleet")
+    if fleet is not None:
+        print("fleet: %d journeys, signature %s" % (
+            fleet["num_agents"], fleet["deterministic_signature"][:16],
         ))
-    print("  speedup vs single: %.2fx" % fleet["speedup_vs_single"])
-    if args.workers > 1 and fleet["speedup_vs_single"] < 1.0:
-        print(
-            "\n"
-            "*** WARNING ***********************************************\n"
-            "* The %d-worker sharded run was SLOWER than single-process\n"
-            "* (speedup %.2fx < 1.0x): sharding is currently paying a\n"
-            "* penalty instead of scaling.  Check cpu_count in the\n"
-            "* environment section (%s CPUs seen) — on a single-core\n"
-            "* machine multiprocess runs cannot beat one process — and\n"
-            "* make sure a persistent FleetWorkerPool is in use.\n"
-            "***********************************************************"
-            % (
-                args.workers, fleet["speedup_vs_single"],
-                report["environment"].get("cpu_count"),
-            ),
-            file=sys.stderr,
-        )
-    print("  hash-cache hit rate: %.1f%%" % (
-        100 * fleet["hash_cache"]["hit_rate"],
-    ))
-    dsa = report["benchmarks"]["dsa_verification"]
-    print("dsa verification: batched %.2fx faster (%.4fs vs %.4fs)" % (
-        dsa["speedup"], dsa["batched_seconds"], dsa["individual_seconds"],
-    ))
-    camp = report["benchmarks"]["campaign"]
-    detection = camp["detection"]
-    print("campaign: %d journeys, %.0f%% attacked, signature %s" % (
-        camp["num_agents"], 100 * camp["attack_fraction"],
-        camp["deterministic_signature"][:16],
-    ))
-    print("  precision %.3f  recall %.3f  false-positive rate %.4f" % (
-        detection["precision"], detection["recall"],
-        detection["false_positive_rate"],
-    ))
-    print("  adversarial overhead vs benign: %.2fx" % camp["adversarial_overhead"])
-    from repro.bench.tables import metric_cell
+        for key, run in sorted(fleet["runs"].items()):
+            print("  %-10s %7.2fs  %8.1f journeys/s" % (
+                key, run["wall_seconds"],
+                run["throughput_journeys_per_second"],
+            ))
+        print("  speedup vs single: %.2fx" % fleet["speedup_vs_single"])
+        if args.workers > 1 and fleet["speedup_vs_single"] < 1.0:
+            print(
+                "\n"
+                "*** WARNING ***********************************************\n"
+                "* The %d-worker sharded run was SLOWER than single-process\n"
+                "* (speedup %.2fx < 1.0x): sharding is currently paying a\n"
+                "* penalty instead of scaling.  Check cpu_count in the\n"
+                "* environment section (%s CPUs seen) — on a single-core\n"
+                "* machine multiprocess runs cannot beat one process — and\n"
+                "* make sure a persistent FleetWorkerPool is in use.\n"
+                "***********************************************************"
+                % (
+                    args.workers, fleet["speedup_vs_single"],
+                    report["environment"].get("cpu_count"),
+                ),
+                file=sys.stderr,
+            )
+        print("  hash-cache hit rate: %.1f%%" % (
+            100 * fleet["hash_cache"]["hit_rate"],
+        ))
+    dsa = report["benchmarks"].get("dsa_verification")
+    if dsa is not None:
+        print("dsa verification: batched %.2fx faster (%.4fs vs %.4fs)" % (
+            dsa["speedup"], dsa["batched_seconds"], dsa["individual_seconds"],
+        ))
+    camp = report["benchmarks"].get("campaign")
+    detection = camp["detection"] if camp is not None else None
+    if camp is not None:
+        print("campaign: %d journeys, %.0f%% attacked, signature %s" % (
+            camp["num_agents"], 100 * camp["attack_fraction"],
+            camp["deterministic_signature"][:16],
+        ))
+        print("  precision %.3f  recall %.3f  false-positive rate %.4f" % (
+            detection["precision"], detection["recall"],
+            detection["false_positive_rate"],
+        ))
+        print("  adversarial overhead vs benign: %.2fx"
+              % camp["adversarial_overhead"])
+        from repro.bench.tables import metric_cell
 
-    for name, row in sorted(detection["per_scenario"].items()):
-        print("  %-24s area %2d  %-18s %3d/%3d detected "
-              "(recall %s, precision %s, hops-to-det %s)" % (
-                  name, row["area"], row["detectability"],
-                  row["detected"], row["injected"],
-                  metric_cell(row["detection_rate"]),
-                  metric_cell(row["precision"]),
-                  metric_cell(row["mean_hops_to_detection"], "%.1f"),
+        for name, row in sorted(detection["per_scenario"].items()):
+            print("  %-24s area %2d  %-18s %3d/%3d detected "
+                  "(recall %s, precision %s, hops-to-det %s)" % (
+                      name, row["area"], row["detectability"],
+                      row["detected"], row["injected"],
+                      metric_cell(row["detection_rate"]),
+                      metric_cell(row["precision"]),
+                      metric_cell(row["mean_hops_to_detection"], "%.1f"),
+                  ))
+    service = report["benchmarks"].get("service")
+    if service is not None:
+        print("service: %d verify + %d session requests "
+              "(fleet of %d journeys)" % (
+                  service["stream"]["verify_requests"],
+                  service["stream"]["session_checks"],
+                  service["workload"]["num_agents"],
+              ))
+        print("  batched (window %d): %8.1f rps  p50 %6.2fms  p99 %6.2fms"
+              "  mean batch %.1f" % (
+                  service["max_batch"],
+                  service["batched"]["rps"],
+                  service["batched"]["latency_ms"]["p50"],
+                  service["batched"]["latency_ms"]["p99"],
+                  service["batched"]["mean_batch_size"],
+              ))
+        print("  batch size 1:       %8.1f rps  p50 %6.2fms  p99 %6.2fms" % (
+            service["batch_size_1"]["rps"],
+            service["batch_size_1"]["latency_ms"]["p50"],
+            service["batch_size_1"]["latency_ms"]["p99"],
+        ))
+        print("  cached replay:      %8.1f rps  hit rate %.1f%%" % (
+            service["cached"]["rps"],
+            100 * service["cached"]["cache_hit_rate"],
+        ))
+        print("  batching gain: %.2fx   vs in-process fleet "
+              "verification rate (%.1f/s): %.2fx" % (
+                  service["batching_gain"],
+                  service["in_process"]["fleet_verification_rate"],
+                  service["vs_fleet_ratio"],
+              ))
+        print("  parity: %d verify + %d session verdicts matched "
+              "in-process ground truth, zero drops" % (
+                  service["parity"]["verify_checked"],
+                  service["parity"]["sessions_checked"],
               ))
     if args.profile:
         from repro.bench.profile import format_profile
@@ -693,7 +1146,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("report written to %s" % args.output)
 
     status = 0
-    if args.min_campaign_recall is not None and args.min_campaign_recall >= 0:
+    if (detection is not None and args.min_campaign_recall is not None
+            and args.min_campaign_recall >= 0):
         observed = detection["always_detectable_recall"]
         if observed < args.min_campaign_recall:
             print(
@@ -703,11 +1157,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ), file=sys.stderr,
             )
             status = 1
-    if args.min_speedup is not None and args.workers > 1:
+    if (fleet is not None and args.min_speedup is not None
+            and args.workers > 1):
         if fleet["speedup_vs_single"] < args.min_speedup:
             print("FAIL: speedup %.2fx below required %.2fx" % (
                 fleet["speedup_vs_single"], args.min_speedup,
             ), file=sys.stderr)
+            status = 1
+    if service is not None:
+        if (args.min_service_batch_gain is not None
+                and args.min_service_batch_gain >= 0
+                and service["batching_gain"] < args.min_service_batch_gain):
+            print("FAIL: service batching gain %.2fx below required %.2fx"
+                  % (service["batching_gain"], args.min_service_batch_gain),
+                  file=sys.stderr)
+            status = 1
+        if (args.min_service_fleet_ratio is not None
+                and args.min_service_fleet_ratio >= 0
+                and service["vs_fleet_ratio"] < args.min_service_fleet_ratio):
+            print("FAIL: service throughput is %.2fx the in-process fleet "
+                  "verification rate, below the required %.2fx"
+                  % (service["vs_fleet_ratio"],
+                     args.min_service_fleet_ratio),
+                  file=sys.stderr)
             status = 1
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:

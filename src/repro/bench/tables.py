@@ -33,6 +33,7 @@ __all__ = [
     "format_table",
     "format_overhead_table",
     "format_detectability_table",
+    "format_service_table",
     "overall_factors",
     "main",
 ]
@@ -197,6 +198,74 @@ def format_detectability_table(
     return "\n".join(lines)
 
 
+def format_service_table(
+    section: Dict[str, object],
+    title: str = "Verification service",
+) -> str:
+    """Render the harness's ``service`` benchmark section as text.
+
+    One row per measured leg (batched, batch-size-1, cached replay,
+    session checks), followed by the derived ratios the CI perf job
+    gates on, the batch-size histogram, and the parity line — the
+    service analogue of the paper-table renderers above.
+    """
+    header = "%-42s %9s %10s %10s %10s" % (
+        title, "requests", "rps", "p50 [ms]", "p99 [ms]",
+    )
+    lines = [header, "-" * len(header)]
+    rows = (
+        ("batched (window %s)" % section.get("max_batch"), "batched"),
+        ("batch size 1", "batch_size_1"),
+        ("cached replay", "cached"),
+        ("session checks", "sessions"),
+    )
+    for label, key in rows:
+        leg = section.get(key)
+        if not isinstance(leg, dict):
+            continue
+        latency = leg.get("latency_ms", {})
+        lines.append("%-42s %9d %10.1f %10s %10s" % (
+            label, leg.get("requests", 0), leg.get("rps", 0.0),
+            metric_cell(latency.get("p50")),
+            metric_cell(latency.get("p99")),
+        ))
+    lines.append("")
+    in_process = section.get("in_process", {})
+    cached = section.get("cached", {})
+    lines.append("batching gain vs batch size 1: %s" % metric_cell(
+        section.get("batching_gain"), "%.2fx",
+    ))
+    lines.append("in-process fleet verification rate: %s/s "
+                 "(service at %s of it)" % (
+                     metric_cell(in_process.get("fleet_verification_rate"),
+                                 "%.1f"),
+                     metric_cell(section.get("vs_fleet_ratio"), "%.2fx"),
+                 ))
+    lines.append("verdict cache hit rate on replay: %s" % metric_cell(
+        cached.get("cache_hit_rate"), "%.2f",
+    ))
+    histogram = section.get("batched", {}).get("batch_histogram", {})
+    if histogram:
+        cells = ", ".join(
+            "%s×%s" % (size, count)
+            for size, count in sorted(
+                histogram.items(), key=lambda pair: int(pair[0])
+            )
+        )
+        lines.append("batch-size histogram (size×windows): %s" % cells)
+    parity = section.get("parity", {})
+    lines.append(
+        "parity vs in-process verdicts: %s verify + %s sessions checked, "
+        "%s mismatches, %s dropped" % (
+            parity.get("verify_checked", 0),
+            parity.get("sessions_checked", 0),
+            parity.get("mismatches", 0),
+            parity.get("dropped", 0),
+        )
+    )
+    return "\n".join(lines)
+
+
 def paper_reference_breakdowns(table: Dict[str, Dict[str, float]]
                                ) -> List[TimingBreakdown]:
     """The paper's reference numbers as breakdown rows (for reports)."""
@@ -220,9 +289,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command line entry point: regenerate Table 1 and/or Table 2."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--table",
-                        choices=("1", "2", "both", "detectability"),
+                        choices=("1", "2", "both", "detectability",
+                                 "service"),
                         default="both",
                         help="which table to regenerate")
+    parser.add_argument("--report", default="BENCH_fleet.json",
+                        metavar="PATH",
+                        help="harness report to read for --table service "
+                             "(default: BENCH_fleet.json)")
     parser.add_argument("--fast-cycles", action="store_true",
                         help="use the C-level cycle loop (JIT ablation)")
     parser.add_argument("--campaign-agents", type=int, default=120,
@@ -231,6 +305,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed for --table detectability")
     options = parser.parse_args(argv)
+
+    if options.table == "service":
+        import json
+
+        try:
+            with open(options.report, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        except OSError as exc:
+            print("cannot read %s (%s); run `python -m repro.bench.harness "
+                  "--sections service` first" % (options.report, exc))
+            return 1
+        section = report.get("benchmarks", {}).get("service")
+        if section is None:
+            print("report %s has no service section; re-run the harness "
+                  "with service in --sections" % options.report)
+            return 1
+        print(format_service_table(section))
+        return 0
 
     if options.table == "detectability":
         from repro.sim.campaign import campaign_config, run_campaign

@@ -48,7 +48,11 @@ from repro.core.policy import (
     minimal_policy,
     session_reexecution_policy,
 )
-from repro.core.protocol import ReferenceStateProtocol
+from repro.core.protocol import (
+    ReferenceStateProtocol,
+    SessionVerifier,
+    check_session_payload,
+)
 from repro.core.reference_data import ReferenceDataSet
 from repro.core.requesters import (
     ExecutionLogRequester,
@@ -92,6 +96,8 @@ __all__ = [
     "minimal_policy",
     "session_reexecution_policy",
     "ReferenceStateProtocol",
+    "SessionVerifier",
+    "check_session_payload",
     "ReferenceDataSet",
     "ExecutionLogRequester",
     "FullReferenceDataRequester",

@@ -52,7 +52,7 @@ from repro.platform.host import Host
 from repro.platform.registry import ProtectionMechanism
 from repro.platform.session import SessionRecord
 
-__all__ = ["ReferenceStateProtocol"]
+__all__ = ["ReferenceStateProtocol", "SessionVerifier", "check_session_payload"]
 
 #: Key under which the protocol stores its payload version.  Version 2
 #: switched the per-session commitments from signing full states to
@@ -652,3 +652,75 @@ class ReferenceStateProtocol(ProtectionMechanism):
             "signer": envelope.signer,
             "signature": envelope.signature.to_canonical(),
         })
+
+
+# ---------------------------------------------------------------------------
+# Detached session checking (the verification-service entry point)
+# ---------------------------------------------------------------------------
+
+
+class SessionVerifier:
+    """A minimal checking principal that is not an agent platform.
+
+    The paper's framework assumes verification may happen at *trusted
+    parties* that many migrating agents contact; such a party verifies
+    signatures and re-executes sessions but never hosts agents itself.
+    This facade provides exactly the surface
+    :meth:`ReferenceStateProtocol._check_previous_session` needs from a
+    host — a name, a keystore, a metrics sink, and envelope
+    verification — without the session machinery of
+    :class:`~repro.platform.host.Host`.
+    """
+
+    def __init__(self, name: str, keystore: Any,
+                 metrics: Optional[Any] = None) -> None:
+        from repro.agents.context import NullMetrics
+
+        self.name = name
+        self.keystore = keystore
+        self.metrics = metrics if metrics is not None else NullMetrics()
+
+    def verify(self, envelope: SignedEnvelope,
+               expected_signer: Optional[str] = None,
+               category: str = "protocol_crypto",
+               message: Optional[bytes] = None) -> bool:
+        """Verify an envelope against the keystore (host-compatible)."""
+        if expected_signer is not None and envelope.signer != expected_signer:
+            return False
+        with self.metrics.measure(category):
+            return envelope.verify(self.keystore, message=message)
+
+
+def check_session_payload(
+    prev_session: Dict[str, Any],
+    observed_state: Any,
+    checked_host: Optional[str],
+    *,
+    checking_host: str,
+    keystore: Any,
+    code_registry: Optional[AgentCodeRegistry] = None,
+    checker: Optional[Checker] = None,
+    metrics: Optional[Any] = None,
+) -> Verdict:
+    """Check one protocol-v2 ``prev_session`` payload outside a journey.
+
+    This is the wire-facing twin of the in-journey check the next host
+    performs on arrival: given the previous session's commitments (in
+    canonical form, exactly as they travel), the observed agent state,
+    and the name of the checked host, it verifies every signature,
+    re-executes the session, and returns the same
+    :class:`~repro.core.verdict.Verdict` the in-process protocol would
+    produce — bit for bit, because verdicts contain no wall-clock or
+    transport-dependent data.  ``checking_host`` names the principal on
+    whose behalf the check runs (it is stamped into the verdict), which
+    lets a verification service answer for many checking hosts.
+    """
+    protocol = ReferenceStateProtocol(
+        code_registry=code_registry, checker=checker
+    )
+    verifier = SessionVerifier(checking_host, keystore, metrics=metrics)
+    if not isinstance(observed_state, AgentState):
+        observed_state = AgentState.from_canonical(observed_state)
+    return protocol._check_previous_session(
+        verifier, prev_session, observed_state, checked_host
+    )

@@ -257,6 +257,7 @@ class BatchedTransferVerifier:
         batch_size: int = 64,
         rng: Optional[Random] = None,
         cache: Optional[VerificationCache] = None,
+        observer: Optional[Callable[..., None]] = None,
     ) -> None:
         self.verifier = BatchVerifier(
             keystore, batch_size=batch_size, rng=rng, cache=cache
@@ -264,6 +265,11 @@ class BatchedTransferVerifier:
         #: ``{"journey": ..., "sender": ..., "receiver": ...}`` per failure.
         self.deferred_failures: List[Dict[str, Any]] = []
         self._journey: Optional[str] = None
+        #: Optional tap called with ``(envelope, journey)`` for every
+        #: transfer queued for verification.  The verification service's
+        #: journey-replay source (:mod:`repro.sim.requests`) uses it to
+        #: capture the exact signed wire traffic of a fleet run.
+        self.observer = observer
 
     def bind(self, journey: Optional[str]) -> None:
         """Attribute subsequently queued transfers to ``journey``."""
@@ -294,6 +300,8 @@ class BatchedTransferVerifier:
             if not outcome:
                 self.deferred_failures.append(context)
 
+        if self.observer is not None:
+            self.observer(envelope, self._journey)
         self.verifier.enqueue(envelope, on_result=on_result)
         return True
 

@@ -125,5 +125,35 @@ class ReplicationError(ReproError):
     """The server-replication baseline could not reach a usable quorum."""
 
 
+class ServiceError(ReproError):
+    """Base class for verification-service failures (:mod:`repro.service`)."""
+
+
+class FrameError(ServiceError):
+    """A service wire frame violated the framing protocol.
+
+    Subclasses distinguish the three failure shapes the server must
+    treat differently: an oversized frame (rejected before its body is
+    read or decoded), a truncated frame (the peer vanished mid-frame),
+    and a malformed frame (framing intact, payload undecodable).
+    """
+
+
+class FrameTooLarge(FrameError):
+    """The declared frame length exceeds the configured maximum."""
+
+
+class TruncatedFrame(FrameError):
+    """The connection ended in the middle of a frame."""
+
+
+class MalformedFrame(FrameError):
+    """A frame body could not be decoded as a canonical value."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The service shed the request under backpressure (typed busy)."""
+
+
 class ProofError(ReproError):
     """A holographic proof was malformed or failed verification."""

@@ -1,0 +1,69 @@
+"""The reference-state verification service.
+
+Hohl's framework assumes verification happens at trusted parties that
+many migrating agents contact — the shape of a network service under
+load.  This package is that serving layer:
+
+* :mod:`repro.service.wire` — length-prefixed canonical framing;
+* :mod:`repro.service.cache` — the LRU verdict cache;
+* :mod:`repro.service.batching` — time-/size-bounded micro-batching
+  over :func:`repro.crypto.dsa.batch_verify`;
+* :mod:`repro.service.server` — the asyncio TCP server with
+  bounded-queue backpressure and structured metrics;
+* :mod:`repro.service.client` — the pooled, pipelined client;
+* :mod:`repro.service.loadgen` — multi-process replay of fleet journey
+  request streams (:mod:`repro.sim.requests`) at a target RPS.
+
+``python -m repro.service`` exposes the server and the loadgen on the
+command line; the benchmark harness's ``service`` section measures the
+whole stack against the in-process ground truth.
+"""
+
+from repro.service.batching import MicroBatcher, SettledVerification
+from repro.service.cache import VerdictCache
+from repro.service.client import (
+    ServiceClient,
+    ServiceResponseError,
+    connect_with_retry,
+)
+from repro.service.loadgen import (
+    LoadgenReport,
+    build_loadgen_stream,
+    replay_requests,
+    run_loadgen,
+)
+from repro.service.server import (
+    ServiceConfig,
+    ServiceThread,
+    VerificationService,
+    build_service_keystore,
+)
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    read_frame,
+    split_frames,
+)
+
+__all__ = [
+    "MicroBatcher",
+    "SettledVerification",
+    "VerdictCache",
+    "ServiceClient",
+    "ServiceResponseError",
+    "connect_with_retry",
+    "LoadgenReport",
+    "build_loadgen_stream",
+    "replay_requests",
+    "run_loadgen",
+    "ServiceConfig",
+    "ServiceThread",
+    "VerificationService",
+    "build_service_keystore",
+    "MAX_FRAME_BYTES",
+    "decode_body",
+    "encode_frame",
+    "read_frame",
+    "split_frames",
+]

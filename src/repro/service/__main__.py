@@ -1,0 +1,182 @@
+"""Command line for the verification service.
+
+``python -m repro.service serve`` runs a server; ``python -m
+repro.service loadgen`` replays a deterministic journey request stream
+against one, verifying every verdict against the in-process ground
+truth.  The CI ``service-smoke`` job is exactly these two commands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.service.loadgen import build_loadgen_stream, run_loadgen
+from repro.service.server import ServiceConfig, VerificationService
+from repro.sim.fleet import FleetConfig
+
+
+def _parse_target(target: str) -> Tuple[str, int]:
+    host, _, port = target.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            "target must look like HOST:PORT, got %r" % target
+        )
+    return host, int(port)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Reference-state verification service: server and loadgen",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run a verification server until interrupted"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = pick a free port; the bound "
+                            "address is announced on stdout)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="micro-batch window size (1 disables batching)")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batch window latency bound")
+    serve.add_argument("--cache-entries", type=int, default=65536,
+                       help="LRU verdict-cache capacity (0 disables)")
+    serve.add_argument("--max-queue", type=int, default=8192,
+                       help="in-flight bound before busy responses")
+    serve.add_argument("--fleet-hosts", type=int, default=40,
+                       help="fleet-shaped host population whose "
+                            "deterministic keys the server registers")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="replay a journey request stream against a server"
+    )
+    loadgen.add_argument("--target", type=_parse_target, required=True,
+                         metavar="HOST:PORT")
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--rps", type=float, default=0.0,
+                         help="target request rate (0 = unthrottled)")
+    loadgen.add_argument("--processes", type=int, default=1)
+    loadgen.add_argument("--connections", type=int, default=2,
+                         help="pooled connections per process")
+    loadgen.add_argument("--max-inflight", type=int, default=128,
+                         help="pipelined requests in flight per process")
+    loadgen.add_argument("--adversarial-fraction", type=float, default=0.0,
+                         help="fraction of verify requests whose "
+                              "signatures are corrupted (expected verdict "
+                              "False)")
+    loadgen.add_argument("--agents", type=int, default=30,
+                         help="journeys of the generating fleet")
+    loadgen.add_argument("--hosts", type=int, default=8,
+                         help="service hosts of the generating fleet "
+                              "(must not exceed the server's "
+                              "--fleet-hosts)")
+    loadgen.add_argument("--hops", type=int, default=3)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--no-sessions", action="store_true",
+                         help="replay only raw verify requests")
+    loadgen.add_argument("--json", default=None, metavar="PATH",
+                         help="write the merged report as JSON")
+    loadgen.add_argument("--expect-parity", action="store_true",
+                         help="exit non-zero unless every verdict matches "
+                              "the in-process ground truth and no request "
+                              "was dropped")
+    return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        cache_entries=args.cache_entries,
+        max_queue=args.max_queue,
+        fleet_hosts=args.fleet_hosts,
+    )
+
+    async def _serve() -> None:
+        service = VerificationService(config)
+        host, port = await service.start()
+        print("listening on %s:%d" % (host, port), flush=True)
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    host, port = args.target
+    config = FleetConfig(
+        num_agents=args.agents,
+        num_hosts=args.hosts,
+        hops_per_journey=args.hops,
+        seed=args.seed,
+        protected=True,
+        batched_verification=True,
+    )
+    stream, corrupted = build_loadgen_stream(
+        config,
+        requests=args.requests,
+        adversarial_fraction=args.adversarial_fraction,
+        include_sessions=not args.no_sessions,
+        seed=args.seed,
+    )
+    print("stream: %d requests (%d corrupted) from a %d-journey fleet"
+          % (len(stream), corrupted, config.num_agents), flush=True)
+    report = run_loadgen(
+        host, port, stream,
+        processes=args.processes,
+        rps=args.rps,
+        connections=args.connections,
+        max_inflight=args.max_inflight,
+    )
+    report.corrupted = corrupted
+    summary = report.summary()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("report written to %s" % args.json)
+
+    status = 0
+    if args.expect_parity:
+        if report.mismatches:
+            print("FAIL: %d verdict(s) diverged from the in-process "
+                  "ground truth" % report.mismatches, file=sys.stderr)
+            status = 1
+        if report.dropped:
+            print("FAIL: %d request(s) dropped (busy=%d, errors=%d)"
+                  % (report.dropped, report.busy, report.errors),
+                  file=sys.stderr)
+            status = 1
+        if status == 0:
+            print("parity ok: %d/%d verdicts match, zero drops"
+                  % (report.completed, report.sent))
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    return _cmd_loadgen(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""LRU verdict cache for the verification service.
+
+Signature verification is a pure function of ``(signer, message,
+signature)``, so a verdict observed once holds forever and can be
+served from memory.  The cache key binds the *digest* of the message to
+the full ``(r, s, commitment)`` triple: two requests that differ in any
+of those five components occupy different entries, so a cached verdict
+can never be served across differing digests or signatures — the
+staleness property ``tests/service/test_cache.py`` pins down.
+
+Unlike the FIFO :class:`repro.crypto.batch.VerificationCache` used
+inside fleet engines (where the stream is one pass and eviction order
+barely matters), the service sees *recurring* traffic — loadgen replays,
+retried requests, hot signers — so eviction is LRU: every hit refreshes
+the entry's position and the working set stays resident.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.dsa import RecoverableSignature
+from repro.crypto.hashing import hash_bytes
+
+__all__ = ["VerdictCache", "VerdictKey"]
+
+#: Content key of one verification: (signer, message digest, r, s, R).
+VerdictKey = Tuple[str, bytes, int, int, int]
+
+
+class VerdictCache:
+    """Bounded LRU map from verification content keys to verdicts."""
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        self._entries: "OrderedDict[VerdictKey, bool]" = OrderedDict()
+        self.max_entries = max(1, int(max_entries))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(signer: str, message: bytes,
+            signature: RecoverableSignature) -> VerdictKey:
+        """Content key: signer, message digest, and the full signature."""
+        digest = hash_bytes(message).digest
+        return (signer, digest, signature.r, signature.s,
+                signature.commitment)
+
+    def get(self, key: VerdictKey) -> Optional[bool]:
+        """Cached verdict for ``key`` (refreshing recency), else ``None``."""
+        try:
+            verdict = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return verdict
+
+    def put(self, key: VerdictKey, verdict: bool) -> None:
+        """Record a verdict, evicting the least recently used beyond cap."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = verdict
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: VerdictKey) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction counters and the lifetime hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }

@@ -1,0 +1,261 @@
+"""Pooled, pipelined client for the verification service.
+
+A :class:`ServiceClient` owns a small pool of TCP connections.  Every
+request carries a client-assigned id and is written immediately —
+callers never wait for earlier responses before later requests hit the
+wire, so a burst of ``asyncio.gather``-ed calls pipelines naturally and
+the server's micro-batcher sees real concurrency from a single client.
+A per-connection reader task matches responses back to futures by id
+(the server may answer out of order once batching and caching skew
+settlement times).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional, Union
+
+from repro.crypto.dsa import RecoverableSignature
+from repro.crypto.signing import RecoverableEnvelope
+from repro.exceptions import ServiceError, ServiceUnavailable
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = ["ServiceClient", "ServiceResponseError"]
+
+
+class ServiceResponseError(ServiceError):
+    """The server answered with a typed error response."""
+
+    def __init__(self, response: Dict[str, Any]) -> None:
+        super().__init__(
+            "service error %r: %s" % (
+                response.get("error"), response.get("detail"),
+            )
+        )
+        self.response = response
+
+
+class _Connection:
+    """One pooled connection: writer, reader task, in-flight futures."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, max_frame: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.max_frame = max_frame
+        self.inflight: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
+        #: Why the connection died, once it has; requests sent after
+        #: that must fail fast instead of registering futures nothing
+        #: will ever resolve.
+        self.failure: Optional[BaseException] = None
+        self.reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                body = await read_frame(self.reader, self.max_frame)
+                if body is None:
+                    break
+                response = decode_body(body)
+                future = self.inflight.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except BaseException as exc:  # noqa: BLE001 - propagated to waiters
+            error = exc
+        finally:
+            self.failure = (
+                error or ServiceError("connection closed by the server")
+            )
+            for future in self.inflight.values():
+                if not future.done():
+                    future.set_exception(self.failure)
+            self.inflight.clear()
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        # A dead connection must fail the request, not swallow it: a
+        # write to a closed transport is silently discarded by asyncio,
+        # so without this check the future would never resolve.  The
+        # check is race-free: there is no await between it and the
+        # future registration below, so the reader task cannot die in
+        # between.
+        if self.failure is not None or self.reader_task.done() \
+                or self.writer.is_closing():
+            raise self.failure if isinstance(self.failure, ServiceError) \
+                else ServiceError(
+                    "connection is closed%s" % (
+                        ": %s" % self.failure if self.failure else "",
+                    )
+                )
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_event_loop().create_future()
+        )
+        self.inflight[payload["id"]] = future
+        self.writer.write(encode_frame(payload, self.max_frame))
+        # No drain between pipelined writes: the response wait below is
+        # the natural flow control for request/response traffic.
+        return await future
+
+    async def close(self) -> None:
+        self.reader_task.cancel()
+        try:
+            await self.reader_task
+        except (asyncio.CancelledError, ServiceError):
+            pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ServiceClient:
+    """Round-robin pool of pipelined connections to one server.
+
+    Build instances through :meth:`connect`; close with :meth:`close`
+    (or use ``async with``).
+    """
+
+    def __init__(self, connections: List[_Connection]) -> None:
+        if not connections:
+            raise ServiceError("a client needs at least one connection")
+        self._connections = connections
+        self._rr = itertools.cycle(range(len(connections)))
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        connections: int = 1,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> "ServiceClient":
+        """Open ``connections`` parallel connections to ``host:port``."""
+        pool: List[_Connection] = []
+        try:
+            for _ in range(max(1, int(connections))):
+                reader, writer = await asyncio.open_connection(host, port)
+                pool.append(_Connection(reader, writer, max_frame))
+        except Exception:
+            for connection in pool:
+                await connection.close()
+            raise
+        return cls(pool)
+
+    # -- request primitives ------------------------------------------------------
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw request (an ``id`` is added) on the next connection."""
+        body = dict(payload)
+        body["id"] = next(self._ids)
+        connection = self._connections[next(self._rr)]
+        return await connection.request(body)
+
+    async def request_checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Like :meth:`request`, raising typed errors for non-ok statuses."""
+        response = await self.request(payload)
+        status = response.get("status")
+        if status == "busy":
+            raise ServiceUnavailable(
+                str(response.get("reason") or "service is busy")
+            )
+        if status != "ok":
+            raise ServiceResponseError(response)
+        return response
+
+    # -- typed operations --------------------------------------------------------
+
+    async def verify(
+        self,
+        signer: str,
+        message: bytes,
+        signature: Union[RecoverableSignature, Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Raw DSA verification; returns the full ok-response."""
+        if isinstance(signature, RecoverableSignature):
+            signature = signature.to_canonical()
+        return await self.request_checked({
+            "op": "verify",
+            "signer": signer,
+            "message": message,
+            "signature": signature,
+        })
+
+    async def verify_envelope(
+        self, envelope: RecoverableEnvelope
+    ) -> Dict[str, Any]:
+        """Verify a commitment-carrying envelope (encodes its message)."""
+        return await self.verify(
+            envelope.signer, envelope.message(), envelope.signature
+        )
+
+    async def check_session(
+        self,
+        prev_session: Dict[str, Any],
+        observed_state: Dict[str, Any],
+        checked_host: Optional[str],
+        checking_host: str,
+    ) -> Dict[str, Any]:
+        """Protocol-v2 session check; returns the canonical verdict."""
+        response = await self.request_checked({
+            "op": "check-session",
+            "prev_session": prev_session,
+            "observed_state": observed_state,
+            "checked_host": checked_host,
+            "checking_host": checking_host,
+        })
+        return response["verdict"]
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's aggregate metrics snapshot."""
+        response = await self.request_checked({"op": "stats"})
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        """Liveness check."""
+        response = await self.request({"op": "ping"})
+        return response.get("status") == "ok"
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        for connection in self._connections:
+            await connection.close()
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+
+async def connect_with_retry(
+    host: str,
+    port: int,
+    connections: int = 1,
+    timeout: float = 10.0,
+    interval: float = 0.1,
+) -> ServiceClient:
+    """Connect, retrying until ``timeout`` (server still coming up)."""
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout
+    while True:
+        try:
+            return await ServiceClient.connect(
+                host, port, connections=connections
+            )
+        except (ConnectionError, OSError):
+            if loop.time() >= deadline:
+                raise
+            await asyncio.sleep(interval)
+
+
+__all__.append("connect_with_retry")

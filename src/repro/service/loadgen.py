@@ -1,0 +1,277 @@
+"""Load generation: replay journey request streams against a server.
+
+The loadgen replays the deterministic request streams of
+:mod:`repro.sim.requests` — optionally with an adversarial fraction of
+corrupted signatures — against a live verification server, from one or
+several **processes**, each driving a pool of pipelined connections at
+a target request rate (``rps=0`` means as fast as the pipeline allows).
+
+Every response is checked against the stream's in-process ground truth:
+a ``verify`` verdict must equal the expected boolean, a
+``check-session`` verdict must equal the expected canonical verdict
+dictionary bit for bit.  The merged :class:`LoadgenReport` carries the
+counts the CI smoke job asserts on (zero drops, zero mismatches) and
+the latency distribution the benchmark section reports (p50/p99).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.service.client import connect_with_retry
+from repro.sim.fleet import FleetConfig
+from repro.sim.requests import (
+    VerificationRequest,
+    corrupt_requests,
+    journey_request_stream,
+)
+
+__all__ = [
+    "LoadgenReport",
+    "build_loadgen_stream",
+    "replay_requests",
+    "run_loadgen",
+    "percentile",
+]
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of ``samples``."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[index]
+
+
+@dataclass
+class LoadgenReport:
+    """Merged outcome of one loadgen run."""
+
+    sent: int = 0
+    completed: int = 0
+    busy: int = 0
+    errors: int = 0
+    mismatches: int = 0
+    corrupted: int = 0
+    verify_requests: int = 0
+    session_requests: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    mismatch_samples: List[Dict[str, Any]] = field(default_factory=list)
+    processes: int = 1
+
+    @property
+    def dropped(self) -> int:
+        """Requests that never produced an ok-response."""
+        return self.sent - self.completed
+
+    @property
+    def achieved_rps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def merge(self, other: "LoadgenReport") -> None:
+        self.sent += other.sent
+        self.completed += other.completed
+        self.busy += other.busy
+        self.errors += other.errors
+        self.mismatches += other.mismatches
+        self.corrupted += other.corrupted
+        self.verify_requests += other.verify_requests
+        self.session_requests += other.session_requests
+        self.cache_hits += other.cache_hits
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        self.latencies.extend(other.latencies)
+        self.mismatch_samples.extend(other.mismatch_samples[:4])
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready summary (latencies reduced to the distribution)."""
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "busy": self.busy,
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "corrupted": self.corrupted,
+            "verify_requests": self.verify_requests,
+            "session_requests": self.session_requests,
+            "cache_hits": self.cache_hits,
+            "processes": self.processes,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "achieved_rps": round(self.achieved_rps, 2),
+            "latency_ms": {
+                "p50": round(1e3 * percentile(self.latencies, 0.50), 3),
+                "p99": round(1e3 * percentile(self.latencies, 0.99), 3),
+                "max": round(1e3 * max(self.latencies), 3)
+                if self.latencies else 0.0,
+                "mean": round(
+                    1e3 * sum(self.latencies) / len(self.latencies), 3
+                ) if self.latencies else 0.0,
+            },
+            "mismatch_samples": self.mismatch_samples[:4],
+        }
+
+
+def build_loadgen_stream(
+    config: FleetConfig,
+    requests: int,
+    adversarial_fraction: float = 0.0,
+    include_sessions: bool = True,
+    seed: int = 0,
+) -> Tuple[List[VerificationRequest], int]:
+    """Build a replayable stream of ``requests`` items from a fleet shape.
+
+    The journey stream is repeated (in order) until the target count is
+    reached — repeats are realistic service traffic and exercise the
+    verdict cache — then the adversarial fraction is applied.  Returns
+    ``(stream, corrupted_count)``.
+    """
+    captured = journey_request_stream(config)
+    base = captured.requests if include_sessions else captured.verify_requests
+    if not base:
+        raise ValueError("the fleet configuration produced no requests")
+    stream: List[VerificationRequest] = []
+    while len(stream) < requests:
+        stream.extend(base[:requests - len(stream)])
+    return corrupt_requests(stream, adversarial_fraction, seed=seed)
+
+
+async def replay_requests(
+    host: str,
+    port: int,
+    requests: Sequence[VerificationRequest],
+    rps: float = 0.0,
+    connections: int = 2,
+    max_inflight: int = 128,
+    connect_timeout: float = 10.0,
+) -> LoadgenReport:
+    """Drive one async replay of ``requests`` against ``host:port``.
+
+    ``rps`` schedules request starts on a fixed grid (0 = unthrottled);
+    ``max_inflight`` bounds client-side concurrency so an unthrottled
+    replay exerts backpressure-shaped load rather than a single burst.
+    """
+    report = LoadgenReport()
+    client = await connect_with_retry(
+        host, port, connections=connections, timeout=connect_timeout
+    )
+    loop = asyncio.get_event_loop()
+    gate = asyncio.Semaphore(max(1, int(max_inflight)))
+    started = loop.time()
+
+    async def one(index: int, request: VerificationRequest) -> None:
+        if rps > 0:
+            delay = started + index / rps - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        async with gate:
+            begin = loop.time()
+            try:
+                response = await client.request(dict(request.payload))
+            except Exception:
+                report.errors += 1
+                return
+            report.latencies.append(loop.time() - begin)
+            status = response.get("status")
+            if status == "busy":
+                report.busy += 1
+                return
+            if status != "ok":
+                report.errors += 1
+                return
+            report.completed += 1
+            if response.get("cache_hit"):
+                report.cache_hits += 1
+            observed = response.get("verdict")
+            if observed != request.expected:
+                report.mismatches += 1
+                if len(report.mismatch_samples) < 8:
+                    report.mismatch_samples.append({
+                        "op": request.op,
+                        "journey": request.journey,
+                        "expected": request.expected,
+                        "observed": observed,
+                    })
+
+    report.sent = len(requests)
+    for request in requests:
+        if request.op == "verify":
+            report.verify_requests += 1
+        else:
+            report.session_requests += 1
+    try:
+        await asyncio.gather(*(
+            one(index, request) for index, request in enumerate(requests)
+        ))
+    finally:
+        await client.close()
+    report.wall_seconds = loop.time() - started
+    return report
+
+
+def _loadgen_worker(args: Tuple[Any, ...]) -> Dict[str, Any]:
+    """Top-level worker (spawn-picklable): replay a slice of the stream."""
+    (host, port, requests, rps, connections, max_inflight) = args
+    report = asyncio.run(replay_requests(
+        host, port, requests, rps=rps, connections=connections,
+        max_inflight=max_inflight,
+    ))
+    state = dict(report.__dict__)
+    return state
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    requests: Sequence[VerificationRequest],
+    processes: int = 1,
+    rps: float = 0.0,
+    connections: int = 2,
+    max_inflight: int = 128,
+) -> LoadgenReport:
+    """Replay ``requests`` from ``processes`` worker processes.
+
+    The stream is split round-robin so every process sees the same op
+    mix; the target rate is divided evenly.  With ``processes=1`` the
+    replay runs in this process (no multiprocessing machinery), which
+    is what the benchmark harness uses to keep measurements clean.
+    """
+    processes = max(1, int(processes))
+    if processes == 1:
+        report = asyncio.run(replay_requests(
+            host, port, list(requests), rps=rps, connections=connections,
+            max_inflight=max_inflight,
+        ))
+        report.processes = 1
+        return report
+
+    slices: List[List[VerificationRequest]] = [[] for _ in range(processes)]
+    for index, request in enumerate(requests):
+        slices[index % processes].append(request)
+    worker_args = [
+        (host, port, chunk, rps / processes if rps > 0 else 0.0,
+         connections, max_inflight)
+        for chunk in slices if chunk
+    ]
+    context = multiprocessing.get_context("spawn")
+    started = time.perf_counter()
+    with context.Pool(processes=len(worker_args)) as pool:
+        results = pool.map(_loadgen_worker, worker_args)
+    wall = time.perf_counter() - started
+    merged = LoadgenReport(processes=len(worker_args))
+    for state in results:
+        partial = LoadgenReport()
+        partial.__dict__.update(state)
+        merged.merge(partial)
+    # Cross-process wall clock: the pool's envelope, which includes
+    # worker spawn; individual worker walls are kept via merge(max).
+    merged.wall_seconds = max(merged.wall_seconds, 0.0) or wall
+    return merged

@@ -1,0 +1,578 @@
+"""The asyncio reference-state verification server.
+
+Hohl's framework places verification at trusted parties that many
+migrating agents contact — the shape of a network service.  This module
+is that service: an asyncio TCP server accepting length-prefixed
+canonical-encoded requests (:mod:`repro.service.wire`), answering two
+kinds of verification:
+
+* ``verify`` — a raw DSA verification (signer name, message bytes,
+  recoverable signature).  Concurrent requests are coalesced into
+  time- and size-bounded micro-batches
+  (:class:`repro.service.batching.MicroBatcher`) settled with one batch
+  equation, fronted by an LRU verdict cache
+  (:class:`repro.service.cache.VerdictCache`) keyed on digest+signature.
+* ``check-session`` — a full ReferenceStateProtocol v2 ``prev_session``
+  payload.  The server verifies every commitment signature and
+  re-executes the session via
+  :func:`repro.core.protocol.check_session_payload`, returning the
+  exact verdict the in-process protocol would produce.
+
+Backpressure is bounded-queue: when more verifications are in flight
+than ``max_queue``, new requests receive an immediate typed ``busy``
+response — the service sheds load, it never hangs a client.  Every
+response carries structured per-request metrics (queue wait, batch
+size, cache hit) and the ``stats`` op exposes the aggregate counters.
+
+The PKI follows the library's deterministic model: principals' key
+pairs derive from their names alone, so
+:func:`build_service_keystore` reconstructs the public keys of any
+fleet-shaped host population without key distribution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+# Importing the workloads registers the fleet agent code with the
+# process-wide registry, so session re-execution can resolve the code
+# names arriving in check-session payloads.
+import repro.workloads.shopping  # noqa: F401
+import repro.workloads.survey  # noqa: F401
+from repro.core.protocol import check_session_payload
+from repro.crypto.dsa import RecoverableSignature
+from repro.crypto.keys import Identity, KeyStore
+from repro.exceptions import (
+    FrameTooLarge,
+    MalformedFrame,
+    TruncatedFrame,
+)
+from repro.service.batching import MicroBatcher
+from repro.service.cache import VerdictCache
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    read_frame,
+)
+from repro.sim.fleet import FleetConfig, fleet_host_names
+
+__all__ = [
+    "ServiceConfig",
+    "VerificationService",
+    "ServiceThread",
+    "build_service_keystore",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one verification-server instance.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address; port ``0`` asks the kernel for a free port
+        (the bound port is reported by :meth:`VerificationService.start`).
+    max_batch / max_delay:
+        Micro-batching window bounds (items / seconds).  ``max_batch=1``
+        disables coalescing — the benchmark's no-batching baseline.
+    cache_entries:
+        LRU verdict-cache capacity; ``0`` disables the cache.
+    max_queue:
+        In-flight verification bound; beyond it requests get a typed
+        ``busy`` response instead of queueing.
+    max_frame:
+        Largest accepted frame body; larger frames are rejected from
+        the header alone, before any decode.
+    fleet_hosts:
+        Size of the fleet-shaped host population whose deterministic
+        public keys the server registers at startup (``home`` plus
+        ``host-001`` … ``host-NNN``).
+    extra_principals:
+        Additional principal names to register beyond the fleet shape.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 256
+    max_delay: float = 0.002
+    cache_entries: int = 65536
+    max_queue: int = 8192
+    max_frame: int = MAX_FRAME_BYTES
+    fleet_hosts: int = 40
+    extra_principals: Tuple[str, ...] = ()
+
+
+def build_service_keystore(num_hosts: int,
+                           extra_principals: Tuple[str, ...] = ()) -> KeyStore:
+    """Deterministic PKI for a fleet-shaped host population.
+
+    Key pairs derive from principal names alone
+    (:meth:`repro.crypto.keys.Identity.generate`), so a server and the
+    fleets whose traffic it verifies agree on every public key without
+    exchanging one byte of key material.
+    """
+    keystore = KeyStore()
+    names = fleet_host_names(FleetConfig(num_hosts=max(1, int(num_hosts))))
+    for name in list(names) + list(extra_principals):
+        keystore.register_identity(Identity.generate(name))
+    return keystore
+
+
+@dataclass
+class _Counters:
+    """Aggregate request accounting (everything the stats op reports)."""
+
+    connections: int = 0
+    requests: int = 0
+    verify_requests: int = 0
+    session_requests: int = 0
+    verdicts_true: int = 0
+    verdicts_false: int = 0
+    cache_hits: int = 0
+    busy: int = 0
+    errors: int = 0
+    frames_rejected_oversize: int = 0
+    frames_rejected_malformed: int = 0
+    frames_truncated: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class VerificationService:
+    """One server instance: listener, batcher, cache, and metrics.
+
+    Parameters
+    ----------
+    config:
+        The server tunables.
+    keystore:
+        Public-key directory; defaults to the deterministic
+        fleet-shaped PKI of :func:`build_service_keystore`.
+    code_registry:
+        Agent-code registry for session re-execution; defaults to the
+        process-wide registry (the workload agents register on import).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        keystore: Optional[KeyStore] = None,
+        code_registry: Optional[Any] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.keystore = keystore if keystore is not None else (
+            build_service_keystore(
+                self.config.fleet_hosts, self.config.extra_principals
+            )
+        )
+        self.code_registry = code_registry
+        self.batcher = MicroBatcher(
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay,
+        )
+        self.cache: Optional[VerdictCache] = (
+            VerdictCache(self.config.cache_entries)
+            if self.config.cache_entries > 0 else None
+        )
+        self.counters = _Counters()
+        self._inflight = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._client_writers: set = set()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; only valid after :meth:`start`."""
+        if self._address is None:
+            raise RuntimeError("the service has not been started")
+        return self._address
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        return self._address
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener and settle anything still queued."""
+        self.batcher.flush()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Closing the server-side transports EOFs every connection
+        # handler, so they wind down on their own instead of being
+        # cancelled mid-read.
+        for writer in list(self._client_writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        await asyncio.sleep(0)
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.counters.connections += 1
+        self._client_writers.add(writer)
+        tasks = []
+        try:
+            while True:
+                try:
+                    body = await read_frame(reader, self.config.max_frame)
+                except (ConnectionError, OSError):
+                    break
+                except FrameTooLarge as exc:
+                    # Rejected before decode; the stream position is
+                    # unrecoverable past a refused body, so answer and
+                    # close.
+                    self.counters.frames_rejected_oversize += 1
+                    self._write(writer, self._error_response(
+                        None, "frame-too-large", str(exc)
+                    ))
+                    break
+                except TruncatedFrame:
+                    self.counters.frames_truncated += 1
+                    break
+                if body is None:
+                    break
+                try:
+                    request = decode_body(body)
+                except MalformedFrame as exc:
+                    # Framing intact: answer with a typed error and keep
+                    # serving the connection.
+                    self.counters.frames_rejected_malformed += 1
+                    self._write(writer, self._error_response(
+                        None, "malformed-frame", str(exc)
+                    ))
+                    continue
+                # Dispatch as a task so slow settlements never stop this
+                # connection (or its pipeline) from being read.
+                task = asyncio.ensure_future(
+                    self._process(request, writer)
+                )
+                tasks.append(task)
+                tasks = [t for t in tasks if not t.done()]
+        finally:
+            for task in tasks:
+                if not task.done():
+                    try:
+                        await asyncio.wait_for(task, timeout=None)
+                    except Exception:  # noqa: BLE001 - teardown must finish
+                        pass
+            self._client_writers.discard(writer)
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    def _write(self, writer: asyncio.StreamWriter, response: Dict[str, Any]) -> None:
+        """Write one response frame (single ``write`` call: atomic order).
+
+        A response that cannot be framed (e.g. a session verdict whose
+        state-difference details blow past ``max_frame``) degrades to a
+        typed error response — the client must always receive *an*
+        answer for the request id, never silence.
+        """
+        try:
+            frame = encode_frame(response, self.config.max_frame)
+        except FrameTooLarge:
+            self.counters.errors += 1
+            frame = encode_frame(self._error_response(
+                response.get("id"), "response-too-large",
+                "the response exceeded the %d-byte frame limit"
+                % self.config.max_frame,
+            ))
+        try:
+            writer.write(frame)
+        except (ConnectionError, OSError):
+            pass
+
+    # -- request processing ------------------------------------------------------
+
+    async def _process(self, request: Any,
+                       writer: asyncio.StreamWriter) -> None:
+        response = await self._respond(request)
+        self._write(writer, response)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _respond(self, request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            self.counters.errors += 1
+            return self._error_response(
+                None, "malformed-request", "request must be a mapping"
+            )
+        request_id = request.get("id")
+        op = request.get("op")
+        self.counters.requests += 1
+        try:
+            if op == "verify":
+                return await self._handle_verify(request_id, request)
+            if op == "check-session":
+                return self._handle_session(request_id, request)
+            if op == "stats":
+                return {"id": request_id, "status": "ok",
+                        "stats": self.stats()}
+            if op == "ping":
+                return {"id": request_id, "status": "ok"}
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "unknown-op", "unsupported op %r" % (op,)
+            )
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the server
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "internal-error",
+                "%s: %s" % (type(exc).__name__, exc),
+            )
+
+    async def _handle_verify(self, request_id: Any,
+                             request: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters.verify_requests += 1
+        signer = request.get("signer")
+        message = request.get("message")
+        signature_data = request.get("signature")
+        if (not isinstance(signer, str) or not isinstance(message, bytes)
+                or not isinstance(signature_data, dict)):
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "malformed-request",
+                "verify needs signer:str, message:bytes, signature:dict",
+            )
+        try:
+            signature = RecoverableSignature.from_canonical(signature_data)
+        except Exception:
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "malformed-request", "undecodable signature"
+            )
+
+        key = VerdictCache.key(signer, message, signature)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                return self._verdict_response(
+                    request_id, cached, cache_hit=True, batch_size=0,
+                    queue_wait=0.0,
+                )
+
+        public_key = self.keystore.maybe_get(signer)
+        if public_key is None:
+            # Unknown principals fail closed — and the refusal is itself
+            # cacheable content (same key, same answer, forever).
+            if self.cache is not None:
+                self.cache.put(key, False)
+            return self._verdict_response(
+                request_id, False, cache_hit=False, batch_size=0,
+                queue_wait=0.0, reason="unknown-signer",
+            )
+
+        if self._inflight >= self.config.max_queue:
+            self.counters.busy += 1
+            return {
+                "id": request_id,
+                "status": "busy",
+                "reason": "verification queue is full (%d in flight)"
+                          % self._inflight,
+            }
+
+        self._inflight += 1
+        try:
+            settled = await self.batcher.submit(public_key, message, signature)
+        finally:
+            self._inflight -= 1
+        if self.cache is not None:
+            self.cache.put(key, settled.verdict)
+        return self._verdict_response(
+            request_id, settled.verdict, cache_hit=False,
+            batch_size=settled.batch_size, queue_wait=settled.queue_wait,
+        )
+
+    def _handle_session(self, request_id: Any,
+                        request: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters.session_requests += 1
+        prev_session = request.get("prev_session")
+        observed_state = request.get("observed_state")
+        checked_host = request.get("checked_host")
+        checking_host = request.get("checking_host")
+        if (not isinstance(prev_session, dict)
+                or not isinstance(observed_state, dict)
+                or not isinstance(checking_host, str)):
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "malformed-request",
+                "check-session needs prev_session:dict, "
+                "observed_state:dict, checking_host:str",
+            )
+        verdict = check_session_payload(
+            prev_session,
+            observed_state,
+            checked_host if isinstance(checked_host, str) else None,
+            checking_host=checking_host,
+            keystore=self.keystore,
+            code_registry=self.code_registry,
+        )
+        canonical = verdict.to_canonical()
+        attack = canonical.get("status") == "attack-detected"
+        if attack:
+            self.counters.verdicts_false += 1
+        else:
+            self.counters.verdicts_true += 1
+        return {
+            "id": request_id,
+            "status": "ok",
+            "verdict": canonical,
+        }
+
+    # -- response shapes ---------------------------------------------------------
+
+    def _verdict_response(self, request_id: Any, verdict: bool, *,
+                          cache_hit: bool, batch_size: int,
+                          queue_wait: float,
+                          reason: Optional[str] = None) -> Dict[str, Any]:
+        if verdict:
+            self.counters.verdicts_true += 1
+        else:
+            self.counters.verdicts_false += 1
+        response: Dict[str, Any] = {
+            "id": request_id,
+            "status": "ok",
+            "verdict": verdict,
+            "cache_hit": cache_hit,
+            "batch_size": batch_size,
+            "queue_wait_us": int(queue_wait * 1e6),
+        }
+        if reason is not None:
+            response["reason"] = reason
+        return response
+
+    @staticmethod
+    def _error_response(request_id: Any, error: str,
+                        detail: str) -> Dict[str, Any]:
+        return {
+            "id": request_id,
+            "status": "error",
+            "error": error,
+            "detail": detail,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate server metrics: counters, cache, batching."""
+        return {
+            "counters": self.counters.snapshot(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "batching": self.batcher.stats(),
+            "inflight": self._inflight,
+            "config": {
+                "max_batch": self.config.max_batch,
+                "max_delay": self.config.max_delay,
+                "max_queue": self.config.max_queue,
+                "max_frame": self.config.max_frame,
+                "cache_entries": self.config.cache_entries,
+                "fleet_hosts": self.config.fleet_hosts,
+            },
+        }
+
+
+class ServiceThread:
+    """Hosts a :class:`VerificationService` on a background event loop.
+
+    The benchmark harness and the test-suite need a live server inside
+    the current process without surrendering the main thread to an
+    event loop; this helper owns a daemon thread running the loop and
+    exposes ``start()``/``stop()`` with plain blocking semantics.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 keystore: Optional[KeyStore] = None,
+                 code_registry: Optional[Any] = None) -> None:
+        self.service = VerificationService(
+            config=config, keystore=keystore, code_registry=code_registry
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        """Start the loop thread and the server; returns the address."""
+        if self._thread is not None:
+            return self.service.address
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("service thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "service failed to start: %r" % (self._startup_error,)
+            )
+        return self.service.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.service.stop())
+            # Connection handlers may still be parked on reads; cancel
+            # and drain them so closing the loop is silent.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the server and join the loop thread."""
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -10,7 +10,12 @@
   attacks assigned from a dedicated substream, aggregated into
   per-scenario precision / recall / time-to-detection;
 * :mod:`repro.sim.trace` — deterministic per-journey JSONL traces,
-  replayable through :class:`~repro.agents.execution_log.ExecutionLog`.
+  replayable through :class:`~repro.agents.execution_log.ExecutionLog`;
+* :mod:`repro.sim.requests` — journey replay as verification-service
+  request streams: a recording fleet run captures every transfer
+  signature and protocol session check together with its in-process
+  ground-truth verdict, for :mod:`repro.service` to be benchmarked and
+  smoke-tested against.
 """
 
 from repro.sim.campaign import (
@@ -33,6 +38,13 @@ from repro.sim.fleet import (
     plan_journey_attack,
 )
 from repro.sim.fleet import fleet_host_names
+from repro.sim.requests import (
+    RecordingFleetEngine,
+    RequestStream,
+    VerificationRequest,
+    corrupt_requests,
+    journey_request_stream,
+)
 from repro.sim.shard import (
     FleetWorkerPool,
     ShardResult,
@@ -62,6 +74,11 @@ __all__ = [
     "FleetWorkerPool",
     "JourneyAttack",
     "JourneyOutcome",
+    "RecordingFleetEngine",
+    "RequestStream",
+    "VerificationRequest",
+    "corrupt_requests",
+    "journey_request_stream",
     "ScenarioStats",
     "ShardResult",
     "ShardSpec",

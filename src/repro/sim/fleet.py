@@ -601,21 +601,9 @@ class FleetEngine:
         self._build_topology()
         system = AgentSystem(self._registry, sign_transfers=True)
         if self.config.protected:
-            from repro.core.protocol import ReferenceStateProtocol
-
-            self._protocol = ReferenceStateProtocol(
-                code_registry=system.code_registry,
-                trusted_hosts=("home",),
-            )
+            self._protocol = self._build_protocol(system)
         if self.config.batched_verification:
-            self._transfer_verifier = BatchedTransferVerifier(
-                self._keystore,
-                batch_size=self.config.verification_batch_size,
-                rng=Random(derive_substream(
-                    self.config.seed, "batch", self.shard_index
-                )),
-                cache=VerificationCache(),
-            )
+            self._transfer_verifier = self._build_transfer_verifier()
 
         header: Dict[str, Any] = {"config": self.config.to_canonical()}
         if self.num_shards > 1:
@@ -658,6 +646,32 @@ class FleetEngine:
         return result
 
     # -- setup -------------------------------------------------------------------
+
+    def _build_protocol(self, system: AgentSystem):
+        """Build the journey protection protocol (override hook).
+
+        :mod:`repro.sim.requests` subclasses the engine and wraps the
+        protocol with a recording variant that captures session-check
+        payloads for the verification service; keeping construction in
+        a factory method makes that possible without copying ``run``.
+        """
+        from repro.core.protocol import ReferenceStateProtocol
+
+        return ReferenceStateProtocol(
+            code_registry=system.code_registry,
+            trusted_hosts=("home",),
+        )
+
+    def _build_transfer_verifier(self) -> BatchedTransferVerifier:
+        """Build the batched transfer verifier (override hook)."""
+        return BatchedTransferVerifier(
+            self._keystore,
+            batch_size=self.config.verification_batch_size,
+            rng=Random(derive_substream(
+                self.config.seed, "batch", self.shard_index
+            )),
+            cache=VerificationCache(),
+        )
 
     def _build_topology(self) -> None:
         """Create the home host plus the service-host population."""

@@ -8,6 +8,7 @@ import json
 import pytest
 
 from repro.bench.harness import (
+    ALL_SECTIONS,
     BENCH_SCHEMA,
     bench_campaign,
     bench_dsa_verification,
@@ -18,6 +19,10 @@ from repro.bench.harness import (
 )
 from repro.sim.campaign import campaign_config
 from repro.sim.fleet import FleetConfig
+
+#: The classic sections: everything except the (heavier) service
+#: section, which has its own tests in tests/bench/test_service_bench.py.
+_CLASSIC = ["fleet", "dsa", "campaign"]
 
 
 def _tiny_config(**overrides):
@@ -48,7 +53,8 @@ def _tiny_campaign_config(**overrides):
 
 class TestReportSchema:
     def test_report_carries_schema_environment_and_benchmarks(self):
-        report = build_report(_tiny_config(), workers=1, quick=True)
+        report = build_report(_tiny_config(), workers=1, quick=True,
+                              sections=_CLASSIC)
         assert report["schema"] == BENCH_SCHEMA
         environment = report["environment"]
         for key in ("python_version", "platform", "machine", "cpu_count"):
@@ -70,7 +76,8 @@ class TestReportSchema:
         assert campaign["detection"]["per_scenario"]
 
     def test_report_is_json_serializable(self):
-        report = build_report(_tiny_config(), workers=1, quick=True)
+        report = build_report(_tiny_config(), workers=1, quick=True,
+                              sections=_CLASSIC)
         assert json.loads(json.dumps(report)) == report
 
     def test_dsa_benchmark_prefers_the_batched_path(self):
@@ -115,7 +122,8 @@ class TestCampaignSection:
 
 class TestBaselineGate:
     def _report(self):
-        return build_report(_tiny_config(), workers=1, quick=True)
+        return build_report(_tiny_config(), workers=1, quick=True,
+                            sections=_CLASSIC)
 
     def test_identical_reports_pass(self):
         report = self._report()
@@ -183,9 +191,42 @@ class TestBaselineGate:
         assert failures and "campaign workload mismatch" in failures[-1]
 
 
+class TestSectionFiltering:
+    def test_sections_subset_runs_only_those_benchmarks(self):
+        report = build_report(_tiny_config(), workers=1, quick=True,
+                              sections=["fleet", "dsa"])
+        assert set(report["benchmarks"]) == {"fleet", "dsa_verification"}
+        assert report["sections"] == ["fleet", "dsa"]
+
+    def test_sections_are_recorded_in_canonical_order(self):
+        report = build_report(_tiny_config(), workers=1, quick=True,
+                              sections=["dsa", "fleet"])
+        assert report["sections"] == ["fleet", "dsa"]
+        assert list(ALL_SECTIONS) == ["fleet", "dsa", "campaign", "service"]
+
+    def test_unknown_section_is_rejected(self):
+        with pytest.raises(ValueError):
+            build_report(_tiny_config(), workers=1, quick=True,
+                         sections=["fleet", "nonsense"])
+
+    def test_unselected_baseline_section_is_skipped_by_the_gate(self):
+        # The baseline carries a campaign section; a current report that
+        # deliberately ran without it (sections records the subset) must
+        # pass, while a *requested* missing section still fails.
+        baseline = build_report(_tiny_config(), workers=1, quick=True,
+                                sections=_CLASSIC)
+        current = build_report(_tiny_config(), workers=1, quick=True,
+                               sections=["fleet"])
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_unknown_cli_section_exits_with_error(self):
+        assert main(["--sections", "fleet,bogus"]) == 2
+
+
 _TINY_CLI = [
     "--agents", "8", "--hosts", "6", "--hops", "2",
     "--campaign-agents", "10", "--workers", "1",
+    "--sections", "fleet,dsa,campaign",
 ]
 
 

@@ -1,0 +1,117 @@
+"""The harness's service section: shape, parity, and the baseline gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.bench.harness import (
+    bench_service,
+    build_report,
+    compare_to_baseline,
+)
+from repro.sim.fleet import FleetConfig
+
+_TINY = FleetConfig(
+    num_agents=8, num_hosts=6, hops_per_journey=2, seed=7,
+    malicious_host_fraction=0.2, protected=True, batched_verification=True,
+)
+
+
+class TestServiceSection:
+    _section = None
+
+    @classmethod
+    def section(cls):
+        if cls._section is None:
+            cls._section = bench_service(
+                _TINY, max_batch=8, max_delay=0.003, session_checks=5,
+            )
+        return cls._section
+
+    def test_section_reports_all_legs(self):
+        section = self.section()
+        for leg in ("batched", "batch_size_1", "cached", "sessions"):
+            assert section[leg]["rps"] > 0
+            assert section[leg]["latency_ms"]["p99"] >= \
+                section[leg]["latency_ms"]["p50"] >= 0
+        assert section["batched"]["batch_histogram"]
+        assert section["batched"]["mean_batch_size"] > 1.0
+        assert section["batching_gain"] > 0
+        assert section["vs_fleet_ratio"] > 0
+
+    def test_parity_counts_cover_every_leg_and_no_drops(self):
+        section = self.section()
+        parity = section["parity"]
+        stream = section["stream"]
+        assert parity["mismatches"] == 0
+        assert parity["dropped"] == 0
+        assert parity["verify_checked"] == 3 * stream["verify_requests"]
+        assert parity["sessions_checked"] == stream["session_checks"] == 5
+        assert section["cached"]["cache_hit_rate"] == 1.0
+
+    def test_in_process_reference_is_recorded(self):
+        section = self.section()
+        reference = section["in_process"]
+        assert reference["fleet_verifications"] == \
+            _TINY.num_agents * (_TINY.hops_per_journey + 1)
+        assert reference["fleet_verification_rate"] > 0
+
+    def test_section_is_json_serializable(self):
+        section = self.section()
+        assert json.loads(json.dumps(section)) == section
+
+    def test_report_with_service_section_only(self):
+        report = build_report(
+            _TINY, workers=1, quick=True, sections=["service"],
+            service_config=_TINY,
+            service_options={"max_batch": 8, "session_checks": 2},
+        )
+        assert set(report["benchmarks"]) == {"service"}
+        assert report["sections"] == ["service"]
+
+
+class TestServiceBaselineGate:
+    def _report(self):
+        return build_report(
+            _TINY, workers=1, quick=True, sections=["fleet", "service"],
+            service_config=_TINY,
+            service_options={"max_batch": 8, "session_checks": 2},
+        )
+
+    def test_identical_reports_pass(self):
+        report = self._report()
+        assert compare_to_baseline(report, copy.deepcopy(report)) == []
+
+    def test_service_throughput_regression_fails(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        baseline["benchmarks"]["service"]["batched"]["rps"] *= 10
+        failures = compare_to_baseline(report, baseline, max_regression=0.30)
+        assert failures
+        assert any("service batched throughput regressed" in failure
+                   for failure in failures)
+
+    def test_dropped_service_section_fails(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        del report["benchmarks"]["service"]
+        failures = compare_to_baseline(report, baseline)
+        assert any("service section missing" in failure
+                   for failure in failures)
+
+    def test_service_workload_mismatch_refuses_to_compare(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        baseline["benchmarks"]["service"]["workload"]["num_agents"] = 999
+        failures = compare_to_baseline(report, baseline)
+        assert any("service workload mismatch" in failure
+                   for failure in failures)
+
+    def test_batching_shape_mismatch_refuses_to_compare(self):
+        report = self._report()
+        baseline = copy.deepcopy(report)
+        baseline["benchmarks"]["service"]["max_batch"] = 4096
+        failures = compare_to_baseline(report, baseline)
+        assert any("service max_batch mismatch" in failure
+                   for failure in failures)

@@ -1,0 +1,124 @@
+"""Micro-batcher: window bounds, verdict attribution, statistics."""
+
+from __future__ import annotations
+
+import asyncio
+from random import Random
+
+from repro.crypto.dsa import RecoverableSignature, generate_keypair
+from repro.service.batching import MicroBatcher
+
+
+def _items(count: int, signers: int = 3):
+    keys = [generate_keypair(seed=index) for index in range(signers)]
+    items = []
+    for index in range(count):
+        private, public = keys[index % signers]
+        message = b"batch-test-%04d" % index
+        items.append((public, message, private.sign_recoverable(message)))
+    return items
+
+
+def _corrupt(item):
+    public, message, signature = item
+    forged = RecoverableSignature(
+        r=signature.r, s=signature.s + 1, commitment=signature.commitment
+    )
+    return (public, message, forged)
+
+
+class TestWindows:
+    def test_size_bound_flushes_at_max_batch(self):
+        async def run():
+            batcher = MicroBatcher(max_batch=4, max_delay=60.0,
+                                   rng=Random(1))
+            futures = [batcher.submit(*item) for item in _items(4)]
+            # The fourth submit crossed the bound: everything settled
+            # without the (here effectively infinite) timer.
+            settled = [await future for future in futures]
+            assert [entry.verdict for entry in settled] == [True] * 4
+            assert {entry.batch_size for entry in settled} == {4}
+            assert batcher.batch_histogram == {4: 1}
+
+        asyncio.run(run())
+
+    def test_time_bound_flushes_a_partial_window(self):
+        async def run():
+            batcher = MicroBatcher(max_batch=1000, max_delay=0.01,
+                                   rng=Random(1))
+            futures = [batcher.submit(*item) for item in _items(3)]
+            settled = await asyncio.wait_for(
+                asyncio.gather(*futures), timeout=5.0
+            )
+            assert [entry.verdict for entry in settled] == [True] * 3
+            assert {entry.batch_size for entry in settled} == {3}
+
+        asyncio.run(run())
+
+    def test_max_batch_one_settles_synchronously(self):
+        async def run():
+            batcher = MicroBatcher(max_batch=1, max_delay=60.0)
+            future = batcher.submit(*_items(1)[0])
+            # No timer, no waiting: the future resolves on submit.
+            assert future.done()
+            assert (await future).verdict is True
+            assert batcher.batch_histogram == {1: 1}
+
+        asyncio.run(run())
+
+
+class TestVerdicts:
+    def test_bad_signature_is_attributed_within_the_window(self):
+        async def run():
+            batcher = MicroBatcher(max_batch=5, max_delay=60.0,
+                                   rng=Random(1))
+            items = _items(5)
+            items[2] = _corrupt(items[2])
+            futures = [batcher.submit(*item) for item in items]
+            settled = await asyncio.gather(*futures)
+            assert [entry.verdict for entry in settled] == [
+                True, True, False, True, True,
+            ]
+
+        asyncio.run(run())
+
+    def test_queue_wait_is_reported(self):
+        async def run():
+            batcher = MicroBatcher(max_batch=2, max_delay=60.0,
+                                   rng=Random(1))
+            first = batcher.submit(*_items(1)[0])
+            await asyncio.sleep(0.01)
+            second = batcher.submit(*_items(2)[1])
+            settled = await asyncio.gather(first, second)
+            # The first item waited at least the sleep; the second
+            # triggered the flush immediately.
+            assert settled[0].queue_wait >= 0.009
+            assert settled[1].queue_wait <= settled[0].queue_wait
+
+        asyncio.run(run())
+
+    def test_stats_accumulate_across_windows(self):
+        async def run():
+            batcher = MicroBatcher(max_batch=2, max_delay=60.0,
+                                   rng=Random(1))
+            futures = [batcher.submit(*item) for item in _items(6)]
+            await asyncio.gather(*futures)
+            stats = batcher.stats()
+            assert stats["batches"] == 3
+            assert stats["items"] == 6
+            assert stats["mean_batch_size"] == 2.0
+            assert stats["batch_histogram"] == {"2": 3}
+
+        asyncio.run(run())
+
+    def test_explicit_flush_settles_pending_items(self):
+        async def run():
+            batcher = MicroBatcher(max_batch=100, max_delay=60.0,
+                                   rng=Random(1))
+            future = batcher.submit(*_items(1)[0])
+            assert batcher.pending == 1
+            assert batcher.flush() == 1
+            assert batcher.pending == 0
+            assert (await future).verdict is True
+
+        asyncio.run(run())

@@ -1,0 +1,81 @@
+"""Verdict cache: LRU behaviour and staleness-by-construction."""
+
+from __future__ import annotations
+
+from repro.crypto.dsa import generate_keypair
+from repro.service.cache import VerdictCache
+
+
+def _signed(message: bytes, seed: int = 1):
+    private, public = generate_keypair(seed=seed)
+    return public, private.sign_recoverable(message)
+
+
+class TestKeying:
+    def test_differing_digests_never_share_an_entry(self):
+        cache = VerdictCache()
+        _, signature = _signed(b"message-one")
+        key_one = VerdictCache.key("alice", b"message-one", signature)
+        key_two = VerdictCache.key("alice", b"message-two", signature)
+        assert key_one != key_two
+        cache.put(key_one, True)
+        # The other digest is a miss — a cached verdict can never be
+        # served across differing messages.
+        assert cache.get(key_two) is None
+        assert cache.get(key_one) is True
+
+    def test_differing_signatures_never_share_an_entry(self):
+        cache = VerdictCache()
+        public, signature = _signed(b"same-message")
+        good = VerdictCache.key("alice", b"same-message", signature)
+        forged = ("alice", good[1], signature.r, signature.s + 1,
+                  signature.commitment)
+        cache.put(good, True)
+        cache.put(forged, False)
+        assert cache.get(good) is True
+        assert cache.get(forged) is False
+
+    def test_differing_signers_never_share_an_entry(self):
+        cache = VerdictCache()
+        _, signature = _signed(b"m")
+        cache.put(VerdictCache.key("alice", b"m", signature), True)
+        assert cache.get(VerdictCache.key("mallory", b"m", signature)) is None
+
+
+class TestLRU:
+    def test_capacity_evicts_least_recently_used(self):
+        cache = VerdictCache(max_entries=2)
+        _, signature = _signed(b"x")
+        keys = [VerdictCache.key("s%d" % index, b"x", signature)
+                for index in range(3)]
+        cache.put(keys[0], True)
+        cache.put(keys[1], True)
+        assert cache.get(keys[0]) is True  # refresh 0: 1 becomes LRU
+        cache.put(keys[2], True)           # evicts 1
+        assert keys[1] not in cache
+        assert cache.get(keys[0]) is True
+        assert cache.get(keys[2]) is True
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_entries(self):
+        cache = VerdictCache(max_entries=2)
+        _, signature = _signed(b"x")
+        keys = [VerdictCache.key("s%d" % index, b"x", signature)
+                for index in range(3)]
+        cache.put(keys[0], True)
+        cache.put(keys[1], True)
+        cache.put(keys[0], True)   # re-put refreshes recency
+        cache.put(keys[2], True)   # evicts 1, not 0
+        assert keys[0] in cache and keys[1] not in cache
+
+    def test_stats_track_hits_misses_and_rate(self):
+        cache = VerdictCache()
+        _, signature = _signed(b"x")
+        key = VerdictCache.key("a", b"x", signature)
+        assert cache.get(key) is None
+        cache.put(key, False)
+        assert cache.get(key) is False
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1

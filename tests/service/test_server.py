@@ -1,0 +1,389 @@
+"""Server end-to-end: verdicts, cache, backpressure, malformed traffic.
+
+Each test drives a real :class:`VerificationService` over loopback TCP
+with the pooled client, in one event loop (``asyncio.run`` per test).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.crypto.keys import Identity
+from repro.exceptions import ServiceError, ServiceUnavailable
+from repro.service.client import ServiceClient, ServiceResponseError
+from repro.service.server import (
+    ServiceConfig,
+    ServiceThread,
+    VerificationService,
+    build_service_keystore,
+)
+from repro.service.wire import (
+    decode_body,
+    encode_frame,
+    read_frame,
+    split_frames,
+)
+
+
+def _sign(name: str, message: bytes):
+    """A recoverable signature by the deterministic principal ``name``."""
+    return Identity.generate(name).private_key.sign_recoverable(message)
+
+
+def _run_with_service(config, body, connections=1):
+    """Start a server, connect a client, run ``body(service, client)``."""
+
+    async def run():
+        service = VerificationService(config)
+        await service.start()
+        try:
+            client = await ServiceClient.connect(
+                *service.address, connections=connections
+            )
+            try:
+                return await body(service, client)
+            finally:
+                await client.close()
+        finally:
+            await service.stop()
+
+    return asyncio.run(run())
+
+
+class TestVerify:
+    def test_valid_signature_verifies(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1)
+
+        async def body(service, client):
+            message = b"transfer-payload"
+            response = await client.verify(
+                "host-001", message, _sign("host-001", message)
+            )
+            assert response["verdict"] is True
+            assert response["cache_hit"] is False
+
+        _run_with_service(config, body)
+
+    def test_corrupted_signature_fails(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1)
+
+        async def body(service, client):
+            message = b"transfer-payload"
+            signature = _sign("host-001", message).to_canonical()
+            signature["s"] += 1
+            response = await client.verify("host-001", message, signature)
+            assert response["verdict"] is False
+
+        _run_with_service(config, body)
+
+    def test_unknown_signer_fails_closed(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1)
+
+        async def body(service, client):
+            message = b"whatever"
+            response = await client.verify(
+                "not-a-registered-host", message,
+                _sign("not-a-registered-host", message),
+            )
+            assert response["verdict"] is False
+            assert response["reason"] == "unknown-signer"
+
+        _run_with_service(config, body)
+
+    def test_batched_requests_get_individual_verdicts(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=8, max_delay=0.01)
+
+        async def body(service, client):
+            good = b"good-message"
+            bad = b"bad-message"
+            forged = _sign("host-002", bad).to_canonical()
+            forged["s"] += 1
+            responses = await asyncio.gather(*(
+                [client.verify("host-001", good, _sign("host-001", good))
+                 for _ in range(3)]
+                + [client.verify("host-002", bad, forged)]
+            ))
+            assert [r["verdict"] for r in responses] == [
+                True, True, True, False,
+            ]
+
+        _run_with_service(config, body)
+
+
+class TestCache:
+    def test_repeat_verification_is_served_from_cache(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1)
+
+        async def body(service, client):
+            message = b"cached-message"
+            signature = _sign("host-001", message)
+            first = await client.verify("host-001", message, signature)
+            second = await client.verify("host-001", message, signature)
+            assert first["cache_hit"] is False
+            assert second["cache_hit"] is True
+            assert second["verdict"] is True
+
+        _run_with_service(config, body)
+
+    def test_cache_never_aliases_across_differing_digests(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1)
+
+        async def body(service, client):
+            message = b"message-A"
+            signature = _sign("host-001", message)
+            cached = await client.verify("host-001", message, signature)
+            assert cached["verdict"] is True
+            # The same (valid) signature presented for a DIFFERENT
+            # message must be a cache miss and must fail verification —
+            # a stale cached True here would be a forgery vector.
+            other = await client.verify("host-001", b"message-B", signature)
+            assert other["cache_hit"] is False
+            assert other["verdict"] is False
+
+        _run_with_service(config, body)
+
+    def test_cache_disabled_still_answers(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1, cache_entries=0)
+
+        async def body(service, client):
+            message = b"m"
+            signature = _sign("host-001", message)
+            for _ in range(2):
+                response = await client.verify("host-001", message, signature)
+                assert response["verdict"] is True
+                assert response["cache_hit"] is False
+
+        _run_with_service(config, body)
+
+
+class TestBackpressure:
+    def test_queue_full_yields_typed_busy_and_never_hangs(self):
+        # A tiny in-flight bound with a huge window and a slow timer:
+        # the overflow requests must come back as typed busy responses
+        # immediately, and the queued ones must settle when the timer
+        # fires — nothing may hang.
+        config = ServiceConfig(
+            fleet_hosts=4, max_batch=1000, max_delay=0.2, max_queue=2,
+        )
+
+        async def body(service, client):
+            message = b"pressured"
+            signature = _sign("host-001", message)
+            responses = await asyncio.wait_for(
+                asyncio.gather(*(
+                    client.request({
+                        "op": "verify", "signer": "host-001",
+                        "message": message,
+                        "signature": signature.to_canonical(),
+                    })
+                    for _ in range(12)
+                )),
+                timeout=10.0,
+            )
+            statuses = [r["status"] for r in responses]
+            busy = [r for r in responses if r["status"] == "busy"]
+            ok = [r for r in responses if r["status"] == "ok"]
+            assert len(busy) + len(ok) == 12
+            assert busy, "the queue bound never triggered: %r" % statuses
+            assert all("reason" in r for r in busy)
+            assert all(r["verdict"] is True for r in ok)
+            assert service.counters.busy == len(busy)
+
+        _run_with_service(config, body)
+
+    def test_typed_busy_raises_through_the_checked_client(self):
+        config = ServiceConfig(
+            fleet_hosts=4, max_batch=1000, max_delay=0.5, max_queue=1,
+        )
+
+        async def body(service, client):
+            message = b"pressured"
+            signature = _sign("host-001", message)
+            first = asyncio.ensure_future(
+                client.verify("host-001", message, signature)
+            )
+            await asyncio.sleep(0.05)  # first request now occupies the queue
+            with pytest.raises(ServiceUnavailable):
+                await client.verify("host-001", b"another",
+                                    _sign("host-001", b"another"))
+            assert (await first)["verdict"] is True
+
+        _run_with_service(config, body)
+
+
+class TestMalformedTraffic:
+    def test_malformed_frame_gets_typed_error_and_stream_survives(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1)
+
+        async def run():
+            service = VerificationService(config)
+            host, port = await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                garbage = b"\x99not canonical at all"
+                writer.write(len(garbage).to_bytes(4, "big") + garbage)
+                writer.write(encode_frame({"id": 7, "op": "ping"}))
+                await writer.drain()
+                first = decode_body(await read_frame(reader))
+                second = decode_body(await read_frame(reader))
+                assert first["status"] == "error"
+                assert first["error"] == "malformed-frame"
+                # The connection survived and served the next frame.
+                assert second == {"id": 7, "status": "ok"}
+                writer.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+    def test_oversized_frame_is_rejected_before_decode(self):
+        config = ServiceConfig(fleet_hosts=4, max_frame=1024)
+
+        async def run():
+            service = VerificationService(config)
+            host, port = await service.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                # Declare a huge body but never send it: the server must
+                # answer from the header alone (nothing to decode).
+                writer.write((1 << 20).to_bytes(4, "big"))
+                await writer.drain()
+                response = decode_body(await read_frame(reader))
+                assert response["status"] == "error"
+                assert response["error"] == "frame-too-large"
+                assert service.counters.frames_rejected_oversize == 1
+                writer.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+    def test_truncated_frame_closes_quietly_and_server_survives(self):
+        config = ServiceConfig(fleet_hosts=4)
+
+        async def run():
+            service = VerificationService(config)
+            host, port = await service.start()
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+                frame = encode_frame({"op": "ping", "id": 1})
+                writer.write(frame[:len(frame) - 2])
+                await writer.drain()
+                writer.close()
+                await asyncio.sleep(0.05)
+                assert service.counters.frames_truncated == 1
+                # A fresh connection still works.
+                client = await ServiceClient.connect(host, port)
+                assert await client.ping()
+                await client.close()
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+    def test_unframeable_response_degrades_to_typed_error(self):
+        # A response the server cannot frame (here: the echoed id alone
+        # blows past max_frame) must degrade into a small typed error
+        # response — the client always gets an answer for the id, never
+        # silence.
+        service = VerificationService(ServiceConfig(fleet_hosts=2,
+                                                    max_frame=64))
+
+        class _Writer:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+        writer = _Writer()
+        service._write(writer, {"id": 1, "status": "ok",
+                                "blob": b"x" * 500})
+        frames = split_frames(b"".join(writer.chunks))
+        assert len(frames) == 1
+        assert frames[0]["status"] == "error"
+        assert frames[0]["error"] == "response-too-large"
+        assert frames[0]["id"] == 1
+
+    def test_request_on_a_dead_connection_fails_fast(self):
+        # Once the server is gone, a pooled connection must raise
+        # instead of registering a future nothing will ever resolve
+        # (writes to closed transports are silently discarded).
+        async def run():
+            service = VerificationService(ServiceConfig(fleet_hosts=2))
+            host, port = await service.start()
+            client = await ServiceClient.connect(host, port)
+            try:
+                assert await client.ping()
+                await service.stop()
+                await asyncio.sleep(0.05)  # reader observes the EOF
+                with pytest.raises(ServiceError):
+                    await asyncio.wait_for(
+                        client.request({"op": "ping"}), timeout=5.0
+                    )
+            finally:
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_unknown_op_and_malformed_request_are_typed_errors(self):
+        config = ServiceConfig(fleet_hosts=4)
+
+        async def body(service, client):
+            with pytest.raises(ServiceResponseError):
+                await client.request_checked({"op": "explode"})
+            with pytest.raises(ServiceResponseError):
+                await client.request_checked({"op": "verify",
+                                              "signer": 5})
+            # and a non-mapping request
+            response = await client.request({"op": "verify",
+                                             "message": "not-bytes",
+                                             "signer": "host-001",
+                                             "signature": {}})
+            assert response["status"] == "error"
+
+        _run_with_service(config, body)
+
+
+class TestOps:
+    def test_service_keystore_covers_the_fleet_population(self):
+        keystore = build_service_keystore(3, extra_principals=("owner",))
+        assert "home" in keystore
+        assert "host-001" in keystore and "host-003" in keystore
+        assert "host-004" not in keystore
+        assert "owner" in keystore
+
+    def test_stats_op_reports_counters_cache_and_batching(self):
+        config = ServiceConfig(fleet_hosts=4, max_batch=1)
+
+        async def body(service, client):
+            message = b"m"
+            await client.verify("host-001", message,
+                                _sign("host-001", message))
+            stats = await client.stats()
+            assert stats["counters"]["verify_requests"] == 1
+            assert stats["counters"]["verdicts_true"] == 1
+            assert stats["batching"]["items"] == 1
+            assert stats["cache"]["entries"] == 1
+            assert stats["config"]["max_batch"] == 1
+
+        _run_with_service(config, body)
+
+    def test_service_thread_runs_from_sync_code(self):
+        with ServiceThread(ServiceConfig(fleet_hosts=4, max_batch=1)) as thread:
+            host, port = thread.service.address
+
+            async def roundtrip():
+                client = await ServiceClient.connect(host, port)
+                try:
+                    message = b"threaded"
+                    response = await client.verify(
+                        "host-001", message, _sign("host-001", message)
+                    )
+                    return response["verdict"]
+                finally:
+                    await client.close()
+
+            assert asyncio.run(roundtrip()) is True

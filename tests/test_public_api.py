@@ -24,6 +24,7 @@ _PACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.sim",
+    "repro.service",
 ]
 
 
