@@ -58,6 +58,12 @@ from typing import Any, Dict, List, Optional
 from repro.agents.state import encoding_cache_stats
 from repro.bench.metrics import TimingBreakdown, TimingCollector
 from repro.core.protocol import ReferenceStateProtocol
+from repro.crypto.backend import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.crypto.dsa import batch_verify, generate_keypair
 from repro.platform.registry import JourneyResult
 from repro.sim.campaign import campaign_config, run_campaign
@@ -73,11 +79,14 @@ __all__ = [
     "ALL_SECTIONS",
     "collect_environment",
     "bench_fleet_throughput",
+    "bench_table_warmup",
     "bench_dsa_verification",
+    "bench_crypto_backends",
     "bench_campaign",
     "bench_service",
     "build_report",
     "compare_to_baseline",
+    "format_speedup_warning",
     "main",
 ]
 
@@ -182,14 +191,18 @@ def run_measurement_grid(protected: bool,
 #: ``profile`` section; ``/4`` adds the ``service`` section (the
 #: verification service benchmarked against in-process ground truth),
 #: the top-level ``sections`` list, and the batch-verification
-#: rewrite (batched inversion, interleaved commitment powers).
-BENCH_SCHEMA = "repro-bench-fleet/4"
+#: rewrite (batched inversion, interleaved commitment powers); ``/5``
+#: adds the ``crypto`` backend-comparison section, the fleet section's
+#: ``warmup`` block (cold vs warm-host fixed-base table builds through
+#: the persistent cache) and per-shard wall/utilization data, and the
+#: pluggable-backend identifiers threaded through every section.
+BENCH_SCHEMA = "repro-bench-fleet/5"
 
 #: Sections the harness can run, in run order.  ``--sections`` selects
 #: a subset; the emitted report records which subset ran so the
 #: baseline gate can tell "not requested" apart from "silently
 #: dropped".
-ALL_SECTIONS = ("fleet", "dsa", "campaign", "service")
+ALL_SECTIONS = ("fleet", "dsa", "crypto", "campaign", "service")
 
 
 def collect_environment() -> Dict[str, Any]:
@@ -209,6 +222,7 @@ def collect_environment() -> Dict[str, Any]:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "git_commit": commit,
+        "crypto_backend": get_backend().name,
     }
 
 
@@ -243,6 +257,17 @@ def bench_fleet_throughput(
         wall = time.perf_counter() - started
         key = "workers_%d" % worker_count
         signatures[key] = result.deterministic_signature()
+        shard_walls = [
+            round(shard.get("wall_seconds", 0.0), 4)
+            for shard in (result.shards or [])
+        ]
+        # Utilization: how much of the pool's wall-clock envelope was
+        # spent inside shard execution.  Low values point at spawn /
+        # warmup / merge overhead rather than a slow engine.
+        utilization = (
+            sum(shard_walls) / (worker_count * wall)
+            if shard_walls and worker_count > 1 and wall > 0 else None
+        )
         runs[key] = {
             "workers": worker_count,
             "num_shards": len(result.shards or []) or 1,
@@ -253,6 +278,10 @@ def bench_fleet_throughput(
             "detection_rate": result.detection_rate,
             "false_positives": result.false_positives,
             "events_processed": result.events_processed,
+            "shard_wall_seconds": shard_walls,
+            "worker_utilization": (
+                round(utilization, 3) if utilization is not None else None
+            ),
         }
         if worker_count == 1:
             cache_after = encoding_cache_stats()
@@ -269,7 +298,7 @@ def bench_fleet_throughput(
     )
     hits = cache_after["hits"] - cache_before["hits"]
     misses = cache_after["misses"] - cache_before["misses"]
-    return {
+    section = {
         "num_agents": config.num_agents,
         "num_hosts": config.num_hosts,
         "hops_per_journey": config.hops_per_journey,
@@ -277,6 +306,7 @@ def bench_fleet_throughput(
         "seed": config.seed,
         "batched_verification": config.batched_verification,
         "deterministic_signature": signatures["workers_1"],
+        "backend": get_backend().name,
         "runs": runs,
         "speedup_vs_single": round(speedup, 3),
         "hash_cache": {
@@ -285,6 +315,56 @@ def bench_fleet_throughput(
             "hit_rate": round(hits / (hits + misses), 4)
             if hits + misses else 0.0,
         },
+        "warmup": bench_table_warmup(config),
+    }
+    if pool is not None and workers > 1:
+        section["worker_warmup"] = pool.warmup_report()
+    return section
+
+
+def bench_table_warmup(config: FleetConfig) -> Dict[str, Any]:
+    """Cold vs warm-host fixed-base warmup through the persistent cache.
+
+    Builds the exact table set :func:`repro.sim.shard.warm_worker` pays
+    for — the generator table plus one per host public key — twice
+    against a scratch cache directory: the first (cold) pass computes
+    and stores every table, the second (warm) pass loads them back, so
+    the delta is precisely what the persistent cache saves each *later*
+    process on the same host.
+    """
+    import tempfile
+
+    from repro.crypto.dsa import FixedBaseTable, PARAMETERS_512
+    from repro.crypto.keys import Identity
+    from repro.crypto.tablecache import TableCache
+    from repro.sim.fleet import fleet_host_names
+
+    p, q = PARAMETERS_512.p, PARAMETERS_512.q
+    bases = [PARAMETERS_512.g]
+    bases.extend(
+        Identity.generate(name).public_key.y
+        for name in fleet_host_names(config)
+    )
+
+    def build_all(cache: TableCache) -> float:
+        started = time.perf_counter()
+        for base in bases:
+            FixedBaseTable(base, p, q.bit_length(), cache=cache)
+        return time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="repro-tbl-") as scratch:
+        cache = TableCache(scratch)
+        cold_seconds = build_all(cache)
+        warm_seconds = build_all(cache)
+        stats = cache.stats()
+    return {
+        "tables": len(bases),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2)
+        if warm_seconds > 0 else None,
+        "cache_hits": stats["hits"],
+        "cache_stores": stats["stores"],
     }
 
 
@@ -331,9 +411,110 @@ def bench_dsa_verification(
         "signatures": signatures,
         "signers": signers,
         "repeats": repeats,
+        "backend": get_backend().name,
         "individual_seconds": round(individual_seconds, 4),
         "batched_seconds": round(batched_seconds, 4),
         "speedup": round(individual_seconds / batched_seconds, 3),
+    }
+
+
+def bench_crypto_backends(
+    signatures: int = 96,
+    signers: int = 6,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Compare every loadable arithmetic backend on the DSA hot paths.
+
+    For each backend a *fresh* parameter object (same ``p, q, g`` as
+    :data:`~repro.crypto.dsa.PARAMETERS_512`, fresh table caches) is
+    used, so each engine pays its own table builds and the timings are
+    honest.  The signatures every backend produces must be bit-identical
+    to the first backend's — a divergence is a hard ``RuntimeError``,
+    never a number in a report (the batch test's verdicts are detection
+    semantics, not an implementation detail).
+    """
+    from repro.crypto.dsa import DSAParameters, PARAMETERS_512
+
+    def best_of(func) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            func()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    backends: Dict[str, Any] = {}
+    reference: Optional[List[Any]] = None
+    for name in available_backends():
+        with use_backend(name):
+            parameters = DSAParameters(
+                p=PARAMETERS_512.p, q=PARAMETERS_512.q, g=PARAMETERS_512.g
+            )
+            keys = [
+                generate_keypair(parameters=parameters, seed=index)
+                for index in range(signers)
+            ]
+            items = []
+            for index in range(signatures):
+                private, public = keys[index % signers]
+                message = b"backend-bench-%06d" % index
+                items.append(
+                    (public, message, private.sign_recoverable(message))
+                )
+            produced = [
+                (sig.r, sig.s, sig.commitment) for _, _, sig in items
+            ]
+            if reference is None:
+                reference = produced
+            elif produced != reference:
+                raise RuntimeError(
+                    "backend %r produced signatures that differ from the "
+                    "reference backend's — cross-backend bit-identity is "
+                    "broken" % name
+                )
+
+            def signed() -> None:
+                for index in range(signatures):
+                    private, _public = keys[index % signers]
+                    private.sign_recoverable(b"backend-bench-%06d" % index)
+
+            def individually() -> None:
+                if not all(
+                    public.verify_recoverable(message, signature)
+                    for public, message, signature in items
+                ):
+                    raise RuntimeError("individual verification failed")
+
+            def batched() -> None:
+                if not batch_verify(items, rng=Random(42)):
+                    raise RuntimeError("batched verification failed")
+
+            # One untimed pass so the lazily built y-tables exist
+            # before the clocks start, same as sustained service use.
+            individually()
+            batched()
+            sign_seconds = best_of(signed)
+            verify_seconds = best_of(individually)
+            batch_seconds = best_of(batched)
+            backends[name] = {
+                "sign_us_per_op": round(
+                    sign_seconds / signatures * 1e6, 2
+                ),
+                "verify_us_per_item": round(
+                    verify_seconds / signatures * 1e6, 2
+                ),
+                "batch_verify_us_per_item": round(
+                    batch_seconds / signatures * 1e6, 2
+                ),
+            }
+    return {
+        "signatures": signatures,
+        "signers": signers,
+        "repeats": repeats,
+        "active_backend": get_backend().name,
+        "available_backends": list(backends),
+        "identical_signatures": True,
+        "backends": backends,
     }
 
 
@@ -678,6 +859,8 @@ def build_report(
         )
     if "dsa" in selected:
         benchmarks["dsa_verification"] = bench_dsa_verification()
+    if "crypto" in selected:
+        benchmarks["crypto"] = bench_crypto_backends()
     if "campaign" in selected:
         benchmarks["campaign"] = bench_campaign(
             campaign, workers, start_method=start_method, pool=pool
@@ -732,6 +915,10 @@ def compare_to_baseline(
         sections = list(ALL_SECTIONS)
 
     if "fleet" not in sections:
+        if "crypto" in sections and "crypto" in baseline["benchmarks"]:
+            failures.extend(_compare_crypto_sections(
+                current, baseline, max_regression
+            ))
         if "campaign" in sections and "campaign" in baseline["benchmarks"]:
             failures.extend(_compare_campaign_sections(
                 current, baseline, max_regression
@@ -772,6 +959,10 @@ def compare_to_baseline(
                 % (key, cur_tp, floor, base_tp, 100 * max_regression)
             )
 
+    if "crypto" in sections:
+        failures.extend(_compare_crypto_sections(
+            current, baseline, max_regression
+        ))
     if "campaign" in sections:
         failures.extend(_compare_campaign_sections(
             current, baseline, max_regression
@@ -780,6 +971,54 @@ def compare_to_baseline(
         failures.extend(_compare_service_sections(
             current, baseline, max_regression
         ))
+    return failures
+
+
+def _compare_crypto_sections(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> List[str]:
+    """Crypto-backend leg of :func:`compare_to_baseline`.
+
+    Gates ``batch_verify`` µs/item per backend (lower is better, so the
+    ceiling is ``baseline * (1 + max_regression)``).  Backends present
+    in the baseline but not loadable on this machine (a runner without
+    gmpy2) are skipped — availability is an environment property, not a
+    regression.
+    """
+    failures: List[str] = []
+    base_crypto = baseline["benchmarks"].get("crypto")
+    if base_crypto is None:
+        return failures
+    cur_crypto = current["benchmarks"].get("crypto")
+    if cur_crypto is None:
+        return [
+            "crypto section missing from current report — the backend "
+            "benchmark must not be silently dropped"
+        ]
+    for knob in ("signatures", "signers"):
+        if base_crypto.get(knob) != cur_crypto.get(knob):
+            return [
+                "crypto workload mismatch on %s: baseline %r vs current "
+                "%r — refresh the baseline"
+                % (knob, base_crypto.get(knob), cur_crypto.get(knob))
+            ]
+    for name, base_entry in sorted(base_crypto.get("backends", {}).items()):
+        cur_entry = cur_crypto.get("backends", {}).get(name)
+        if cur_entry is None:
+            continue
+        base_us = base_entry.get("batch_verify_us_per_item")
+        cur_us = cur_entry.get("batch_verify_us_per_item")
+        if base_us is None or cur_us is None:
+            continue
+        ceiling = base_us * (1.0 + max_regression)
+        if cur_us > ceiling:
+            failures.append(
+                "crypto backend %r batch_verify regressed: %.2f > %.2f "
+                "us/item (baseline %.2f, allowed regression %.0f%%)"
+                % (name, cur_us, ceiling, base_us, 100 * max_regression)
+            )
     return failures
 
 
@@ -886,6 +1125,67 @@ def _compare_service_sections(
     return failures
 
 
+def format_speedup_warning(workers: int, fleet: Dict[str, Any],
+                           cpu_count: Any) -> str:
+    """The loud sub-1.0x-speedup banner, with attribution data.
+
+    Beyond the headline, the banner breaks the regression down so it is
+    attributable from the log alone: per-shard wall seconds and worker
+    utilization (is the pool idle or the shards slow?), and the
+    warmup-versus-run time split (is startup cost eating the
+    parallelism?).
+    """
+    multi = fleet["runs"].get("workers_%d" % workers, {})
+    lines = [
+        "",
+        "*** WARNING ***********************************************",
+        "* The %d-worker sharded run was SLOWER than single-process"
+        % workers,
+        "* (speedup %.2fx < 1.0x): sharding is currently paying a"
+        % fleet["speedup_vs_single"],
+        "* penalty instead of scaling.  Check cpu_count in the",
+        "* environment section (%s CPUs seen) — on a single-core"
+        % cpu_count,
+        "* machine multiprocess runs cannot beat one process — and",
+        "* make sure a persistent FleetWorkerPool is in use.",
+    ]
+    shard_walls = multi.get("shard_wall_seconds") or []
+    wall = multi.get("wall_seconds") or 0.0
+    if shard_walls:
+        lines.append(
+            "* Per-shard wall seconds: %s"
+            % ", ".join("%.2f" % value for value in shard_walls)
+        )
+    utilization = multi.get("worker_utilization")
+    if utilization is not None:
+        lines.append(
+            "* Worker utilization: %.0f%% of the %d-worker envelope"
+            % (100 * utilization, workers)
+        )
+        lines.append(
+            "* was shard execution; the rest is spawn/merge overhead.")
+    warm_times = [
+        entry.get("warmup_seconds")
+        for entry in (fleet.get("worker_warmup") or {}).get("workers", [])
+        if entry.get("warmup_seconds") is not None
+    ]
+    if warm_times and wall:
+        lines.append(
+            "* Warmup vs run: per-worker warmup %.2f-%.2fs (mean "
+            "%.2fs)," % (
+                min(warm_times), max(warm_times),
+                sum(warm_times) / len(warm_times),
+            )
+        )
+        lines.append(
+            "* against a measured %d-worker run wall of %.2fs."
+            % (workers, wall)
+        )
+    lines.append(
+        "***********************************************************")
+    return "\n".join(lines)
+
+
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.harness",
@@ -913,6 +1213,15 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "(default: min(4, cpu_count))")
     parser.add_argument("--start-method", default=None,
                         help="multiprocessing start method override")
+    parser.add_argument("--backend", default=None,
+                        choices=("python", "gmpy2", "auto"),
+                        help="pin the crypto backend for this run and "
+                             "its worker pools (default: "
+                             "REPRO_CRYPTO_BACKEND, else auto-detect)")
+    parser.add_argument("--table-cache", default=None, metavar="PATH|off",
+                        help="persistent fixed-base table cache directory "
+                             "('off' disables; default: REPRO_TABLE_CACHE, "
+                             "else ~/.cache/repro/tables)")
     parser.add_argument("--output", default="BENCH_fleet.json",
                         help="report path (default: BENCH_fleet.json)")
     parser.add_argument("--baseline", default=None, metavar="PATH",
@@ -976,6 +1285,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             ", ".join(unknown), ", ".join(ALL_SECTIONS),
         ), file=sys.stderr)
         return 2
+    if args.backend is not None:
+        set_backend(args.backend)
+    # The harness is an entry point: persistent table caching defaults
+    # on (the per-worker and cross-run warmup savings are part of what
+    # the fleet section measures and reports).
+    from repro.crypto.tablecache import enable_table_cache
+
+    table_cache = enable_table_cache(args.table_cache)
+    table_cache_dir = (
+        table_cache.directory if table_cache is not None else None
+    )
     if args.quick:
         agents, hosts, hops = 600, 20, 3
     else:
@@ -1019,6 +1339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.workers,
             start_method=args.start_method or DEFAULT_START_METHOD,
             warm_config=config,
+            backend=args.backend,
+            table_cache_dir=table_cache_dir,
         )
     try:
         report = build_report(
@@ -1055,17 +1377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  speedup vs single: %.2fx" % fleet["speedup_vs_single"])
         if args.workers > 1 and fleet["speedup_vs_single"] < 1.0:
             print(
-                "\n"
-                "*** WARNING ***********************************************\n"
-                "* The %d-worker sharded run was SLOWER than single-process\n"
-                "* (speedup %.2fx < 1.0x): sharding is currently paying a\n"
-                "* penalty instead of scaling.  Check cpu_count in the\n"
-                "* environment section (%s CPUs seen) — on a single-core\n"
-                "* machine multiprocess runs cannot beat one process — and\n"
-                "* make sure a persistent FleetWorkerPool is in use.\n"
-                "***********************************************************"
-                % (
-                    args.workers, fleet["speedup_vs_single"],
+                format_speedup_warning(
+                    args.workers, fleet,
                     report["environment"].get("cpu_count"),
                 ),
                 file=sys.stderr,
@@ -1073,11 +1386,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("  hash-cache hit rate: %.1f%%" % (
             100 * fleet["hash_cache"]["hit_rate"],
         ))
+        warmup = fleet.get("warmup")
+        if warmup:
+            print("  table warmup (%d tables): cold %.3fs, warm-host "
+                  "%.3fs (%sx via persistent cache)" % (
+                      warmup["tables"], warmup["cold_seconds"],
+                      warmup["warm_seconds"],
+                      warmup["speedup"] if warmup["speedup"] is not None
+                      else "n/a",
+                  ))
     dsa = report["benchmarks"].get("dsa_verification")
     if dsa is not None:
         print("dsa verification: batched %.2fx faster (%.4fs vs %.4fs)" % (
             dsa["speedup"], dsa["batched_seconds"], dsa["individual_seconds"],
         ))
+    crypto = report["benchmarks"].get("crypto")
+    if crypto is not None:
+        print("crypto backends (%d signatures, %d signers; active: %s):" % (
+            crypto["signatures"], crypto["signers"],
+            crypto["active_backend"],
+        ))
+        for name, entry in sorted(crypto["backends"].items()):
+            print("  %-8s sign %8.2f us/op   verify %8.2f us/item   "
+                  "batch_verify %8.2f us/item" % (
+                      name, entry["sign_us_per_op"],
+                      entry["verify_us_per_item"],
+                      entry["batch_verify_us_per_item"],
+                  ))
     camp = report["benchmarks"].get("campaign")
     detection = camp["detection"] if camp is not None else None
     if camp is not None:

@@ -11,6 +11,11 @@ overall overhead factors against the paper's.
 table: one row per mounted attack scenario with its Figure-2 area,
 expected detectability class, and the measured detection rate and mean
 hops-to-detection.
+
+``--table backends`` reads a harness report (``--report``) and renders
+the crypto-backend comparison: one row per measured
+:mod:`repro.crypto.backend` implementation with its sign / verify /
+batch-verify costs, annotated with which backend is active.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ __all__ = [
     "metric_cell",
     "format_table",
     "format_overhead_table",
+    "format_backend_table",
     "format_detectability_table",
     "format_service_table",
     "overall_factors",
@@ -266,6 +272,51 @@ def format_service_table(
     return "\n".join(lines)
 
 
+def format_backend_table(
+    section: Dict[str, object],
+    title: str = "Crypto backends",
+) -> str:
+    """Render the harness's ``crypto`` benchmark section as text.
+
+    One row per backend measured by
+    :func:`repro.bench.harness.bench_crypto_backends`, with the active
+    backend starred; the footer restates the bit-identity guarantee the
+    section enforced (every backend produced byte-identical signatures
+    and verdicts before any timing was kept).
+    """
+    header = "%-18s %14s %16s %22s" % (
+        title, "sign [µs/op]", "verify [µs/it]", "batch verify [µs/it]",
+    )
+    lines = [header, "-" * len(header)]
+    active = section.get("active_backend")
+    backends = section.get("backends")
+    backends = backends if isinstance(backends, dict) else {}
+    for name in sorted(backends):
+        leg = backends[name]
+        if not isinstance(leg, dict):
+            continue
+        label = "%s %s" % ("*" if name == active else " ", name)
+        lines.append("%-18s %14s %16s %22s" % (
+            label,
+            metric_cell(leg.get("sign_us_per_op"), "%.1f"),
+            metric_cell(leg.get("verify_us_per_item"), "%.1f"),
+            metric_cell(leg.get("batch_verify_us_per_item"), "%.1f"),
+        ))
+    lines.append("")
+    lines.append("workload: %s signatures from %s signers (best of %s)" % (
+        section.get("signatures", "?"), section.get("signers", "?"),
+        section.get("repeats", "?"),
+    ))
+    available = section.get("available_backends")
+    if isinstance(available, (list, tuple)):
+        lines.append("available backends: %s (* = active)"
+                     % ", ".join(str(name) for name in available))
+    if section.get("identical_signatures"):
+        lines.append("bit-identity: all backends produced identical "
+                     "signatures and verdicts")
+    return "\n".join(lines)
+
+
 def paper_reference_breakdowns(table: Dict[str, Dict[str, float]]
                                ) -> List[TimingBreakdown]:
     """The paper's reference numbers as breakdown rows (for reports)."""
@@ -290,13 +341,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--table",
                         choices=("1", "2", "both", "detectability",
-                                 "service"),
+                                 "service", "backends"),
                         default="both",
                         help="which table to regenerate")
     parser.add_argument("--report", default="BENCH_fleet.json",
                         metavar="PATH",
-                        help="harness report to read for --table service "
-                             "(default: BENCH_fleet.json)")
+                        help="harness report to read for --table "
+                             "service/backends (default: BENCH_fleet.json)")
     parser.add_argument("--fast-cycles", action="store_true",
                         help="use the C-level cycle loop (JIT ablation)")
     parser.add_argument("--campaign-agents", type=int, default=120,
@@ -306,22 +357,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="campaign seed for --table detectability")
     options = parser.parse_args(argv)
 
-    if options.table == "service":
+    if options.table in ("service", "backends"):
         import json
 
+        section_name = "service" if options.table == "service" else "crypto"
         try:
             with open(options.report, "r", encoding="utf-8") as handle:
                 report = json.load(handle)
         except OSError as exc:
             print("cannot read %s (%s); run `python -m repro.bench.harness "
-                  "--sections service` first" % (options.report, exc))
+                  "--sections %s` first"
+                  % (options.report, exc, section_name))
             return 1
-        section = report.get("benchmarks", {}).get("service")
+        section = report.get("benchmarks", {}).get(section_name)
         if section is None:
-            print("report %s has no service section; re-run the harness "
-                  "with service in --sections" % options.report)
+            print("report %s has no %s section; re-run the harness "
+                  "with %s in --sections"
+                  % (options.report, section_name, section_name))
             return 1
-        print(format_service_table(section))
+        if options.table == "service":
+            print(format_service_table(section))
+        else:
+            print(format_backend_table(section))
         return 0
 
     if options.table == "detectability":

@@ -4,6 +4,11 @@ The paper's prototype relied on a pure-Java crypto provider (IAIK-JCE)
 for DSA signatures and secure hashes.  This package is the equivalent
 substrate for the reproduction, implemented from scratch:
 
+* :mod:`repro.crypto.backend` — pluggable modular-arithmetic engines
+  (pure Python, optional gmpy2) with enforced cross-backend
+  bit-identity,
+* :mod:`repro.crypto.tablecache` — persistent on-disk cache for
+  fixed-base precomputation tables, shared across processes,
 * :mod:`repro.crypto.canonical` — deterministic serialization of agent
   states and protocol payloads,
 * :mod:`repro.crypto.hashing` — secure hashes of states and traces,
@@ -16,6 +21,17 @@ substrate for the reproduction, implemented from scratch:
 * :mod:`repro.crypto.certificates` — a minimal CA / trust-anchor model.
 """
 
+from repro.crypto.backend import (
+    BACKEND_ENV_VAR,
+    Gmpy2Backend,
+    ModArith,
+    PythonBackend,
+    available_backends,
+    backend_info,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.crypto.batch import (
     BatchReport,
     BatchVerifier,
@@ -69,8 +85,33 @@ from repro.crypto.signing import (
     SignedEnvelope,
     Signer,
 )
+from repro.crypto.tablecache import (
+    TABLE_CACHE_ENV_VAR,
+    TableCache,
+    default_cache_dir,
+    enable_table_cache,
+    get_table_cache,
+    set_table_cache,
+    table_cache_info,
+)
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "Gmpy2Backend",
+    "ModArith",
+    "PythonBackend",
+    "available_backends",
+    "backend_info",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "TABLE_CACHE_ENV_VAR",
+    "TableCache",
+    "default_cache_dir",
+    "enable_table_cache",
+    "get_table_cache",
+    "set_table_cache",
+    "table_cache_info",
     "BatchReport",
     "BatchVerifier",
     "BatchedTransferVerifier",

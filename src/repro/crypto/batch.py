@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from random import Random, SystemRandom
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.crypto.backend import get_backend
 from repro.crypto.dsa import (
     DSAPublicKey,
     RecoverableSignature,
@@ -318,4 +319,7 @@ class BatchedTransferVerifier:
             "batches": report.batches,
             "cache": self.verifier.cache.stats(),
             "deferred_failures": len(self.deferred_failures),
+            # The arithmetic engine behind every verification above —
+            # throughput numbers are meaningless without it.
+            "backend": get_backend().name,
         }

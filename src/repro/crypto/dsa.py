@@ -36,6 +36,8 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.crypto.backend import ModArith, get_backend
+from repro.crypto.tablecache import TableCache, get_table_cache
 from repro.exceptions import CryptoError
 
 __all__ = [
@@ -127,14 +129,25 @@ class FixedBaseTable:
 
     Tables are sized for exponents up to ``exponent_bits`` (the bit
     length of the subgroup order ``q`` for DSA); larger or negative
-    exponents transparently fall back to the built-in ``pow()``, so the
-    table is always a drop-in replacement.
+    exponents transparently fall back to a plain modular
+    exponentiation, so the table is always a drop-in replacement.
+
+    The arithmetic engine is pluggable (``backend``, defaulting to the
+    process-wide :func:`~repro.crypto.backend.get_backend`), and the
+    column build consults the persistent table cache when one is
+    enabled (``cache="default"``; pass ``cache=False`` to force a local
+    rebuild, or an explicit :class:`~repro.crypto.tablecache.TableCache`
+    to target a specific directory).  Loaded or built, the columns are
+    identical integers — the cache and the backend can change *when*
+    work happens, never *what* the table computes.
     """
 
-    __slots__ = ("base", "modulus", "window", "capacity_bits", "_columns")
+    __slots__ = ("base", "modulus", "window", "capacity_bits",
+                 "_columns", "_backend")
 
     def __init__(self, base: int, modulus: int, exponent_bits: int,
-                 window: int = 5) -> None:
+                 window: int = 5, backend: Optional[ModArith] = None,
+                 cache: object = "default") -> None:
         if modulus <= 1:
             raise CryptoError("fixed-base table needs a modulus > 1")
         if window < 1:
@@ -144,35 +157,41 @@ class FixedBaseTable:
         self.window = window
         num_windows = (max(1, exponent_bits) + window - 1) // window
         self.capacity_bits = num_windows * window
-        size = 1 << window
-        columns = []
-        b = self.base
-        for _ in range(num_windows):
-            column = [1] * size
-            acc = 1
-            for digit in range(1, size):
-                acc = acc * b % modulus
-                column[digit] = acc
-            columns.append(column)
-            b = acc * b % modulus  # base^(2^window) for the next column
+        engine = backend if backend is not None else get_backend()
+        self._backend = engine
+        table_cache = self._resolve_cache(cache)
+        columns = None
+        key = None
+        if table_cache is not None:
+            key = TableCache.entry_key(
+                self.base, modulus, window, num_windows, engine.name
+            )
+            plain = table_cache.load(key)
+            if plain is not None:
+                columns = engine.prepare_columns(plain)
+        if columns is None:
+            columns = engine.build_table(
+                self.base, modulus, window, num_windows
+            )
+            if table_cache is not None:
+                table_cache.store(key, engine.export_columns(columns))
         self._columns = columns
+
+    @staticmethod
+    def _resolve_cache(cache: object) -> Optional[TableCache]:
+        if cache == "default":
+            return get_table_cache()
+        if isinstance(cache, TableCache):
+            return cache
+        return None
 
     def pow(self, exponent: int) -> int:
         """``base ** exponent % modulus`` via table lookups."""
         if exponent < 0 or exponent.bit_length() > self.capacity_bits:
-            return pow(self.base, exponent, self.modulus)
-        result = 1
-        modulus = self.modulus
-        mask = (1 << self.window) - 1
-        index = 0
-        columns = self._columns
-        while exponent:
-            digit = exponent & mask
-            if digit:
-                result = result * columns[index][digit] % modulus
-            exponent >>= self.window
-            index += 1
-        return result
+            return self._backend.modexp(self.base, exponent, self.modulus)
+        return self._backend.table_pow(
+            self._columns, self.window, exponent, self.modulus
+        )
 
 
 #: Individual verifications before a per-public-key table pays for
@@ -393,7 +412,9 @@ class DSAPublicKey:
             uses = self.__dict__.get("_y_uses", 0) + 1
             if uses <= _Y_TABLE_THRESHOLD:
                 object.__setattr__(self, "_y_uses", uses)
-                return pow(self.y, exponent, self.parameters.p)
+                return get_backend().modexp(
+                    self.y, exponent, self.parameters.p
+                )
             table = self.precompute()
         return table.pow(exponent)
 
@@ -437,7 +458,7 @@ class DSAPublicKey:
             return False
         digest = _message_digest(message, q, hash_algorithm)
         try:
-            w = pow(s, -1, q)
+            w = get_backend().invert(s, q)
         except ValueError:  # pragma: no cover - s coprime to prime q always
             return False
         u1 = (digest * w) % q
@@ -464,7 +485,7 @@ class DSAPublicKey:
             return False
         digest = _message_digest(message, q, hash_algorithm)
         try:
-            w = pow(s, -1, q)
+            w = get_backend().invert(s, q)
         except ValueError:  # pragma: no cover - s coprime to prime q always
             return False
         u1 = (digest * w) % q
@@ -524,7 +545,7 @@ class DSAPrivateKey:
             if r == 0:
                 counter += 1
                 continue
-            k_inv = pow(k, -1, q)
+            k_inv = get_backend().invert(k, q)
             s = (k_inv * (digest + self.x * r)) % q
             if s == 0:
                 counter += 1
@@ -607,19 +628,10 @@ def _invert_all(values: Sequence[int], q: int) -> List[int]:
     single :func:`pow`-based inversion of the total, and one backward
     sweep — three multiplications per value instead of one extended-gcd
     inversion each.  All values must be nonzero mod ``q`` (DSA's range
-    checks guarantee this for signature components).
+    checks guarantee this for signature components).  Delegates to the
+    active arithmetic backend.
     """
-    prefix = [1] * (len(values) + 1)
-    acc = 1
-    for index, value in enumerate(values):
-        acc = acc * value % q
-        prefix[index + 1] = acc
-    inverses = [0] * len(values)
-    running = pow(acc, -1, q)
-    for index in range(len(values) - 1, -1, -1):
-        inverses[index] = prefix[index] * running % q
-        running = running * values[index] % q
-    return inverses
+    return get_backend().invert_all(values, q)
 
 
 def _product_of_powers(bases: Sequence[int], exponents: Sequence[int],
@@ -632,16 +644,12 @@ def _product_of_powers(bases: Sequence[int], exponents: Sequence[int],
     each base contributes only its multiply steps (about half its
     exponent bits).  For the batch test's small exponents this beats
     per-item ``pow()`` several-fold — the commitment powers are the
-    dominant per-item cost of a batch.
+    dominant per-item cost of a batch.  Delegates to the active
+    arithmetic backend.
     """
-    result = 1
-    for bit in range(exponent_bits - 1, -1, -1):
-        result = result * result % modulus
-        mask = 1 << bit
-        for base, exponent in zip(bases, exponents):
-            if exponent & mask:
-                result = result * base % modulus
-    return result
+    return get_backend().product_of_powers(
+        bases, exponents, modulus, exponent_bits
+    )
 
 
 def batch_verify(items: Sequence[BatchItem],

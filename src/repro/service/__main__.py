@@ -14,7 +14,12 @@ import json
 import sys
 from typing import List, Optional, Tuple
 
-from repro.service.loadgen import build_loadgen_stream, run_loadgen
+from repro.crypto.tablecache import enable_table_cache
+from repro.service.loadgen import (
+    build_loadgen_stream,
+    fetch_server_stats,
+    run_loadgen,
+)
 from repro.service.server import ServiceConfig, VerificationService
 from repro.sim.fleet import FleetConfig
 
@@ -53,6 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fleet-hosts", type=int, default=40,
                        help="fleet-shaped host population whose "
                             "deterministic keys the server registers")
+    serve.add_argument("--backend", default=None,
+                       choices=("python", "gmpy2", "auto"),
+                       help="pin the crypto backend (default: "
+                            "REPRO_CRYPTO_BACKEND, else auto-detect)")
+    serve.add_argument("--table-cache", default=None, metavar="PATH|off",
+                       help="persistent fixed-base table cache directory "
+                            "('off' disables; default: REPRO_TABLE_CACHE, "
+                            "else ~/.cache/repro/tables)")
 
     loadgen = commands.add_parser(
         "loadgen", help="replay a journey request stream against a server"
@@ -91,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    # The server is a long-lived entry point: persistent table caching
+    # is on by default so restarts (and sibling processes on the same
+    # host) load the fixed-base tables instead of rebuilding them.
+    cache = enable_table_cache(args.table_cache)
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -99,11 +116,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         max_queue=args.max_queue,
         fleet_hosts=args.fleet_hosts,
+        backend=args.backend,
     )
 
     async def _serve() -> None:
         service = VerificationService(config)
         host, port = await service.start()
+        print("crypto backend: %s; table cache: %s"
+              % (service.backend.name,
+                 cache.directory if cache is not None else "off"),
+              flush=True)
         print("listening on %s:%d" % (host, port), flush=True)
         try:
             await service.serve_forever()
@@ -147,6 +169,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     report.corrupted = corrupted
     summary = report.summary()
+    # Attribute the numbers: which engine and table cache served them.
+    server_stats = fetch_server_stats(host, port)
+    summary["server"] = {
+        "crypto": server_stats.get("crypto"),
+        "config": server_stats.get("config"),
+    } if server_stats else None
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

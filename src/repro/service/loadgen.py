@@ -33,6 +33,7 @@ from repro.sim.requests import (
 __all__ = [
     "LoadgenReport",
     "build_loadgen_stream",
+    "fetch_server_stats",
     "replay_requests",
     "run_loadgen",
     "percentile",
@@ -118,6 +119,35 @@ class LoadgenReport:
             },
             "mismatch_samples": self.mismatch_samples[:4],
         }
+
+
+async def _fetch_stats(host: str, port: int,
+                       timeout: float) -> Dict[str, Any]:
+    client = await connect_with_retry(
+        host, port, connections=1, timeout=timeout
+    )
+    try:
+        response = await client.request({"op": "stats"})
+    finally:
+        await client.close()
+    if response.get("status") != "ok":
+        raise ValueError("stats op answered %r" % response.get("status"))
+    return response.get("stats") or {}
+
+
+def fetch_server_stats(host: str, port: int,
+                       timeout: float = 10.0) -> Dict[str, Any]:
+    """One ``stats`` round-trip against a live server, or ``{}``.
+
+    Loadgen artifacts embed the answer so every recorded number names
+    the crypto backend (and cache state) that produced it; a server
+    that cannot answer degrades the artifact, never the run — hence
+    the broad swallow.
+    """
+    try:
+        return asyncio.run(_fetch_stats(host, port, timeout))
+    except Exception:  # noqa: BLE001 - diagnostics are best-effort
+        return {}
 
 
 def build_loadgen_stream(

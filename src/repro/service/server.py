@@ -43,7 +43,9 @@ from typing import Any, Dict, Optional, Tuple
 import repro.workloads.shopping  # noqa: F401
 import repro.workloads.survey  # noqa: F401
 from repro.core.protocol import check_session_payload
+from repro.crypto.backend import get_backend, set_backend
 from repro.crypto.dsa import RecoverableSignature
+from repro.crypto.tablecache import table_cache_info
 from repro.crypto.keys import Identity, KeyStore
 from repro.exceptions import (
     FrameTooLarge,
@@ -94,6 +96,12 @@ class ServiceConfig:
         ``host-001`` … ``host-NNN``).
     extra_principals:
         Additional principal names to register beyond the fleet shape.
+    backend:
+        Crypto backend to pin for this server process (``"python"``,
+        ``"gmpy2"``, or ``"auto"``); ``None`` keeps whatever the
+        process already resolved.  Pinning happens at construction so
+        every verification this instance performs — and every number
+        its ``stats`` op reports — is attributable to one engine.
     """
 
     host: str = "127.0.0.1"
@@ -105,6 +113,7 @@ class ServiceConfig:
     max_frame: int = MAX_FRAME_BYTES
     fleet_hosts: int = 40
     extra_principals: Tuple[str, ...] = ()
+    backend: Optional[str] = None
 
 
 def build_service_keystore(num_hosts: int,
@@ -166,6 +175,11 @@ class VerificationService:
         code_registry: Optional[Any] = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        if self.config.backend is not None:
+            set_backend(self.config.backend)
+        # Resolve (and thereby pin) the engine before any key material
+        # is built, so the whole lifetime of this instance runs on it.
+        self.backend = get_backend()
         self.keystore = keystore if keystore is not None else (
             build_service_keystore(
                 self.config.fleet_hosts, self.config.extra_principals
@@ -481,12 +495,16 @@ class VerificationService:
         }
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate server metrics: counters, cache, batching."""
+        """Aggregate server metrics: counters, cache, batching, crypto."""
         return {
             "counters": self.counters.snapshot(),
             "cache": self.cache.stats() if self.cache is not None else None,
             "batching": self.batcher.stats(),
             "inflight": self._inflight,
+            "crypto": {
+                "backend": self.backend.name,
+                "table_cache": table_cache_info(),
+            },
             "config": {
                 "max_batch": self.config.max_batch,
                 "max_delay": self.config.max_delay,
@@ -494,6 +512,7 @@ class VerificationService:
                 "max_frame": self.config.max_frame,
                 "cache_entries": self.config.cache_entries,
                 "fleet_hosts": self.config.fleet_hosts,
+                "backend": self.config.backend,
             },
         }
 

@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import ConfigurationError
 from repro.sim.fleet import (
@@ -63,7 +64,18 @@ __all__ = [
 DEFAULT_START_METHOD = "spawn"
 
 
-def warm_worker(host_names: Sequence[str]) -> None:
+#: Per-process record of the last :func:`warm_worker` run — the pid,
+#: the pinned backend, the wall time the warmup took, and the table
+#: cache counters.  Collected across workers by
+#: :meth:`FleetWorkerPool.warmup_report`.
+_WARM_STATE: Dict[str, Any] = {}
+
+
+def warm_worker(
+    host_names: Sequence[str],
+    backend: Optional[str] = None,
+    table_cache_dir: Optional[str] = None,
+) -> None:
     """Pre-build deterministic crypto state in a (worker) process.
 
     Used as the :class:`FleetWorkerPool` initializer: host key pairs are
@@ -73,15 +85,46 @@ def warm_worker(host_names: Sequence[str]) -> None:
     measured execution, and eagerly builds the fixed-base tables for
     the generator and every host public key.
 
+    ``backend`` pins the crypto backend in the worker (``spawn`` workers
+    do not inherit the coordinator's in-process selection, only its
+    environment) and ``table_cache_dir`` points the persistent table
+    cache at a shared directory so the first process on a host builds
+    the tables and every later one loads them.
+
     Module-level on purpose: ``spawn`` pool initializers are resolved by
     qualified name.
     """
+    from repro.crypto.backend import get_backend, set_backend
     from repro.crypto.dsa import PARAMETERS_512
     from repro.crypto.keys import Identity
+    from repro.crypto.tablecache import set_table_cache, table_cache_info
 
+    started = time.perf_counter()
+    if backend is not None:
+        set_backend(backend)
+    if table_cache_dir is not None:
+        set_table_cache(table_cache_dir)
     PARAMETERS_512.generator_table()
     for name in host_names:
         Identity.generate(name).public_key.precompute()
+    _WARM_STATE.clear()
+    _WARM_STATE.update(
+        pid=os.getpid(),
+        backend=get_backend().name,
+        hosts_warmed=len(host_names),
+        warmup_seconds=time.perf_counter() - started,
+        table_cache=table_cache_info(),
+    )
+
+
+def _warmup_probe(_index: int) -> Dict[str, Any]:
+    """Return this process's warm state (pool-mapped by the coordinator).
+
+    The tiny sleep keeps one fast worker from draining the whole probe
+    queue before its siblings pick up a task.
+    """
+    time.sleep(0.01)
+    return dict(_WARM_STATE)
 
 
 class FleetWorkerPool:
@@ -103,11 +146,17 @@ class FleetWorkerPool:
         workers: int,
         start_method: str = DEFAULT_START_METHOD,
         warm_config: Optional[FleetConfig] = None,
+        backend: Optional[str] = None,
+        table_cache_dir: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be positive")
         self.workers = workers
         self.start_method = start_method
+        self.backend = backend
+        self.table_cache_dir = (
+            os.fspath(table_cache_dir) if table_cache_dir is not None else None
+        )
         host_names = (
             fleet_host_names(warm_config) if warm_config is not None else []
         )
@@ -115,17 +164,47 @@ class FleetWorkerPool:
         self._pool = context.Pool(
             processes=workers,
             initializer=warm_worker,
-            initargs=(host_names,),
+            initargs=(host_names, backend, self.table_cache_dir),
         )
+        self.warmup_seconds: Optional[float] = None
         if warm_config is not None:
             # Warm the coordinator process with the same state the
             # workers build, so single-process comparison runs and the
             # merge path start equally hot.
-            warm_worker(host_names)
+            started = time.perf_counter()
+            warm_worker(host_names, backend, self.table_cache_dir)
+            self.warmup_seconds = time.perf_counter() - started
 
     def map(self, func, iterable):
         """Forward to :meth:`multiprocessing.pool.Pool.map`."""
         return self._pool.map(func, iterable)
+
+    def warmup_report(self) -> Dict[str, Any]:
+        """Best-effort per-worker warmup diagnostics.
+
+        Floods the pool with cheap probe tasks and dedupes the answers
+        by pid.  Oversubscription plus ``chunksize=1`` makes it very
+        likely every worker answers at least once, but a worker that
+        never picks up a probe is simply absent — callers must treat
+        the list as a sample, not a census.
+        """
+        probes = self._pool.map(
+            _warmup_probe, range(self.workers * 4), chunksize=1
+        )
+        by_pid: Dict[int, Dict[str, Any]] = {}
+        for probe in probes:
+            if probe and probe.get("pid") not in by_pid:
+                by_pid[probe["pid"]] = probe
+        workers = sorted(by_pid.values(), key=lambda w: w["pid"])
+        return {
+            "workers": workers,
+            "workers_reporting": len(workers),
+            "coordinator_warmup_seconds": self.warmup_seconds,
+            "backend": self.backend or (
+                workers[0]["backend"] if workers else None
+            ),
+            "table_cache_dir": self.table_cache_dir,
+        }
 
     def close(self) -> None:
         """Shut the worker processes down."""

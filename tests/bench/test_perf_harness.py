@@ -11,10 +11,13 @@ from repro.bench.harness import (
     ALL_SECTIONS,
     BENCH_SCHEMA,
     bench_campaign,
+    bench_crypto_backends,
     bench_dsa_verification,
+    bench_table_warmup,
     build_report,
     collect_environment,
     compare_to_baseline,
+    format_speedup_warning,
     main,
 )
 from repro.sim.campaign import campaign_config
@@ -191,6 +194,99 @@ class TestBaselineGate:
         assert failures and "campaign workload mismatch" in failures[-1]
 
 
+class TestCryptoSection:
+    @pytest.fixture(scope="class")
+    def section(self):
+        return bench_crypto_backends(signatures=12, signers=3, repeats=1)
+
+    def test_every_available_backend_is_measured(self, section):
+        from repro.crypto.backend import available_backends
+
+        assert section["signatures"] == 12 and section["signers"] == 3
+        assert set(section["backends"]) == set(available_backends())
+        assert section["active_backend"]
+        assert section["identical_signatures"] is True
+        for entry in section["backends"].values():
+            assert entry["sign_us_per_op"] > 0
+            assert entry["verify_us_per_item"] > 0
+            assert entry["batch_verify_us_per_item"] > 0
+
+    def test_section_is_json_serializable(self, section):
+        assert json.loads(json.dumps(section)) == section
+
+    def test_table_warmup_reports_a_cold_and_a_warm_pass(self):
+        warmup = bench_table_warmup(_tiny_config())
+        assert warmup["tables"] == _tiny_config().num_hosts + 2
+        assert warmup["cold_seconds"] >= 0
+        assert warmup["warm_seconds"] >= 0
+        assert warmup["cache_stores"] == warmup["tables"]
+        assert warmup["cache_hits"] == warmup["tables"]
+
+    def test_crypto_regression_gate(self):
+        current = {
+            "schema": BENCH_SCHEMA,
+            "sections": ["crypto"],
+            "benchmarks": {"crypto": {
+                "signatures": 96, "signers": 6,
+                "backends": {"python": {"batch_verify_us_per_item": 30.0}},
+            }},
+        }
+        baseline = copy.deepcopy(current)
+        assert compare_to_baseline(current, baseline) == []
+        # Beyond the allowed regression: fail.
+        baseline["benchmarks"]["crypto"]["backends"]["python"][
+            "batch_verify_us_per_item"] = 10.0
+        failures = compare_to_baseline(current, baseline,
+                                       max_regression=0.30)
+        assert failures and "batch_verify regressed" in failures[0]
+        # A baseline backend absent from the current environment (e.g.
+        # gmpy2 on a runner without it) is skipped, not failed.
+        baseline = copy.deepcopy(current)
+        baseline["benchmarks"]["crypto"]["backends"]["gmpy2"] = {
+            "batch_verify_us_per_item": 1.0,
+        }
+        assert compare_to_baseline(current, baseline) == []
+        # Workload knob mismatch refuses to compare.
+        baseline = copy.deepcopy(current)
+        baseline["benchmarks"]["crypto"]["signatures"] = 12
+        failures = compare_to_baseline(current, baseline)
+        assert failures and "workload mismatch" in failures[0]
+        # A requested-but-missing crypto section fails loudly.
+        baseline = copy.deepcopy(current)
+        del current["benchmarks"]["crypto"]
+        failures = compare_to_baseline(current, baseline)
+        assert failures and "crypto section missing" in failures[0]
+
+
+class TestSpeedupWarning:
+    def test_banner_attributes_the_regression(self):
+        fleet = {
+            "speedup_vs_single": 0.8,
+            "runs": {"workers_4": {
+                "wall_seconds": 2.0,
+                "shard_wall_seconds": [0.5, 0.6, 0.55, 0.58],
+                "worker_utilization": 0.28,
+            }},
+            "worker_warmup": {"workers": [
+                {"pid": 1, "warmup_seconds": 0.9},
+                {"pid": 2, "warmup_seconds": 1.1},
+            ]},
+        }
+        banner = format_speedup_warning(4, fleet, cpu_count=4)
+        assert "WARNING" in banner
+        assert "0.80x" in banner
+        assert "0.50, 0.60, 0.55, 0.58" in banner
+        assert "28% of the 4-worker envelope" in banner
+        assert "0.90-1.10s" in banner and "mean 1.00s" in banner
+        assert "run wall of 2.00s" in banner
+
+    def test_banner_degrades_without_attribution_data(self):
+        fleet = {"speedup_vs_single": 0.5, "runs": {}}
+        banner = format_speedup_warning(2, fleet, cpu_count=1)
+        assert "0.50x" in banner
+        assert "Per-shard" not in banner and "Warmup vs run" not in banner
+
+
 class TestSectionFiltering:
     def test_sections_subset_runs_only_those_benchmarks(self):
         report = build_report(_tiny_config(), workers=1, quick=True,
@@ -202,7 +298,9 @@ class TestSectionFiltering:
         report = build_report(_tiny_config(), workers=1, quick=True,
                               sections=["dsa", "fleet"])
         assert report["sections"] == ["fleet", "dsa"]
-        assert list(ALL_SECTIONS) == ["fleet", "dsa", "campaign", "service"]
+        assert list(ALL_SECTIONS) == [
+            "fleet", "dsa", "crypto", "campaign", "service",
+        ]
 
     def test_unknown_section_is_rejected(self):
         with pytest.raises(ValueError):

@@ -127,3 +127,50 @@ class TestServiceTable:
         assert "batched (window 4)" in table
         assert "session checks" not in table
         assert NOT_APPLICABLE in table
+
+
+class TestBackendTable:
+    _SECTION = {
+        "signatures": 96,
+        "signers": 6,
+        "repeats": 3,
+        "active_backend": "gmpy2",
+        "available_backends": ["gmpy2", "python"],
+        "identical_signatures": True,
+        "backends": {
+            "python": {
+                "sign_us_per_op": 61.5,
+                "verify_us_per_item": 103.2,
+                "batch_verify_us_per_item": 28.4,
+            },
+            "gmpy2": {
+                "sign_us_per_op": 12.3,
+                "verify_us_per_item": 20.1,
+                "batch_verify_us_per_item": 6.7,
+            },
+        },
+    }
+
+    def test_every_backend_gets_a_row_with_the_active_one_starred(self):
+        from repro.bench.tables import format_backend_table
+
+        table = format_backend_table(self._SECTION)
+        assert "* gmpy2" in table
+        assert "  python" in table
+        assert "28.4" in table and "6.7" in table
+        assert "96 signatures from 6 signers (best of 3)" in table
+        assert "gmpy2, python" in table
+        assert "bit-identity" in table
+        assert "None" not in table
+
+    def test_missing_metrics_render_as_em_dash_not_crash(self):
+        from repro.bench.tables import format_backend_table
+
+        minimal = {
+            "active_backend": "python",
+            "backends": {"python": {"sign_us_per_op": 1.0}},
+        }
+        table = format_backend_table(minimal)
+        assert "* python" in table
+        assert NOT_APPLICABLE in table
+        assert "bit-identity" not in table

@@ -1,0 +1,252 @@
+"""Persistence tests for the fixed-base table cache.
+
+The cache's whole promise is "time saved, never arithmetic changed":
+an entry loads back as exactly the integers that were stored, every
+corruption mode degrades to recomputation, concurrent writers are
+safe, and keys separate parameter sets and backends.  The pickle
+hygiene of the key objects must survive with a cache enabled, since
+worker warmup now combines both.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.crypto.tablecache as tablecache_mod
+from repro.crypto.backend import PythonBackend
+from repro.crypto.dsa import (
+    FixedBaseTable,
+    PARAMETERS_512,
+    PARAMETERS_1024,
+    generate_keypair,
+)
+from repro.crypto.tablecache import (
+    TABLE_CACHE_ENV_VAR,
+    TableCache,
+    default_cache_dir,
+    enable_table_cache,
+    get_table_cache,
+    resolve_cache_setting,
+    set_table_cache,
+    table_cache_info,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_cache():
+    """Snapshot/restore the process-wide cache around every test."""
+    previous_cache = tablecache_mod._cache
+    previous_configured = tablecache_mod._configured
+    yield
+    tablecache_mod._cache = previous_cache
+    tablecache_mod._configured = previous_configured
+
+
+def _table(cache, parameters=PARAMETERS_512, **overrides):
+    kwargs = dict(
+        base=parameters.g,
+        modulus=parameters.p,
+        exponent_bits=parameters.q.bit_length(),
+        backend=PythonBackend(),
+        cache=cache,
+    )
+    kwargs.update(overrides)
+    return FixedBaseTable(**kwargs)
+
+
+def _single_entry(cache):
+    entries = [
+        name for name in os.listdir(cache.directory)
+        if name.endswith(".tbl")
+    ]
+    assert len(entries) == 1
+    return os.path.join(cache.directory, entries[0])
+
+
+class TestRoundTrip:
+    def test_second_build_is_a_cache_hit_with_identical_columns(self,
+                                                                tmp_path):
+        cache = TableCache(tmp_path)
+        cold = _table(cache)
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["stores"] == 1
+        warm = _table(cache)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["stores"] == 1
+        assert warm._columns == cold._columns
+        q = PARAMETERS_512.q
+        for exponent in (0, 1, 7, q - 1):
+            assert warm.pow(exponent) == pow(
+                PARAMETERS_512.g, exponent, PARAMETERS_512.p
+            )
+
+    def test_missing_entry_is_a_clean_miss(self, tmp_path):
+        cache = TableCache(tmp_path)
+        assert cache.load("0" * 64) is None
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["errors"] == 0
+
+    def test_wire_format_roundtrips_wide_and_narrow_values(self):
+        columns = [[0, 1, 2 ** 513 - 1], [7, 8, 9]]
+        assert TableCache._decode(TableCache._encode(columns)) == columns
+        assert TableCache._decode(TableCache._encode([])) == []
+
+
+class TestCorruptionTolerance:
+    @pytest.mark.parametrize("mutation", ("truncate", "flip", "garbage"),
+                             ids=("truncated", "bit-flipped", "bad-magic"))
+    def test_corrupt_entries_fall_back_to_recompute_and_heal(self, tmp_path,
+                                                             mutation):
+        cache = TableCache(tmp_path)
+        reference = _table(cache)
+        path = _single_entry(cache)
+        key = os.path.basename(path)[:-len(".tbl")]
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        if mutation == "truncate":
+            corrupted = blob[:len(blob) // 2]
+        elif mutation == "flip":
+            index = len(blob) - 3
+            corrupted = blob[:index] + bytes([blob[index] ^ 0x40]) \
+                + blob[index + 1:]
+        else:
+            corrupted = b"not a table file"
+        with open(path, "wb") as handle:
+            handle.write(corrupted)
+
+        assert cache.load(key) is None
+        assert not os.path.exists(path), "corrupt entry must be deleted"
+        stats = cache.stats()
+        assert stats["errors"] == 1
+
+        # The next build recomputes correct columns and re-publishes.
+        healed = _table(cache)
+        assert healed._columns == reference._columns
+        assert os.path.exists(path)
+
+    def test_store_failure_degrades_without_raising(self, tmp_path):
+        missing_parent = tmp_path / "file"
+        missing_parent.write_text("a plain file, not a directory")
+        cache = TableCache(missing_parent / "cache")
+        assert cache.store("0" * 64, [[1, 2], [3, 4]]) is False
+        assert cache.stats()["errors"] == 1
+
+
+class TestKeying:
+    def test_parameter_sets_produce_distinct_entries(self, tmp_path):
+        cache = TableCache(tmp_path)
+        _table(cache, parameters=PARAMETERS_512)
+        _table(cache, parameters=PARAMETERS_1024)
+        entries = [
+            name for name in os.listdir(cache.directory)
+            if name.endswith(".tbl")
+        ]
+        assert len(entries) == 2
+        stats = cache.stats()
+        assert stats["stores"] == 2 and stats["hits"] == 0
+
+    def test_entry_key_separates_every_dimension(self):
+        base = TableCache.entry_key(2, 23, 5, 11, "python")
+        assert base == TableCache.entry_key(2, 23, 5, 11, "python")
+        assert base != TableCache.entry_key(3, 23, 5, 11, "python")
+        assert base != TableCache.entry_key(2, 29, 5, 11, "python")
+        assert base != TableCache.entry_key(2, 23, 4, 11, "python")
+        assert base != TableCache.entry_key(2, 23, 5, 12, "python")
+        assert base != TableCache.entry_key(2, 23, 5, 11, "gmpy2")
+
+    def test_concurrent_writers_publish_a_valid_entry(self, tmp_path):
+        cache = TableCache(tmp_path)
+        columns = [[1, 5, 25, 125], [1, 6, 36, 216]]
+        key = TableCache.entry_key(5, 1009, 2, 2, "python")
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(
+                lambda _index: cache.store(key, columns), range(32)
+            ))
+        assert all(outcomes)
+        assert cache.load(key) == columns
+        leftovers = [
+            name for name in os.listdir(cache.directory) if ".tmp." in name
+        ]
+        assert leftovers == [], "temp files must never survive a store"
+
+
+class TestProcessWideSelection:
+    def test_resolve_cache_setting_maps_env_values(self):
+        assert resolve_cache_setting(None) is None
+        for value in ("0", "off", "FALSE", "no", "disabled", "", "  "):
+            assert resolve_cache_setting(value) is None
+        for value in ("1", "on", "TRUE", "yes", "default"):
+            assert resolve_cache_setting(value) == default_cache_dir()
+        assert resolve_cache_setting("/somewhere/else") == "/somewhere/else"
+
+    def test_get_table_cache_resolves_the_env_var_lazily(self, tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setenv(TABLE_CACHE_ENV_VAR, str(tmp_path))
+        tablecache_mod._cache = None
+        tablecache_mod._configured = False
+        cache = get_table_cache()
+        assert cache is not None and cache.directory == str(tmp_path)
+
+    def test_unset_env_leaves_caching_off(self, monkeypatch):
+        monkeypatch.delenv(TABLE_CACHE_ENV_VAR, raising=False)
+        tablecache_mod._cache = None
+        tablecache_mod._configured = False
+        assert get_table_cache() is None
+        assert table_cache_info() == {
+            "enabled": False, "path": None,
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
+        }
+
+    def test_enable_table_cache_precedence(self, tmp_path, monkeypatch):
+        explicit = tmp_path / "explicit"
+        monkeypatch.setenv(TABLE_CACHE_ENV_VAR, str(tmp_path / "env"))
+        # 1. an explicit directory wins over the environment;
+        cache = enable_table_cache(explicit)
+        assert cache is not None and cache.directory == str(explicit)
+        # 2. without one, the environment variable is honoured;
+        cache = enable_table_cache()
+        assert cache is not None and cache.directory == str(tmp_path / "env")
+        # 3. ... including an explicit disable;
+        monkeypatch.setenv(TABLE_CACHE_ENV_VAR, "off")
+        assert enable_table_cache() is None
+        # 4. with nothing set, the per-user default is used.
+        monkeypatch.delenv(TABLE_CACHE_ENV_VAR)
+        cache = enable_table_cache()
+        assert cache is not None and cache.directory == default_cache_dir()
+
+    def test_set_table_cache_accepts_instances_and_disables(self, tmp_path):
+        instance = TableCache(tmp_path)
+        assert set_table_cache(instance) is instance
+        assert get_table_cache() is instance
+        assert set_table_cache(None) is None
+        assert get_table_cache() is None
+        assert set_table_cache("off") is None
+
+    def test_table_cache_info_reports_the_enabled_cache(self, tmp_path):
+        set_table_cache(TableCache(tmp_path))
+        _table("default")
+        info = table_cache_info()
+        assert info["enabled"] and info["path"] == str(tmp_path)
+        assert info["stores"] == 1
+
+
+class TestPickleHygieneWithCacheEnabled:
+    def test_key_pickles_stay_clean_when_tables_come_from_the_cache(
+            self, tmp_path):
+        set_table_cache(TableCache(tmp_path))
+        private, public = generate_keypair(seed=123)
+        message = b"pickle-me"
+        signature = private.sign(message)
+        for _ in range(10):
+            assert public.verify(message, signature)
+        assert "_y_table" in public.__dict__
+
+        revived = pickle.loads(pickle.dumps(public))
+        assert "_y_table" not in revived.__dict__
+        assert "_g_table" not in revived.parameters.__dict__
+        assert revived == public
+        assert revived.verify(message, signature)

@@ -371,6 +371,27 @@ class TestOps:
 
         _run_with_service(config, body)
 
+    def test_stats_op_names_the_crypto_backend(self):
+        # Loadgen artifacts embed this block so every recorded number is
+        # attributable to the engine and cache state that produced it.
+        import repro.crypto.backend as backend_mod
+
+        config = ServiceConfig(fleet_hosts=4, max_batch=1, backend="python")
+
+        async def body(service, client):
+            assert service.backend.name == "python"
+            stats = await client.stats()
+            crypto = stats["crypto"]
+            assert crypto["backend"] == "python"
+            assert set(crypto["table_cache"]) >= {"enabled"}
+            assert stats["config"]["backend"] == "python"
+
+        previous = backend_mod._active
+        try:
+            _run_with_service(config, body)
+        finally:
+            backend_mod._active = previous
+
     def test_service_thread_runs_from_sync_code(self):
         with ServiceThread(ServiceConfig(fleet_hosts=4, max_batch=1)) as thread:
             host, port = thread.service.address
