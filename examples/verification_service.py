@@ -92,8 +92,10 @@ def main() -> int:
             host, port, args.batch,
         ))
         try:
+            # The one connection-construction path: replay_requests
+            # builds its client via repro.service.connect().
             report = await replay_requests(
-                host, port, stream, connections=args.connections,
+                (host, port), stream, connections=args.connections,
             )
             return report, service.stats()
         finally:

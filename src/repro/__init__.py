@@ -57,8 +57,29 @@ from repro.exceptions import (
 
 __version__ = "1.0.0"
 
+#: Stable verification-service entry points re-exported lazily (PEP
+#: 562): ``from repro import connect`` works without paying the
+#: service/asyncio import cost in programs that never touch it.
+_SERVICE_EXPORTS = ("connect", "Verifier", "ServiceConfig",
+                    "ClusterConfig")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import service as _service
+
+        return getattr(_service, name)
+    raise AttributeError(
+        "module %r has no attribute %r" % (__name__, name)
+    )
+
+
 __all__ = [
     "__version__",
+    "connect",
+    "Verifier",
+    "ServiceConfig",
+    "ClusterConfig",
     "AgentError",
     "AttackDetected",
     "CheckingError",

@@ -53,7 +53,7 @@ import sys
 import time
 from dataclasses import dataclass, replace
 from random import Random
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.agents.state import encoding_cache_stats
 from repro.bench.metrics import TimingBreakdown, TimingCollector
@@ -195,14 +195,17 @@ def run_measurement_grid(protected: bool,
 #: adds the ``crypto`` backend-comparison section, the fleet section's
 #: ``warmup`` block (cold vs warm-host fixed-base table builds through
 #: the persistent cache) and per-shard wall/utilization data, and the
-#: pluggable-backend identifiers threaded through every section.
-BENCH_SCHEMA = "repro-bench-fleet/5"
+#: pluggable-backend identifiers threaded through every section; ``/6``
+#: adds the ``cluster`` section (a gateway over real verifier
+#: subprocesses: single-vs-N scaling plus a mid-run SIGKILL failover
+#: leg, all parity-checked against in-process ground truth).
+BENCH_SCHEMA = "repro-bench-fleet/6"
 
 #: Sections the harness can run, in run order.  ``--sections`` selects
 #: a subset; the emitted report records which subset ran so the
 #: baseline gate can tell "not requested" apart from "silently
 #: dropped".
-ALL_SECTIONS = ("fleet", "dsa", "crypto", "campaign", "service")
+ALL_SECTIONS = ("fleet", "dsa", "crypto", "campaign", "service", "cluster")
 
 
 def collect_environment() -> Dict[str, Any]:
@@ -658,9 +661,8 @@ def bench_service(
 
     async def replay_once(service, requests):
         """One replay against a live server; hard error on divergence."""
-        host, port = service.address
         report = await replay_requests(
-            host, port, requests,
+            service.address, requests,
             connections=connections, max_inflight=max_inflight,
         )
         if report.mismatches or report.dropped:
@@ -809,6 +811,176 @@ def bench_service(
     return section
 
 
+def bench_cluster(
+    config: Optional[FleetConfig] = None,
+    verifiers: int = 3,
+    gather_batch: int = 64,
+    connections: int = 2,
+    max_inflight: int = 256,
+    table_cache: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Benchmark the verification cluster: scaling and failover.
+
+    Unlike every other section this one runs *real processes*: each leg
+    launches verifier subprocesses behind an in-thread gateway
+    (:class:`repro.service.cluster.LocalCluster`) and replays the same
+    deterministic verify stream through ``repro.service.connect()``:
+
+    * **single** — one verifier behind the gateway: the routed-but-
+      unsharded baseline every scaling claim is measured against;
+    * **scaled** — ``verifiers`` backends: consistent-hash routing
+      spreads the stream, and ``scaling_vs_single`` is the headline
+      ratio the CI gate checks (with enough cores it should approach
+      the backend count);
+    * **failover** — a fresh ``verifiers``-wide cluster whose first
+      backend is SIGKILLed mid-replay: the gateway must re-route and
+      re-issue every in-flight item, and the leg hard-errors on any
+      lost or wrong verdict exactly like the other legs.
+
+    Verdict caches are disabled on both tiers so the legs measure
+    routing and verification, not replay memoization.  Scaling is
+    physically bounded by ``cpu_count``: the section records a
+    ``cpu_limited`` flag (fewer cores than ``verifiers + 1``) so the
+    gate can distinguish "cannot scale here" from "regressed".
+    """
+    import asyncio
+
+    from repro.service.cluster import ClusterConfig, LocalCluster
+    from repro.service.loadgen import percentile, replay_requests
+    from repro.service.server import ServiceConfig
+    from repro.sim.requests import journey_request_stream
+
+    if verifiers < 1:
+        raise ValueError("the cluster benchmark needs at least one verifier")
+    if config is None:
+        config = FleetConfig(
+            num_agents=150, num_hosts=20, hops_per_journey=3,
+            malicious_host_fraction=0.2, seed=2027,
+            protected=True, batched_verification=True,
+        )
+    else:
+        config = replace(config, protected=True, batched_verification=True)
+
+    stream = journey_request_stream(config, max_session_checks=0)
+    requests = stream.verify_requests
+
+    template = ClusterConfig(
+        service=ServiceConfig(
+            fleet_hosts=config.num_hosts, max_batch=gather_batch,
+            max_delay=0.002, cache_entries=0,
+        ),
+        cache_entries=0,
+        gather_batch=gather_batch,
+        gather_delay=0.001,
+    )
+
+    async def replay(cluster: LocalCluster) -> Any:
+        report = await replay_requests(
+            cluster.address, requests,
+            connections=connections, max_inflight=max_inflight,
+        )
+        if report.mismatches or report.dropped:
+            raise RuntimeError(
+                "cluster verdicts diverged from the in-process ground "
+                "truth (mismatches=%d, dropped=%d): %r"
+                % (report.mismatches, report.dropped,
+                   report.mismatch_samples[:2])
+            )
+        return report
+
+    def leg_summary(report: Any) -> Dict[str, Any]:
+        return {
+            "requests": report.completed,
+            "wall_seconds": round(report.wall_seconds, 4),
+            "rps": round(report.achieved_rps, 1),
+            "latency_ms": {
+                "p50": round(1e3 * percentile(report.latencies, 0.50), 3),
+                "p99": round(1e3 * percentile(report.latencies, 0.99), 3),
+            },
+        }
+
+    def scaling_leg(count: int) -> Tuple[Any, float]:
+        started = time.perf_counter()
+        with LocalCluster(verifiers=count, config=template,
+                          table_cache=table_cache) as cluster:
+            startup = time.perf_counter() - started
+            report = asyncio.run(replay(cluster))
+        return report, startup
+
+    single_report, single_startup = scaling_leg(1)
+    scaled_report, scaled_startup = scaling_leg(verifiers)
+
+    # Failover drill: a fresh cluster, SIGKILL the first verifier a
+    # quarter of the way into the (just-measured) replay window.
+    kill_after = max(0.05, 0.25 * scaled_report.wall_seconds)
+    with LocalCluster(verifiers=verifiers, config=template,
+                      table_cache=table_cache) as cluster:
+        victim_name = cluster.verifiers[0].name
+
+        async def failover_run() -> Any:
+            async def kill_later() -> None:
+                await asyncio.sleep(kill_after)
+                cluster.kill_verifier(0)
+
+            killer = asyncio.ensure_future(kill_later())
+            try:
+                return await replay(cluster)
+            finally:
+                await killer
+
+        failover_report = asyncio.run(failover_run())
+        gateway_counters = cluster.gateway.counters.snapshot()
+
+    cpu_count = os.cpu_count() or 1
+    single_rps = single_report.achieved_rps
+    scaling = (
+        scaled_report.achieved_rps / single_rps if single_rps else 0.0
+    )
+    single = leg_summary(single_report)
+    single["startup_seconds"] = round(single_startup, 3)
+    scaled = leg_summary(scaled_report)
+    scaled["startup_seconds"] = round(scaled_startup, 3)
+    failover = leg_summary(failover_report)
+    failover.update({
+        "killed": victim_name,
+        "kill_after_seconds": round(kill_after, 3),
+        "killed_mid_run": gateway_counters["failovers"] > 0,
+        "failovers": gateway_counters["failovers"],
+        "reissues": gateway_counters["reissues"],
+        "mismatches": 0,
+        "dropped": 0,
+    })
+    return {
+        "workload": {
+            "num_agents": config.num_agents,
+            "num_hosts": config.num_hosts,
+            "hops_per_journey": config.hops_per_journey,
+            "seed": config.seed,
+        },
+        "verifiers": int(verifiers),
+        "gather_batch": gather_batch,
+        "connections": connections,
+        "cpu_count": cpu_count,
+        "cpu_limited": cpu_count < int(verifiers) + 1,
+        "stream": {
+            "verify_requests": len(requests),
+            "fleet_signature": stream.fleet_signature,
+        },
+        "single": single,
+        "scaled": scaled,
+        "scaling_vs_single": round(scaling, 3),
+        "failover": failover,
+        "parity": {
+            "verify_checked": (
+                single_report.completed + scaled_report.completed
+                + failover_report.completed
+            ),
+            "mismatches": 0,
+            "dropped": 0,
+        },
+    }
+
+
 def build_report(
     config: FleetConfig,
     workers: int,
@@ -820,6 +992,7 @@ def build_report(
     sections: Optional[List[str]] = None,
     service_config: Optional[FleetConfig] = None,
     service_options: Optional[Dict[str, Any]] = None,
+    cluster_options: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run the selected perf benchmarks and assemble the report.
 
@@ -834,7 +1007,8 @@ def build_report(
     distinguish a deliberately skipped section from a silently dropped
     one.  ``service_config`` shapes the service section's request
     stream (defaults to a 150-journey fleet) and ``service_options``
-    passes extra keyword arguments to :func:`bench_service`.
+    passes extra keyword arguments to :func:`bench_service`;
+    ``cluster_options`` does the same for :func:`bench_cluster`.
     """
     selected = list(sections) if sections is not None else list(ALL_SECTIONS)
     unknown = [name for name in selected if name not in ALL_SECTIONS]
@@ -868,6 +1042,10 @@ def build_report(
     if "service" in selected:
         benchmarks["service"] = bench_service(
             service_config, **(service_options or {})
+        )
+    if "cluster" in selected:
+        benchmarks["cluster"] = bench_cluster(
+            service_config, **(cluster_options or {})
         )
     report = {
         "schema": BENCH_SCHEMA,
@@ -927,6 +1105,10 @@ def compare_to_baseline(
             failures.extend(_compare_service_sections(
                 current, baseline, max_regression
             ))
+        if "cluster" in sections and "cluster" in baseline["benchmarks"]:
+            failures.extend(_compare_cluster_sections(
+                current, baseline, max_regression
+            ))
         return failures
     if "fleet" not in current["benchmarks"]:
         return ["fleet section missing from current report"]
@@ -969,6 +1151,10 @@ def compare_to_baseline(
         ))
     if "service" in sections:
         failures.extend(_compare_service_sections(
+            current, baseline, max_regression
+        ))
+    if "cluster" in sections:
+        failures.extend(_compare_cluster_sections(
             current, baseline, max_regression
         ))
     return failures
@@ -1125,6 +1311,65 @@ def _compare_service_sections(
     return failures
 
 
+def _compare_cluster_sections(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> List[str]:
+    """Cluster leg of :func:`compare_to_baseline`.
+
+    Gates the single-verifier and N-verifier routed throughputs (RPS).
+    The scaling *ratio* is deliberately not compared against the
+    baseline — it is machine-shape-dependent (``cpu_limited``) and has
+    its own explicit ``--min-cluster-scaling`` gate.
+    """
+    failures: List[str] = []
+    base_cluster = baseline["benchmarks"].get("cluster")
+    if base_cluster is None:
+        return failures
+    cur_cluster = current["benchmarks"].get("cluster")
+    if cur_cluster is None:
+        return [
+            "cluster section missing from current report — the "
+            "verification-cluster benchmark must not be silently dropped"
+        ]
+    base_workload = base_cluster.get("workload", {})
+    cur_workload = cur_cluster.get("workload", {})
+    for knob in ("num_agents", "num_hosts", "hops_per_journey", "seed"):
+        if base_workload.get(knob) != cur_workload.get(knob):
+            failures.append(
+                "cluster workload mismatch on %s: baseline %r vs "
+                "current %r — refresh the baseline"
+                % (knob, base_workload.get(knob), cur_workload.get(knob))
+            )
+            return failures
+    if base_cluster.get("verifiers") != cur_cluster.get("verifiers"):
+        failures.append(
+            "cluster verifier-count mismatch: baseline %r vs current %r "
+            "— refresh the baseline"
+            % (base_cluster.get("verifiers"), cur_cluster.get("verifiers"))
+        )
+        return failures
+    for leg in ("single", "scaled"):
+        base_rps = base_cluster.get(leg, {}).get("rps")
+        cur_rps = cur_cluster.get(leg, {}).get("rps")
+        if base_rps is None:
+            continue
+        if cur_rps is None:
+            failures.append(
+                "cluster %s leg missing from current report" % leg
+            )
+            continue
+        floor = base_rps * (1.0 - max_regression)
+        if cur_rps < floor:
+            failures.append(
+                "cluster %s throughput regressed: %.1f < %.1f rps "
+                "(baseline %.1f, allowed regression %.0f%%)"
+                % (leg, cur_rps, floor, base_rps, 100 * max_regression)
+            )
+    return failures
+
+
 def format_speedup_warning(workers: int, fleet: Dict[str, Any],
                            cpu_count: Any) -> str:
     """The loud sub-1.0x-speedup banner, with attribution data.
@@ -1262,6 +1507,17 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "reaches this fraction of the in-process "
                              "single-worker fleet verification rate "
                              "(default: 0.5; negative disables)")
+    parser.add_argument("--cluster-verifiers", type=int, default=3,
+                        help="verifier subprocesses of the cluster "
+                             "section's scaled leg (default: 3)")
+    parser.add_argument("--min-cluster-scaling", type=float, default=None,
+                        help="fail unless the N-verifier cluster beats "
+                             "the single-verifier leg by this factor.  "
+                             "Only enforced when the machine has at "
+                             "least N+1 CPUs — on smaller machines the "
+                             "shortfall is reported as a warning "
+                             "(scaling is physically impossible there), "
+                             "exactly like the fleet speedup banner.")
     parser.add_argument("--profile", action="store_true",
                         help="attribute fleet wall time to crypto / "
                              "encode / engine / trace phases (cProfile) "
@@ -1324,7 +1580,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         protected=True,
         batched_verification=True,
-    ) if "service" in sections else None
+    ) if ("service" in sections or "cluster" in sections) else None
 
     # One persistent, pre-warmed pool serves every multi-worker section:
     # spawning (and re-generating keys/tables in) fresh workers per
@@ -1351,6 +1607,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             service_options={
                 "max_batch": args.service_batch,
                 "session_checks": args.service_sessions,
+            },
+            cluster_options={
+                "verifiers": args.cluster_verifiers,
+                "table_cache": table_cache_dir,
             },
         )
     finally:
@@ -1473,6 +1733,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                   service["parity"]["verify_checked"],
                   service["parity"]["sessions_checked"],
               ))
+    cluster = report["benchmarks"].get("cluster")
+    if cluster is not None:
+        print("cluster: %d verify requests routed over real verifier "
+              "subprocesses (fleet of %d journeys)" % (
+                  cluster["stream"]["verify_requests"],
+                  cluster["workload"]["num_agents"],
+              ))
+        print("  1 verifier:  %8.1f rps  p50 %6.2fms  p99 %6.2fms" % (
+            cluster["single"]["rps"],
+            cluster["single"]["latency_ms"]["p50"],
+            cluster["single"]["latency_ms"]["p99"],
+        ))
+        print("  %d verifiers: %8.1f rps  p50 %6.2fms  p99 %6.2fms" % (
+            cluster["verifiers"],
+            cluster["scaled"]["rps"],
+            cluster["scaled"]["latency_ms"]["p50"],
+            cluster["scaled"]["latency_ms"]["p99"],
+        ))
+        print("  scaling vs single verifier: %.2fx%s" % (
+            cluster["scaling_vs_single"],
+            "  (cpu-limited: %d CPUs for %d processes)" % (
+                cluster["cpu_count"], cluster["verifiers"] + 1,
+            ) if cluster["cpu_limited"] else "",
+        ))
+        failover = cluster["failover"]
+        print("  failover: SIGKILLed %s %.2fs into the replay — "
+              "%d failovers, %d reissues, zero lost or duplicated "
+              "verdicts" % (
+                  failover["killed"], failover["kill_after_seconds"],
+                  failover["failovers"], failover["reissues"],
+              ))
+        if not failover["killed_mid_run"]:
+            print("  note: the kill landed after the stream drained "
+                  "(no in-flight work to fail over) — rerun with a "
+                  "larger stream for a live drill", file=sys.stderr)
     if args.profile:
         from repro.bench.profile import format_profile
 
@@ -1515,6 +1810,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                   % (service["vs_fleet_ratio"],
                      args.min_service_fleet_ratio),
                   file=sys.stderr)
+            status = 1
+    if (cluster is not None and args.min_cluster_scaling is not None
+            and args.min_cluster_scaling >= 0
+            and cluster["scaling_vs_single"] < args.min_cluster_scaling):
+        if cluster["cpu_limited"]:
+            # The gate needs verifiers+1 runnable processes; with fewer
+            # cores the shortfall is an environment property, not a
+            # regression — same policy as the fleet speedup banner.
+            print("WARNING: cluster scaling %.2fx below the %.2fx gate, "
+                  "but this machine has %d CPUs for %d processes — "
+                  "gate waived as cpu-limited" % (
+                      cluster["scaling_vs_single"],
+                      args.min_cluster_scaling,
+                      cluster["cpu_count"], cluster["verifiers"] + 1,
+                  ), file=sys.stderr)
+        else:
+            print("FAIL: cluster scaling %.2fx below required %.2fx "
+                  "(%d verifiers, %d CPUs)" % (
+                      cluster["scaling_vs_single"],
+                      args.min_cluster_scaling,
+                      cluster["verifiers"], cluster["cpu_count"],
+                  ), file=sys.stderr)
             status = 1
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:

@@ -12,6 +12,11 @@ table: one row per mounted attack scenario with its Figure-2 area,
 expected detectability class, and the measured detection rate and mean
 hops-to-detection.
 
+``--table service`` and ``--table cluster`` read a harness report
+(``--report``) and render the verification-service and
+verification-cluster benchmark sections (legs, scaling, failover,
+parity) as fixed-width tables.
+
 ``--table backends`` reads a harness report (``--report``) and renders
 the crypto-backend comparison: one row per measured
 :mod:`repro.crypto.backend` implementation with its sign / verify /
@@ -38,6 +43,7 @@ __all__ = [
     "format_table",
     "format_overhead_table",
     "format_backend_table",
+    "format_cluster_table",
     "format_detectability_table",
     "format_service_table",
     "overall_factors",
@@ -272,6 +278,67 @@ def format_service_table(
     return "\n".join(lines)
 
 
+def format_cluster_table(
+    section: Dict[str, object],
+    title: str = "Verification cluster",
+) -> str:
+    """Render the harness's ``cluster`` benchmark section as text.
+
+    One row per measured leg (single verifier, N verifiers, the
+    mid-run SIGKILL failover drill), then the scaling ratio the CI perf
+    job gates on — flagged when the machine had too few CPUs for the
+    processes to actually run in parallel — and the failover and parity
+    lines.
+    """
+    header = "%-42s %9s %10s %10s %10s" % (
+        title, "requests", "rps", "p50 [ms]", "p99 [ms]",
+    )
+    lines = [header, "-" * len(header)]
+    verifiers = section.get("verifiers", "?")
+    rows = (
+        ("1 verifier", "single"),
+        ("%s verifiers" % verifiers, "scaled"),
+        ("failover (SIGKILL mid-run)", "failover"),
+    )
+    for label, key in rows:
+        leg = section.get(key)
+        if not isinstance(leg, dict):
+            continue
+        latency = leg.get("latency_ms", {})
+        lines.append("%-42s %9d %10.1f %10s %10s" % (
+            label, leg.get("requests", 0), leg.get("rps", 0.0),
+            metric_cell(latency.get("p50")),
+            metric_cell(latency.get("p99")),
+        ))
+    lines.append("")
+    lines.append("scaling vs single verifier: %s%s" % (
+        metric_cell(section.get("scaling_vs_single"), "%.2fx"),
+        "  [cpu-limited: %s CPUs]" % section.get("cpu_count")
+        if section.get("cpu_limited") else "",
+    ))
+    failover = section.get("failover")
+    if isinstance(failover, dict):
+        lines.append(
+            "failover: killed %s after %ss — %s failovers, %s reissues, "
+            "%s mismatches, %s dropped" % (
+                failover.get("killed", "?"),
+                failover.get("kill_after_seconds", "?"),
+                failover.get("failovers", 0), failover.get("reissues", 0),
+                failover.get("mismatches", 0), failover.get("dropped", 0),
+            )
+        )
+    parity = section.get("parity", {})
+    lines.append(
+        "parity vs in-process verdicts: %s checked, %s mismatches, "
+        "%s dropped" % (
+            parity.get("verify_checked", 0),
+            parity.get("mismatches", 0),
+            parity.get("dropped", 0),
+        )
+    )
+    return "\n".join(lines)
+
+
 def format_backend_table(
     section: Dict[str, object],
     title: str = "Crypto backends",
@@ -341,13 +408,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--table",
                         choices=("1", "2", "both", "detectability",
-                                 "service", "backends"),
+                                 "service", "cluster", "backends"),
                         default="both",
                         help="which table to regenerate")
     parser.add_argument("--report", default="BENCH_fleet.json",
                         metavar="PATH",
                         help="harness report to read for --table "
-                             "service/backends (default: BENCH_fleet.json)")
+                             "service/cluster/backends "
+                             "(default: BENCH_fleet.json)")
     parser.add_argument("--fast-cycles", action="store_true",
                         help="use the C-level cycle loop (JIT ablation)")
     parser.add_argument("--campaign-agents", type=int, default=120,
@@ -357,10 +425,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="campaign seed for --table detectability")
     options = parser.parse_args(argv)
 
-    if options.table in ("service", "backends"):
+    if options.table in ("service", "cluster", "backends"):
         import json
 
-        section_name = "service" if options.table == "service" else "crypto"
+        section_name = {
+            "service": "service", "cluster": "cluster",
+            "backends": "crypto",
+        }[options.table]
         try:
             with open(options.report, "r", encoding="utf-8") as handle:
                 report = json.load(handle)
@@ -377,6 +448,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         if options.table == "service":
             print(format_service_table(section))
+        elif options.table == "cluster":
+            print(format_cluster_table(section))
         else:
             print(format_backend_table(section))
         return 0

@@ -155,5 +155,24 @@ class ServiceUnavailable(ServiceError):
     """The service shed the request under backpressure (typed busy)."""
 
 
+class WireVersionMismatch(ServiceError):
+    """The peer speaks an incompatible major wire-protocol version.
+
+    Raised during connection negotiation (the ``ping``/hello exchange)
+    when the server's advertised ``wire/<major>`` does not match the
+    client's — a typed refusal at connect time instead of a decode
+    failure halfway through the first real request.
+    """
+
+
+class NoBackendAvailable(ServiceError):
+    """Every verifier backend of a cluster is marked down.
+
+    The gateway raises (and answers with a typed error) when a request
+    cannot be routed because the consistent-hash ring is empty — load
+    shedding with attribution, never a hang.
+    """
+
+
 class ProofError(ReproError):
     """A holographic proof was malformed or failed verification."""

@@ -4,34 +4,60 @@ Hohl's framework assumes verification happens at trusted parties that
 many migrating agents contact — the shape of a network service under
 load.  This package is that serving layer:
 
-* :mod:`repro.service.wire` — length-prefixed canonical framing;
-* :mod:`repro.service.cache` — the LRU verdict cache;
+* :mod:`repro.service.api` — **the public client surface**:
+  :func:`connect` returns a :class:`Verifier` for any endpoint shape
+  (in-process thread, single TCP server, cluster gateway);
+* :mod:`repro.service.wire` — length-prefixed canonical framing and
+  ``wire/2`` version negotiation;
+* :mod:`repro.service.cache` — the LRU verdict cache with tagged
+  invalidation;
 * :mod:`repro.service.batching` — time-/size-bounded micro-batching
   over :func:`repro.crypto.dsa.batch_verify`;
 * :mod:`repro.service.server` — the asyncio TCP server with
   bounded-queue backpressure and structured metrics;
-* :mod:`repro.service.client` — the pooled, pipelined client;
+* :mod:`repro.service.cluster` — the gateway tier: consistent-hash
+  routing (:mod:`repro.service.ring`), health checking
+  (:mod:`repro.service.health`), idempotent failover, and the local
+  multi-process launcher;
+* :mod:`repro.service.client` — the pooled, pipelined wire client
+  underneath :func:`connect`;
 * :mod:`repro.service.loadgen` — multi-process replay of fleet journey
   request streams (:mod:`repro.sim.requests`) at a target RPS.
 
-``python -m repro.service`` exposes the server and the loadgen on the
-command line; the benchmark harness's ``service`` section measures the
-whole stack against the in-process ground truth.
+``python -m repro.service`` exposes the server, the cluster, and the
+loadgen on the command line; the benchmark harness's ``service`` and
+``cluster`` sections measure the whole stack against the in-process
+ground truth.
+
+The one way to talk to any of it::
+
+    from repro.service import connect
+    verifier = await connect("127.0.0.1:7753")
+    response = await verifier.verify(signer, message, signature)
 """
 
+import warnings
+
+from repro.service.api import Verifier, connect, resolve_endpoint
 from repro.service.batching import MicroBatcher, SettledVerification
 from repro.service.cache import VerdictCache
-from repro.service.client import (
-    ServiceClient,
-    ServiceResponseError,
-    connect_with_retry,
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterGateway,
+    ClusterThread,
+    LocalCluster,
+    SpawnedVerifier,
+    spawn_verifier,
 )
+from repro.service.health import BackendState, HealthMonitor
 from repro.service.loadgen import (
     LoadgenReport,
     build_loadgen_stream,
+    fetch_server_stats,
     replay_requests,
     run_loadgen,
 )
+from repro.service.ring import HashRing
 from repro.service.server import (
     ServiceConfig,
     ServiceThread,
@@ -40,6 +66,8 @@ from repro.service.server import (
 )
 from repro.service.wire import (
     MAX_FRAME_BYTES,
+    WIRE_MAJOR,
+    WIRE_VERSION,
     decode_body,
     encode_frame,
     read_frame,
@@ -47,23 +75,69 @@ from repro.service.wire import (
 )
 
 __all__ = [
+    # The public surface: one connect call, one protocol, two configs.
+    "connect",
+    "Verifier",
+    "ServiceConfig",
+    "ClusterConfig",
+    "resolve_endpoint",
+    # Server- and cluster-side building blocks.
+    "VerificationService",
+    "ServiceThread",
+    "ClusterGateway",
+    "ClusterThread",
+    "LocalCluster",
+    "SpawnedVerifier",
+    "spawn_verifier",
+    "build_service_keystore",
+    "HashRing",
+    "HealthMonitor",
+    "BackendState",
     "MicroBatcher",
     "SettledVerification",
     "VerdictCache",
-    "ServiceClient",
-    "ServiceResponseError",
-    "connect_with_retry",
+    # Load generation.
     "LoadgenReport",
     "build_loadgen_stream",
+    "fetch_server_stats",
     "replay_requests",
     "run_loadgen",
-    "ServiceConfig",
-    "ServiceThread",
-    "VerificationService",
-    "build_service_keystore",
+    # Wire protocol.
     "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
+    "WIRE_MAJOR",
     "decode_body",
     "encode_frame",
     "read_frame",
     "split_frames",
+    # Deprecated (still importable, warn on access).
+    "ServiceClient",
+    "ServiceResponseError",
+    "connect_with_retry",
 ]
+
+#: Old facade names → (replacement hint).  Accessing them through the
+#: package still works for one release but warns; the implementation
+#: modules themselves (``repro.service.client``) stay warning-free for
+#: internal use.
+_DEPRECATED = {
+    "ServiceClient": "repro.service.connect(endpoint)",
+    "connect_with_retry": "repro.service.connect(endpoint)",
+    "ServiceResponseError": "repro.service.client.ServiceResponseError",
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        warnings.warn(
+            "repro.service.%s is deprecated; use %s instead"
+            % (name, _DEPRECATED[name]),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.service import client as _client
+
+        return getattr(_client, name)
+    raise AttributeError(
+        "module %r has no attribute %r" % (__name__, name)
+    )

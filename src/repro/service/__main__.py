@@ -1,9 +1,13 @@
 """Command line for the verification service.
 
-``python -m repro.service serve`` runs a server; ``python -m
-repro.service loadgen`` replays a deterministic journey request stream
-against one, verifying every verdict against the in-process ground
-truth.  The CI ``service-smoke`` job is exactly these two commands.
+``python -m repro.service serve`` runs a single verification server;
+``python -m repro.service cluster`` runs a gateway over existing
+verifier backends; ``python -m repro.service spawn-cluster`` launches
+N verifier subprocesses *plus* the gateway (the local deployment the
+CI ``cluster-smoke`` job drives); ``python -m repro.service loadgen``
+replays a deterministic journey request stream against any of them —
+a client cannot tell a gateway from a verifier — verifying every
+verdict against the in-process ground truth.
 """
 
 from __future__ import annotations
@@ -15,6 +19,12 @@ import sys
 from typing import List, Optional, Tuple
 
 from repro.crypto.tablecache import enable_table_cache
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterGateway,
+    SpawnedVerifier,
+    spawn_verifier,
+)
 from repro.service.loadgen import (
     build_loadgen_stream,
     fetch_server_stats,
@@ -31,6 +41,21 @@ def _parse_target(target: str) -> Tuple[str, int]:
             "target must look like HOST:PORT, got %r" % target
         )
     return host, int(port)
+
+
+def _add_gateway_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-entries", type=int, default=65536,
+                        help="gateway verdict-cache capacity (0 disables)")
+    parser.add_argument("--gather-batch", type=int, default=64,
+                        help="gateway→backend aggregation window size")
+    parser.add_argument("--gather-delay-ms", type=float, default=1.0,
+                        help="gateway→backend aggregation latency bound")
+    parser.add_argument("--health-interval", type=float, default=0.25,
+                        help="seconds between backend health probes")
+    parser.add_argument("--failure-threshold", type=int, default=3,
+                        help="consecutive probe failures before mark-down")
+    parser.add_argument("--max-attempts", type=int, default=4,
+                        help="routing attempts per request across failovers")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,6 +91,39 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="persistent fixed-base table cache directory "
                             "('off' disables; default: REPRO_TABLE_CACHE, "
                             "else ~/.cache/repro/tables)")
+
+    cluster = commands.add_parser(
+        "cluster", help="run a gateway over existing verifier backends"
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=0,
+                         help="gateway listen port (0 = pick a free port)")
+    cluster.add_argument("--backends", type=_parse_target, nargs="+",
+                         required=True, metavar="HOST:PORT",
+                         help="verifier backend addresses")
+    _add_gateway_arguments(cluster)
+
+    spawn = commands.add_parser(
+        "spawn-cluster",
+        help="spawn N verifier subprocesses plus the gateway",
+    )
+    spawn.add_argument("--verifiers", type=int, default=3,
+                       help="verifier subprocesses to launch")
+    spawn.add_argument("--host", default="127.0.0.1")
+    spawn.add_argument("--port", type=int, default=0,
+                       help="gateway listen port (0 = pick a free port)")
+    spawn.add_argument("--max-batch", type=int, default=256,
+                       help="per-verifier micro-batch window size")
+    spawn.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="per-verifier micro-batch latency bound")
+    spawn.add_argument("--fleet-hosts", type=int, default=40,
+                       help="fleet-shaped PKI size of every verifier")
+    spawn.add_argument("--backend", default=None,
+                       choices=("python", "gmpy2", "auto"),
+                       help="pin every verifier's crypto backend")
+    spawn.add_argument("--table-cache", default=None, metavar="PATH|off",
+                       help="table-cache directory shared by the verifiers")
+    _add_gateway_arguments(spawn)
 
     loadgen = commands.add_parser(
         "loadgen", help="replay a journey request stream against a server"
@@ -141,6 +199,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gateway_config(args: argparse.Namespace,
+                    backends: Tuple[Tuple[str, int], ...],
+                    service: Optional[ServiceConfig] = None) -> ClusterConfig:
+    return ClusterConfig(
+        backends=backends,
+        host=args.host,
+        port=args.port,
+        service=service or ServiceConfig(),
+        cache_entries=args.cache_entries,
+        gather_batch=args.gather_batch,
+        gather_delay=args.gather_delay_ms / 1e3,
+        health_interval=args.health_interval,
+        failure_threshold=args.failure_threshold,
+        max_attempts=args.max_attempts,
+    )
+
+
+def _run_gateway(config: ClusterConfig) -> int:
+    async def _serve() -> None:
+        gateway = ClusterGateway(config)
+        host, port = await gateway.start()
+        print("routing over %d backend(s): %s"
+              % (len(config.backends),
+                 ", ".join("%s:%d" % address
+                           for address in config.backends)),
+              flush=True)
+        print("cluster listening on %s:%d" % (host, port), flush=True)
+        try:
+            await gateway.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    return _run_gateway(_gateway_config(args, tuple(args.backends)))
+
+
+def _cmd_spawn_cluster(args: argparse.Namespace) -> int:
+    service = ServiceConfig(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        fleet_hosts=args.fleet_hosts,
+        backend=args.backend,
+    )
+    verifiers: List[SpawnedVerifier] = []
+    try:
+        for _ in range(max(1, args.verifiers)):
+            verifier = spawn_verifier(
+                service, table_cache=args.table_cache
+            )
+            verifiers.append(verifier)
+            print("verifier pid=%d listening on %s:%d"
+                  % (verifier.process.pid, *verifier.address), flush=True)
+        config = _gateway_config(
+            args, tuple(v.address for v in verifiers), service
+        )
+        return _run_gateway(config)
+    finally:
+        for verifier in verifiers:
+            verifier.terminate()
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     host, port = args.target
     config = FleetConfig(
@@ -161,7 +289,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print("stream: %d requests (%d corrupted) from a %d-journey fleet"
           % (len(stream), corrupted, config.num_agents), flush=True)
     report = run_loadgen(
-        host, port, stream,
+        (host, port), stream,
         processes=args.processes,
         rps=args.rps,
         connections=args.connections,
@@ -170,7 +298,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     report.corrupted = corrupted
     summary = report.summary()
     # Attribute the numbers: which engine and table cache served them.
-    server_stats = fetch_server_stats(host, port)
+    server_stats = fetch_server_stats((host, port))
     summary["server"] = {
         "crypto": server_stats.get("crypto"),
         "config": server_stats.get("config"),
@@ -203,6 +331,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    if args.command == "spawn-cluster":
+        return _cmd_spawn_cluster(args)
     return _cmd_loadgen(args)
 
 

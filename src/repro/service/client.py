@@ -196,6 +196,28 @@ class ServiceClient:
             envelope.signer, envelope.message(), envelope.signature
         )
 
+    async def verify_batch(
+        self, items: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Ship many verify items in one ``verify-batch`` frame.
+
+        Each item is ``{"signer", "message", "signature"}`` (signature
+        canonical dict or :class:`RecoverableSignature`); the return is
+        one result mapping per item, in order — items fail individually
+        (``status`` of ``busy``/``error``), never collectively.
+        """
+        encoded = []
+        for item in items:
+            signature = item.get("signature")
+            if isinstance(signature, RecoverableSignature):
+                item = dict(item, signature=signature.to_canonical())
+            encoded.append(item)
+        response = await self.request_checked({
+            "op": "verify-batch",
+            "items": encoded,
+        })
+        return response["results"]
+
     async def check_session(
         self,
         prev_session: Dict[str, Any],
@@ -223,6 +245,15 @@ class ServiceClient:
         response = await self.request({"op": "ping"})
         return response.get("status") == "ok"
 
+    async def hello(self) -> Dict[str, Any]:
+        """The full ping response: status, wire version, instance, role.
+
+        Callers that negotiate (``repro.service.connect``) or watch for
+        backend restarts (the cluster health monitor) need the whole
+        advertisement, not just liveness.
+        """
+        return await self.request({"op": "ping"})
+
     # -- lifecycle ---------------------------------------------------------------
 
     async def close(self) -> None:
@@ -243,6 +274,7 @@ async def connect_with_retry(
     connections: int = 1,
     timeout: float = 10.0,
     interval: float = 0.1,
+    max_frame: int = MAX_FRAME_BYTES,
 ) -> ServiceClient:
     """Connect, retrying until ``timeout`` (server still coming up)."""
     loop = asyncio.get_event_loop()
@@ -250,7 +282,7 @@ async def connect_with_retry(
     while True:
         try:
             return await ServiceClient.connect(
-                host, port, connections=connections
+                host, port, connections=connections, max_frame=max_frame
             )
         except (ConnectionError, OSError):
             if loop.time() >= deadline:

@@ -1,0 +1,979 @@
+"""The verification cluster: gateway, routing, failover, local launcher.
+
+One verifier process caps the fleet a deployment can protect at
+whatever a single CPU verifies.  This module scales the trusted party
+*out*: a :class:`ClusterGateway` accepts the exact wire protocol of a
+single server (:mod:`repro.service.wire` framing, same ops — clients
+cannot tell a gateway from a verifier) and fans requests over N backend
+verifier processes.
+
+Design points, in the order a request meets them:
+
+* **content routing** — every verify is routed by its verdict content
+  key (:meth:`repro.service.cache.VerdictCache.key`: signer, digest,
+  signature) over a consistent-hash ring
+  (:class:`repro.service.ring.HashRing`), so one reference state always
+  lands on the same backend and that backend's verdict cache and
+  micro-batches stay hot.  Membership changes move only ~1/N keys.
+* **gateway verdict cache** — a second :class:`VerdictCache` tier in
+  the gateway, each entry *tagged* with the backend that produced it.
+  When the health monitor detects a backend restart (its announced
+  ``instance`` id changed), every verdict attributed to the old process
+  is explicitly invalidated in one sweep.
+* **aggregation** — per-backend :class:`_BackendBatcher` windows
+  coalesce concurrent singles into one ``verify-batch`` frame, so the
+  gateway⇄verifier hop costs one round trip per window, and the
+  backend's own micro-batcher still sees the full window at once.
+* **idempotent failover** — verification is a pure function of the
+  content key, so when a backend dies mid-batch every in-flight item is
+  simply re-routed to the next live ring owner and re-issued.  An
+  in-flight table keyed by content key deduplicates concurrent
+  requests for the same verification, so re-issue can never produce a
+  duplicated (or lost) verdict: one key, one future, one answer.
+* **health** — a :class:`repro.service.health.HealthMonitor` pings
+  every backend; K consecutive failures (or one request-path
+  connection failure) mark it down, a succeeding probe marks it back
+  up and the ring-avoidance set shrinks again — rejoin is rebalancing.
+
+:func:`spawn_verifier` / :class:`LocalCluster` launch real verifier
+subprocesses plus an in-process gateway — the bench harness, the CI
+``cluster-smoke`` job, and ``python -m repro.service spawn-cluster``
+all go through them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import secrets
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.dsa import RecoverableSignature
+from repro.exceptions import (
+    ConfigurationError,
+    FrameTooLarge,
+    MalformedFrame,
+    NoBackendAvailable,
+    ServiceError,
+    ServiceUnavailable,
+    TruncatedFrame,
+)
+from repro.service.cache import VerdictCache
+from repro.service.client import ServiceClient
+from repro.service.health import BackendState, HealthMonitor
+from repro.service.ring import DEFAULT_REPLICAS, HashRing
+from repro.service.server import ServiceConfig
+from repro.service.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    check_wire_version,
+    decode_body,
+    encode_frame,
+    read_frame,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterGateway",
+    "ClusterThread",
+    "LocalCluster",
+    "SpawnedVerifier",
+    "spawn_verifier",
+]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of one gateway, layered over per-verifier tunables.
+
+    The layering is deliberate: ``service`` is a plain
+    :class:`~repro.service.server.ServiceConfig` describing each
+    *verifier* (batch window, cache size, fleet PKI, crypto backend) —
+    the launcher passes it to every spawned backend — while the fields
+    here describe the *gateway tier* (listen address, backend
+    addresses, routing, aggregation, health, failover).
+    """
+
+    #: Backend verifier addresses.  Empty only for launcher-built
+    #: configs where :class:`LocalCluster` fills them in after spawning.
+    backends: Tuple[Tuple[str, int], ...] = ()
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Per-verifier tunables (consumed by the launcher / CLI).
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Gateway-tier verdict-cache capacity; ``0`` disables the tier.
+    cache_entries: int = 65536
+    #: Gateway→backend aggregation window (items / seconds).
+    gather_batch: int = 64
+    gather_delay: float = 0.001
+    connections_per_backend: int = 1
+    health_interval: float = 0.25
+    failure_threshold: int = 3
+    #: Routing attempts per request before giving up (each failed
+    #: attempt marks its backend down, so attempts never repeat a peer).
+    max_attempts: int = 4
+    ring_replicas: int = DEFAULT_REPLICAS
+    max_frame: int = MAX_FRAME_BYTES
+
+
+@dataclass
+class _GatewayCounters:
+    """Aggregate gateway accounting (everything its stats op reports)."""
+
+    connections: int = 0
+    requests: int = 0
+    verify_requests: int = 0
+    batch_requests: int = 0
+    session_requests: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    failovers: int = 0
+    reissues: int = 0
+    no_backend: int = 0
+    busy: int = 0
+    errors: int = 0
+    restarts_detected: int = 0
+    invalidated_verdicts: int = 0
+    frames_rejected_oversize: int = 0
+    frames_rejected_malformed: int = 0
+    frames_truncated: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+def _backend_name(address: Tuple[str, int]) -> str:
+    return "%s:%d" % (str(address[0]), int(address[1]))
+
+
+class _BackendBatcher:
+    """Aggregates concurrent verify items into ``verify-batch`` frames.
+
+    The single-server :class:`~repro.service.batching.MicroBatcher`
+    shape, one tier up: a window closes at ``max_batch`` items or
+    ``max_delay`` seconds after its first item, then ships as one
+    frame.  A failed shipment fails every window item's future — the
+    gateway's dispatch loop re-routes and re-issues them.
+    """
+
+    def __init__(self, gateway: "ClusterGateway", name: str,
+                 max_batch: int, max_delay: float) -> None:
+        self._gateway = gateway
+        self.name = name
+        self.max_batch = max(1, int(max_batch))
+        self.max_delay = max(0.0, float(max_delay))
+        self._queue: List[Tuple[Dict[str, Any],
+                                "asyncio.Future[Dict[str, Any]]"]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self.flushes = 0
+        self.items = 0
+
+    def submit(self, item: Dict[str, Any]) -> "asyncio.Future[Dict[str, Any]]":
+        loop = asyncio.get_event_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._queue.append((item, future))
+        if len(self._queue) >= self.max_batch:
+            self.flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.max_delay, self.flush)
+        return future
+
+    def flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._queue:
+            return
+        window, self._queue = self._queue, []
+        self.flushes += 1
+        self.items += len(window)
+        asyncio.ensure_future(self._ship(window))
+
+    async def _ship(self, window: List[Tuple[Dict[str, Any],
+                                             "asyncio.Future[Dict[str, Any]]"
+                                             ]]) -> None:
+        try:
+            client = await self._gateway._client(self.name)
+            results = await client.verify_batch(
+                [item for item, _ in window]
+            )
+            if len(results) != len(window):
+                raise ServiceError(
+                    "backend %s answered %d results for %d items"
+                    % (self.name, len(results), len(window))
+                )
+        except BaseException as exc:  # noqa: BLE001 - handed to every waiter
+            for _, future in window:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(window, results):
+            if not future.done():
+                future.set_result(result)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "flushes": self.flushes,
+            "items": self.items,
+            "pending": len(self._queue),
+            "mean_batch_size": (self.items / self.flushes)
+            if self.flushes else 0.0,
+        }
+
+
+class ClusterGateway:
+    """Wire-compatible front door routing over N verifier backends."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        if not config.backends:
+            raise ConfigurationError(
+                "a cluster gateway needs at least one backend address"
+            )
+        self.config = config
+        self.instance_id = secrets.token_hex(8)
+        self._addresses: Dict[str, Tuple[str, int]] = {
+            _backend_name(address): (str(address[0]), int(address[1]))
+            for address in config.backends
+        }
+        self.ring = HashRing(self._addresses, replicas=config.ring_replicas)
+        self.cache: Optional[VerdictCache] = (
+            VerdictCache(config.cache_entries)
+            if config.cache_entries > 0 else None
+        )
+        self.monitor = HealthMonitor(
+            self._probe,
+            interval=config.health_interval,
+            failure_threshold=config.failure_threshold,
+            on_down=self._on_backend_down,
+            on_restart=self._on_backend_restart,
+        )
+        for name in self._addresses:
+            self.monitor.add(name)
+        self.counters = _GatewayCounters()
+        self._clients: Dict[str, ServiceClient] = {}
+        self._client_locks: Dict[str, asyncio.Lock] = {}
+        self._batchers: Dict[str, _BackendBatcher] = {
+            name: _BackendBatcher(
+                self, name, config.gather_batch, config.gather_delay
+            )
+            for name in self._addresses
+        }
+        #: In-flight dedup: content key → the one future answering it.
+        self._pending: Dict[Any, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._client_writers: set = set()
+
+    # -- backend connections -----------------------------------------------------
+
+    async def _client(self, name: str) -> ServiceClient:
+        """The pooled (negotiated) client to backend ``name``."""
+        client = self._clients.get(name)
+        if client is not None:
+            return client
+        lock = self._client_locks.setdefault(name, asyncio.Lock())
+        async with lock:
+            client = self._clients.get(name)
+            if client is not None:
+                return client
+            host, port = self._addresses[name]
+            client = await ServiceClient.connect(
+                host, port,
+                connections=self.config.connections_per_backend,
+                max_frame=self.config.max_frame,
+            )
+            try:
+                hello = await client.hello()
+                check_wire_version(hello.get("wire"))
+            except BaseException:
+                await client.close()
+                raise
+            # A fresh connection's hello is liveness + identity
+            # evidence: feed it to the monitor so restart detection
+            # does not wait for the next probe round.
+            self.monitor.record_success(name, hello)
+            self._clients[name] = client
+            return client
+
+    async def _drop_client(self, name: str) -> None:
+        client = self._clients.pop(name, None)
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:  # noqa: BLE001 - already failing
+                pass
+
+    async def _probe(self, name: str) -> Dict[str, Any]:
+        client = await self._client(name)
+        try:
+            hello = await client.hello()
+        except BaseException:
+            await self._drop_client(name)
+            raise
+        if hello.get("status") != "ok":
+            raise ServiceError("backend %s failed its ping: %r"
+                               % (name, hello))
+        return hello
+
+    # -- health transitions ------------------------------------------------------
+
+    def _on_backend_down(self, state: BackendState) -> None:
+        # Cached verdicts from a *down* backend stay valid (verdicts
+        # are pure); only a *restart* invalidates.  Dropping the dead
+        # client just forces a clean reconnect on rejoin.
+        asyncio.ensure_future(self._drop_client(state.name))
+
+    def _on_backend_restart(self, state: BackendState,
+                            old_instance: str) -> None:
+        self.counters.restarts_detected += 1
+        if self.cache is not None:
+            dropped = self.cache.invalidate(state.name)
+            self.counters.invalidated_verdicts += dropped
+
+    def _down_names(self) -> Tuple[str, ...]:
+        return tuple(
+            state.name for state in self.monitor.backends if not state.up
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; only valid after :meth:`start`."""
+        if self._address is None:
+            raise RuntimeError("the gateway has not been started")
+        return self._address
+
+    async def start(self) -> Tuple[str, int]:
+        """Probe every backend once, start the monitor, bind the listener."""
+        await self.monitor.probe_once()
+        self.monitor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        return self._address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        await self.monitor.stop()
+        for batcher in self._batchers.values():
+            batcher.flush()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._client_writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        for name in list(self._clients):
+            await self._drop_client(name)
+        await asyncio.sleep(0)
+
+    # -- connection handling (same loop shape as the single server) -------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.counters.connections += 1
+        self._client_writers.add(writer)
+        tasks: List["asyncio.Task[None]"] = []
+        try:
+            while True:
+                try:
+                    body = await read_frame(reader, self.config.max_frame)
+                except (ConnectionError, OSError):
+                    break
+                except FrameTooLarge as exc:
+                    self.counters.frames_rejected_oversize += 1
+                    self._write(writer, self._error_response(
+                        None, "frame-too-large", str(exc)
+                    ))
+                    break
+                except TruncatedFrame:
+                    self.counters.frames_truncated += 1
+                    break
+                if body is None:
+                    break
+                try:
+                    request = decode_body(body)
+                except MalformedFrame as exc:
+                    self.counters.frames_rejected_malformed += 1
+                    self._write(writer, self._error_response(
+                        None, "malformed-frame", str(exc)
+                    ))
+                    continue
+                task = asyncio.ensure_future(self._process(request, writer))
+                tasks.append(task)
+                tasks = [t for t in tasks if not t.done()]
+        finally:
+            for task in tasks:
+                if not task.done():
+                    try:
+                        await asyncio.wait_for(task, timeout=None)
+                    except Exception:  # noqa: BLE001 - teardown must finish
+                        pass
+            self._client_writers.discard(writer)
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    def _write(self, writer: asyncio.StreamWriter,
+               response: Dict[str, Any]) -> None:
+        try:
+            frame = encode_frame(response, self.config.max_frame)
+        except FrameTooLarge:
+            self.counters.errors += 1
+            frame = encode_frame(self._error_response(
+                response.get("id"), "response-too-large",
+                "the response exceeded the %d-byte frame limit"
+                % self.config.max_frame,
+            ))
+        try:
+            writer.write(frame)
+        except (ConnectionError, OSError):
+            pass
+
+    async def _process(self, request: Any,
+                       writer: asyncio.StreamWriter) -> None:
+        response = await self._respond(request)
+        self._write(writer, response)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- request handling --------------------------------------------------------
+
+    async def _respond(self, request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            self.counters.errors += 1
+            return self._error_response(
+                None, "malformed-request", "request must be a mapping"
+            )
+        request_id = request.get("id")
+        op = request.get("op")
+        self.counters.requests += 1
+        try:
+            if op == "verify":
+                self.counters.verify_requests += 1
+                response = await self._verify_item(request)
+                response["id"] = request_id
+                return response
+            if op == "verify-batch":
+                return await self._handle_batch(request_id, request)
+            if op == "check-session":
+                return await self._handle_session(request_id, request)
+            if op == "stats":
+                return {"id": request_id, "status": "ok",
+                        "stats": self.stats()}
+            if op == "ping":
+                return {"id": request_id, "status": "ok",
+                        "wire": WIRE_VERSION,
+                        "instance": self.instance_id,
+                        "role": "gateway"}
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "unknown-op", "unsupported op %r" % (op,)
+            )
+        except NoBackendAvailable as exc:
+            return self._error_response(request_id, "no-backend", str(exc))
+        except Exception as exc:  # noqa: BLE001 - a request must never kill the gateway
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "internal-error",
+                "%s: %s" % (type(exc).__name__, exc),
+            )
+
+    async def _handle_batch(self, request_id: Any,
+                            request: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters.batch_requests += 1
+        items = request.get("items")
+        if not isinstance(items, list):
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "malformed-request",
+                "verify-batch needs items:list",
+            )
+        self.counters.verify_requests += len(items)
+        results = await asyncio.gather(*(
+            self._verify_item(item if isinstance(item, dict) else {})
+            for item in items
+        ))
+        return {"id": request_id, "status": "ok", "results": list(results)}
+
+    async def _verify_item(self, item: Dict[str, Any]) -> Dict[str, Any]:
+        """Settle one verify item to a per-item response (no ``id``)."""
+        try:
+            return await self._settle_verify(item)
+        except NoBackendAvailable as exc:
+            self.counters.no_backend += 1
+            return {"status": "error", "error": "no-backend",
+                    "detail": str(exc)}
+        except ServiceUnavailable as exc:
+            self.counters.busy += 1
+            return {"status": "busy", "reason": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - per-item isolation
+            self.counters.errors += 1
+            return {"status": "error", "error": "gateway-error",
+                    "detail": "%s: %s" % (type(exc).__name__, exc)}
+
+    async def _settle_verify(self, item: Dict[str, Any]) -> Dict[str, Any]:
+        signer = item.get("signer")
+        message = item.get("message")
+        signature_data = item.get("signature")
+        if (not isinstance(signer, str) or not isinstance(message, bytes)
+                or not isinstance(signature_data, dict)):
+            self.counters.errors += 1
+            return {"status": "error", "error": "malformed-request",
+                    "detail": "verify needs signer:str, message:bytes, "
+                              "signature:dict"}
+        try:
+            signature = RecoverableSignature.from_canonical(signature_data)
+        except Exception:
+            self.counters.errors += 1
+            return {"status": "error", "error": "malformed-request",
+                    "detail": "undecodable signature"}
+
+        key = VerdictCache.key(signer, message, signature)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                return {"status": "ok", "verdict": cached,
+                        "cache_hit": True, "batch_size": 0,
+                        "queue_wait_us": 0, "tier": "gateway-cache"}
+
+        # One content key, one in-flight settlement: a concurrent
+        # duplicate awaits the original's future, so failover re-issue
+        # can never yield two verdicts for one verification.
+        pending = self._pending.get(key)
+        if pending is not None:
+            self.counters.dedup_hits += 1
+            return dict(await asyncio.shield(pending))
+
+        loop = asyncio.get_event_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._pending[key] = future
+        try:
+            wire_item = {"signer": signer, "message": message,
+                         "signature": signature.to_canonical()}
+            result, backend = await self._dispatch(key, wire_item)
+            result = dict(result)
+            result.setdefault("backend", backend)
+            if (self.cache is not None and result.get("status") == "ok"
+                    and "verdict" in result):
+                self.cache.put(key, result["verdict"], tag=backend)
+            future.set_result(result)
+            return result
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved: the duplicates that await this future
+                # re-raise it, but when there are none asyncio would
+                # otherwise log a never-retrieved exception.
+                future.exception()
+            raise
+        finally:
+            self._pending.pop(key, None)
+
+    async def _dispatch(
+        self, key: Any, item: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], str]:
+        """Route ``key`` to a live backend, re-issuing across failures."""
+        last_error: Optional[BaseException] = None
+        for attempt in range(max(1, self.config.max_attempts)):
+            backend = self.ring.route_avoiding(key, self._down_names())
+            if backend is None:
+                raise NoBackendAvailable(
+                    "all %d verifier backends are down" % len(self.ring)
+                )
+            try:
+                result = await self._batchers[backend].submit(item)
+            except (ServiceError, ConnectionError, OSError,
+                    asyncio.IncompleteReadError) as exc:
+                # The backend died under a real request: mark it down on
+                # the spot and re-route.  Verification is pure, so the
+                # re-issue is idempotent by construction.
+                last_error = exc
+                self.counters.failovers += 1
+                if attempt + 1 < max(1, self.config.max_attempts):
+                    self.counters.reissues += 1
+                self.monitor.record_failure(backend, immediate=True)
+                await self._drop_client(backend)
+                continue
+            return result, backend
+        assert last_error is not None
+        raise last_error
+
+    async def _handle_session(self, request_id: Any,
+                              request: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters.session_requests += 1
+        payload = {
+            name: request.get(name)
+            for name in ("prev_session", "observed_state",
+                         "checked_host", "checking_host")
+        }
+        payload["op"] = "check-session"
+        # Session checks route by their canonical content, with the
+        # same failover loop as verifies — re-execution is pure too.
+        route_key = canonical_encode(payload)
+        last_error: Optional[BaseException] = None
+        for attempt in range(max(1, self.config.max_attempts)):
+            backend = self.ring.route_avoiding(
+                route_key, self._down_names()
+            )
+            if backend is None:
+                raise NoBackendAvailable(
+                    "all %d verifier backends are down" % len(self.ring)
+                )
+            try:
+                client = await self._client(backend)
+                response = await client.request(payload)
+            except (ServiceError, ConnectionError, OSError,
+                    asyncio.IncompleteReadError) as exc:
+                last_error = exc
+                self.counters.failovers += 1
+                if attempt + 1 < max(1, self.config.max_attempts):
+                    self.counters.reissues += 1
+                self.monitor.record_failure(backend, immediate=True)
+                await self._drop_client(backend)
+                continue
+            response = dict(response)
+            response["id"] = request_id
+            response.setdefault("backend", backend)
+            return response
+        assert last_error is not None
+        raise last_error
+
+    @staticmethod
+    def _error_response(request_id: Any, error: str,
+                        detail: str) -> Dict[str, Any]:
+        return {
+            "id": request_id,
+            "status": "error",
+            "error": error,
+            "detail": detail,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Gateway metrics: counters, cache, health, ring, aggregation."""
+        return {
+            "role": "gateway",
+            "instance": self.instance_id,
+            "wire": WIRE_VERSION,
+            "counters": self.counters.snapshot(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "health": self.monitor.stats(),
+            "ring": {
+                "nodes": list(self.ring.nodes),
+                "replicas": self.ring.replicas,
+                "up": list(self.monitor.up_backends()),
+            },
+            "aggregation": {
+                name: batcher.stats()
+                for name, batcher in self._batchers.items()
+            },
+            "config": {
+                "backends": [list(address)
+                             for address in self.config.backends],
+                "gather_batch": self.config.gather_batch,
+                "gather_delay": self.config.gather_delay,
+                "cache_entries": self.config.cache_entries,
+                "health_interval": self.config.health_interval,
+                "failure_threshold": self.config.failure_threshold,
+                "max_attempts": self.config.max_attempts,
+            },
+        }
+
+
+class ClusterThread:
+    """Hosts a :class:`ClusterGateway` on a background event loop.
+
+    The blocking twin of the gateway, mirroring
+    :class:`~repro.service.server.ServiceThread` so tests and the local
+    launcher get a live gateway without surrendering their thread.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.gateway = ClusterGateway(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.gateway.address
+
+    def start(self, timeout: float = 30.0) -> Tuple[str, int]:
+        if self._thread is not None:
+            return self.gateway.address
+        self._thread = threading.Thread(
+            target=self._run, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("gateway thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "gateway failed to start: %r" % (self._startup_error,)
+            )
+        return self.gateway.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.gateway.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.gateway.stop())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ClusterThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+# -- local multi-process launcher ------------------------------------------------
+
+
+@dataclass
+class SpawnedVerifier:
+    """One verifier subprocess and where it listens."""
+
+    process: subprocess.Popen
+    address: Tuple[str, int]
+
+    @property
+    def name(self) -> str:
+        return _backend_name(self.address)
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the failover drill's mid-batch death."""
+        if self.alive():
+            self.process.kill()
+        self.process.wait()
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        if self.alive():
+            self.process.terminate()
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+
+def _subprocess_env() -> Dict[str, str]:
+    """The child's env: ensure ``repro`` is importable as installed here."""
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)
+    ))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing
+        else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+def spawn_verifier(
+    config: Optional[ServiceConfig] = None,
+    *,
+    startup_timeout: float = 60.0,
+    table_cache: Optional[str] = None,
+) -> SpawnedVerifier:
+    """Launch one ``python -m repro.service serve`` verifier subprocess.
+
+    Blocks until the child announces ``listening on host:port`` on its
+    stdout (the same line the CI smoke jobs grep for) and returns the
+    running process plus the bound address.
+    """
+    config = config or ServiceConfig()
+    command = [
+        sys.executable, "-m", "repro.service", "serve",
+        "--host", config.host,
+        "--port", str(config.port),
+        "--max-batch", str(config.max_batch),
+        "--max-delay-ms", str(config.max_delay * 1e3),
+        "--cache-entries", str(config.cache_entries),
+        "--max-queue", str(config.max_queue),
+        "--fleet-hosts", str(config.fleet_hosts),
+    ]
+    if config.backend is not None:
+        command += ["--backend", config.backend]
+    if table_cache is not None:
+        command += ["--table-cache", table_cache]
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=_subprocess_env(),
+        text=True,
+    )
+    deadline = time.monotonic() + startup_timeout
+    assert process.stdout is not None
+    while True:
+        if time.monotonic() > deadline:
+            process.kill()
+            process.wait()
+            raise ServiceError(
+                "verifier subprocess did not announce its address within "
+                "%.0fs" % startup_timeout
+            )
+        line = process.stdout.readline()
+        if not line:
+            process.wait()
+            raise ServiceError(
+                "verifier subprocess exited with code %r before binding"
+                % process.returncode
+            )
+        line = line.strip()
+        if line.startswith("listening on "):
+            target = line[len("listening on "):]
+            host, _, port = target.rpartition(":")
+            if not host or not port.isdigit():
+                process.kill()
+                process.wait()
+                raise ServiceError(
+                    "unparseable verifier announcement %r" % line
+                )
+            return SpawnedVerifier(
+                process=process, address=(host, int(port))
+            )
+
+
+class LocalCluster:
+    """N verifier subprocesses fronted by one in-thread gateway.
+
+    The deployment-in-a-box used by the bench harness, the CI
+    ``cluster-smoke`` job, and ``python -m repro.service
+    spawn-cluster``: real processes (real parallelism — the whole point
+    of the cluster) behind a :class:`ClusterThread` gateway.
+    """
+
+    def __init__(self, verifiers: int = 3,
+                 config: Optional[ClusterConfig] = None,
+                 table_cache: Optional[str] = None) -> None:
+        if verifiers < 1:
+            raise ConfigurationError("a cluster needs at least one verifier")
+        self.num_verifiers = int(verifiers)
+        self._template = config or ClusterConfig()
+        self._table_cache = table_cache
+        self.verifiers: List[SpawnedVerifier] = []
+        self.config: Optional[ClusterConfig] = None
+        self.gateway_thread: Optional[ClusterThread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The gateway's bound address — a valid ``connect`` endpoint."""
+        if self.gateway_thread is None:
+            raise RuntimeError("the cluster has not been started")
+        return self.gateway_thread.address
+
+    @property
+    def gateway(self) -> ClusterGateway:
+        if self.gateway_thread is None:
+            raise RuntimeError("the cluster has not been started")
+        return self.gateway_thread.gateway
+
+    def start(self) -> Tuple[str, int]:
+        """Spawn the verifiers, then the gateway; returns its address."""
+        try:
+            for _ in range(self.num_verifiers):
+                self.verifiers.append(spawn_verifier(
+                    self._template.service,
+                    table_cache=self._table_cache,
+                ))
+            self.config = ClusterConfig(
+                backends=tuple(v.address for v in self.verifiers),
+                host=self._template.host,
+                port=self._template.port,
+                service=self._template.service,
+                cache_entries=self._template.cache_entries,
+                gather_batch=self._template.gather_batch,
+                gather_delay=self._template.gather_delay,
+                connections_per_backend=(
+                    self._template.connections_per_backend
+                ),
+                health_interval=self._template.health_interval,
+                failure_threshold=self._template.failure_threshold,
+                max_attempts=self._template.max_attempts,
+                ring_replicas=self._template.ring_replicas,
+                max_frame=self._template.max_frame,
+            )
+            self.gateway_thread = ClusterThread(self.config)
+            return self.gateway_thread.start()
+        except BaseException:
+            self.stop()
+            raise
+
+    def kill_verifier(self, index: int = 0) -> SpawnedVerifier:
+        """SIGKILL one verifier (the failover drill); returns it."""
+        victim = self.verifiers[index]
+        victim.kill()
+        return victim
+
+    def stop(self) -> None:
+        if self.gateway_thread is not None:
+            self.gateway_thread.stop()
+            self.gateway_thread = None
+        for verifier in self.verifiers:
+            verifier.terminate()
+        self.verifiers = []
+
+    def __enter__(self) -> "LocalCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

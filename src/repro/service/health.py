@@ -1,0 +1,223 @@
+"""Backend health tracking for the verification cluster gateway.
+
+The gateway must answer three questions about each verifier backend:
+
+* **is it up?** — a backend is marked down after ``failure_threshold``
+  consecutive probe failures (one flaky ping never evicts a node), or
+  immediately when the request path sees its connection die (the
+  request path is evidence enough: waiting K probe intervals to notice
+  a dead peer would strand every in-flight request that long);
+* **did it restart?** — each server process announces a random
+  ``instance`` id in its ping (:mod:`repro.service.server`); a changed
+  id on an *up* backend means a new process behind the same address,
+  which fires the restart callback so the gateway can invalidate every
+  cached verdict attributed to the old process;
+* **when did it rejoin?** — a downed backend whose probe succeeds again
+  is marked up, bumping its ``epoch`` so the gateway can rebalance the
+  hash ring.
+
+The monitor itself is transport-agnostic: it drives an async ``probe``
+callable per backend (the gateway supplies one that pings over the
+wire) and exposes callbacks for up/down/restart transitions.  That
+keeps all the state-machine edges unit-testable without sockets
+(``tests/service/test_health.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+__all__ = ["BackendState", "HealthMonitor", "ProbeResult"]
+
+#: What a probe reports back: the peer's instance id and wire version.
+ProbeResult = Dict[str, Any]
+
+
+@dataclass
+class BackendState:
+    """The monitor's view of one backend."""
+
+    name: str
+    up: bool = False
+    #: Consecutive probe failures since the last success.
+    consecutive_failures: int = 0
+    #: Bumped every time the backend transitions down→up; the gateway
+    #: uses it to notice rejoins between its own bookkeeping passes.
+    epoch: int = 0
+    #: The ``instance`` id the backend last announced, or ``None``
+    #: before the first successful probe.
+    instance: Optional[str] = None
+    probes: int = 0
+    failures: int = 0
+    restarts: int = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Callbacks:
+    on_down: Optional[Callable[[BackendState], None]] = None
+    on_up: Optional[Callable[[BackendState], None]] = None
+    on_restart: Optional[Callable[[BackendState, str], None]] = None
+
+
+class HealthMonitor:
+    """Periodic prober and mark-down/up state machine for backends.
+
+    Parameters
+    ----------
+    probe:
+        ``async probe(name) -> ProbeResult`` — must raise on failure
+        and return a mapping containing at least ``instance``.
+    interval:
+        Seconds between probe rounds.
+    failure_threshold:
+        Consecutive probe failures before a backend is marked down.
+    on_down / on_up / on_restart:
+        Synchronous transition callbacks.  ``on_restart(state, old)``
+        fires when an up backend announces a new instance id (``old``
+        is the previous id); ``on_up`` also fires on the first
+        successful probe ever.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[str], Awaitable[ProbeResult]],
+        *,
+        interval: float = 0.5,
+        failure_threshold: int = 3,
+        on_down: Optional[Callable[[BackendState], None]] = None,
+        on_up: Optional[Callable[[BackendState], None]] = None,
+        on_restart: Optional[Callable[[BackendState, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self._probe = probe
+        self.interval = float(interval)
+        self.failure_threshold = int(failure_threshold)
+        self._callbacks = _Callbacks(on_down, on_up, on_restart)
+        self._backends: Dict[str, BackendState] = {}
+        self._task: Optional["asyncio.Task[None]"] = None
+
+    # -- membership --------------------------------------------------------------
+
+    def add(self, name: str) -> BackendState:
+        """Track ``name`` (idempotent); starts down until a probe lands."""
+        state = self._backends.get(name)
+        if state is None:
+            state = BackendState(name=name)
+            self._backends[name] = state
+        return state
+
+    def remove(self, name: str) -> None:
+        self._backends.pop(name, None)
+
+    def get(self, name: str) -> Optional[BackendState]:
+        return self._backends.get(name)
+
+    @property
+    def backends(self) -> Tuple[BackendState, ...]:
+        return tuple(self._backends[name]
+                     for name in sorted(self._backends))
+
+    def up_backends(self) -> Tuple[str, ...]:
+        """Names currently considered up, sorted."""
+        return tuple(sorted(
+            name for name, state in self._backends.items() if state.up
+        ))
+
+    # -- state transitions -------------------------------------------------------
+
+    def record_success(self, name: str,
+                       result: ProbeResult) -> BackendState:
+        """Apply one successful probe (also callable from the request
+        path when a real response doubles as liveness evidence)."""
+        state = self.add(name)
+        state.probes += 1
+        state.consecutive_failures = 0
+        instance = result.get("instance")
+        previous = state.instance
+        restarted = (
+            previous is not None and instance is not None
+            and instance != previous
+        )
+        state.instance = instance if instance is not None else previous
+        if restarted:
+            state.restarts += 1
+        if not state.up:
+            state.up = True
+            state.epoch += 1
+            if self._callbacks.on_up is not None:
+                self._callbacks.on_up(state)
+        # Restart fires after up: a rejoin under a new instance id is
+        # both transitions, and invalidation must follow re-admission.
+        if restarted and self._callbacks.on_restart is not None:
+            self._callbacks.on_restart(state, previous)
+        return state
+
+    def record_failure(self, name: str, *,
+                       immediate: bool = False) -> BackendState:
+        """Apply one failed probe; ``immediate`` marks down on the spot.
+
+        The request path passes ``immediate=True`` — a connection that
+        died under a real request is not a maybe.
+        """
+        state = self.add(name)
+        state.probes += 1
+        state.failures += 1
+        state.consecutive_failures += 1
+        if state.up and (immediate or
+                         state.consecutive_failures
+                         >= self.failure_threshold):
+            state.up = False
+            if self._callbacks.on_down is not None:
+                self._callbacks.on_down(state)
+        return state
+
+    async def probe_once(self) -> None:
+        """One probe round over every tracked backend, concurrently."""
+        names = list(self._backends)
+
+        async def _probe(name: str) -> None:
+            try:
+                result = await self._probe(name)
+            except Exception:  # noqa: BLE001 - any failure is a failed probe
+                self.record_failure(name)
+            else:
+                self.record_success(name, result or {})
+
+        if names:
+            await asyncio.gather(*(_probe(name) for name in names))
+
+    # -- background loop ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the periodic probe loop on the running event loop."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.ensure_future(self._run())
+
+    async def _run(self) -> None:
+        while True:
+            await self.probe_once()
+            await asyncio.sleep(self.interval)
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "failure_threshold": self.failure_threshold,
+            "backends": {name: state.snapshot()
+                         for name, state in self._backends.items()},
+        }
+

@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
-from repro.service.client import connect_with_retry
+from repro.service.api import connect, resolve_endpoint
 from repro.sim.fleet import FleetConfig
 from repro.sim.requests import (
     VerificationRequest,
@@ -121,11 +121,8 @@ class LoadgenReport:
         }
 
 
-async def _fetch_stats(host: str, port: int,
-                       timeout: float) -> Dict[str, Any]:
-    client = await connect_with_retry(
-        host, port, connections=1, timeout=timeout
-    )
+async def _fetch_stats(endpoint: Any, timeout: float) -> Dict[str, Any]:
+    client = await connect(endpoint, connections=1, retry_timeout=timeout)
     try:
         response = await client.request({"op": "stats"})
     finally:
@@ -135,9 +132,9 @@ async def _fetch_stats(host: str, port: int,
     return response.get("stats") or {}
 
 
-def fetch_server_stats(host: str, port: int,
+def fetch_server_stats(endpoint: Any,
                        timeout: float = 10.0) -> Dict[str, Any]:
-    """One ``stats`` round-trip against a live server, or ``{}``.
+    """One ``stats`` round-trip against a live endpoint, or ``{}``.
 
     Loadgen artifacts embed the answer so every recorded number names
     the crypto backend (and cache state) that produced it; a server
@@ -145,7 +142,7 @@ def fetch_server_stats(host: str, port: int,
     the broad swallow.
     """
     try:
-        return asyncio.run(_fetch_stats(host, port, timeout))
+        return asyncio.run(_fetch_stats(endpoint, timeout))
     except Exception:  # noqa: BLE001 - diagnostics are best-effort
         return {}
 
@@ -175,23 +172,25 @@ def build_loadgen_stream(
 
 
 async def replay_requests(
-    host: str,
-    port: int,
+    endpoint: Any,
     requests: Sequence[VerificationRequest],
     rps: float = 0.0,
     connections: int = 2,
     max_inflight: int = 128,
     connect_timeout: float = 10.0,
 ) -> LoadgenReport:
-    """Drive one async replay of ``requests`` against ``host:port``.
+    """Drive one async replay of ``requests`` against ``endpoint``.
 
+    ``endpoint`` is anything :func:`repro.service.connect` accepts — a
+    single server, a cluster gateway, or an in-process service thread;
+    the replay is written once against the ``Verifier`` surface.
     ``rps`` schedules request starts on a fixed grid (0 = unthrottled);
     ``max_inflight`` bounds client-side concurrency so an unthrottled
     replay exerts backpressure-shaped load rather than a single burst.
     """
     report = LoadgenReport()
-    client = await connect_with_retry(
-        host, port, connections=connections, timeout=connect_timeout
+    client = await connect(
+        endpoint, connections=connections, retry_timeout=connect_timeout
     )
     loop = asyncio.get_event_loop()
     gate = asyncio.Semaphore(max(1, int(max_inflight)))
@@ -249,9 +248,9 @@ async def replay_requests(
 
 def _loadgen_worker(args: Tuple[Any, ...]) -> Dict[str, Any]:
     """Top-level worker (spawn-picklable): replay a slice of the stream."""
-    (host, port, requests, rps, connections, max_inflight) = args
+    (endpoint, requests, rps, connections, max_inflight) = args
     report = asyncio.run(replay_requests(
-        host, port, requests, rps=rps, connections=connections,
+        endpoint, requests, rps=rps, connections=connections,
         max_inflight=max_inflight,
     ))
     state = dict(report.__dict__)
@@ -259,8 +258,7 @@ def _loadgen_worker(args: Tuple[Any, ...]) -> Dict[str, Any]:
 
 
 def run_loadgen(
-    host: str,
-    port: int,
+    endpoint: Any,
     requests: Sequence[VerificationRequest],
     processes: int = 1,
     rps: float = 0.0,
@@ -274,10 +272,13 @@ def run_loadgen(
     replay runs in this process (no multiprocessing machinery), which
     is what the benchmark harness uses to keep measurements clean.
     """
+    # Workers are spawned: the endpoint crosses a pickle boundary, so
+    # normalise any live-object shape down to its (host, port) now.
+    endpoint = resolve_endpoint(endpoint)
     processes = max(1, int(processes))
     if processes == 1:
         report = asyncio.run(replay_requests(
-            host, port, list(requests), rps=rps, connections=connections,
+            endpoint, list(requests), rps=rps, connections=connections,
             max_inflight=max_inflight,
         ))
         report.processes = 1
@@ -287,7 +288,7 @@ def run_loadgen(
     for index, request in enumerate(requests):
         slices[index % processes].append(request)
     worker_args = [
-        (host, port, chunk, rps / processes if rps > 0 else 0.0,
+        (endpoint, chunk, rps / processes if rps > 0 else 0.0,
          connections, max_inflight)
         for chunk in slices if chunk
     ]

@@ -33,9 +33,10 @@ fleet-shaped host population without key distribution.
 from __future__ import annotations
 
 import asyncio
+import secrets
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 # Importing the workloads registers the fleet agent code with the
 # process-wide registry, so session re-execution can resolve the code
@@ -56,6 +57,7 @@ from repro.service.batching import MicroBatcher
 from repro.service.cache import VerdictCache
 from repro.service.wire import (
     MAX_FRAME_BYTES,
+    WIRE_VERSION,
     decode_body,
     encode_frame,
     read_frame,
@@ -139,6 +141,7 @@ class _Counters:
     connections: int = 0
     requests: int = 0
     verify_requests: int = 0
+    batch_requests: int = 0
     session_requests: int = 0
     verdicts_true: int = 0
     verdicts_false: int = 0
@@ -195,6 +198,11 @@ class VerificationService:
             if self.config.cache_entries > 0 else None
         )
         self.counters = _Counters()
+        # A fresh random id per *process instance*: a restarted backend
+        # announces a different id in its ping, which is how the cluster
+        # gateway detects the restart and invalidates that backend's
+        # cached verdicts.
+        self.instance_id = secrets.token_hex(8)
         self._inflight = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._address: Optional[Tuple[str, int]] = None
@@ -345,13 +353,21 @@ class VerificationService:
         try:
             if op == "verify":
                 return await self._handle_verify(request_id, request)
+            if op == "verify-batch":
+                return await self._handle_verify_batch(request_id, request)
             if op == "check-session":
                 return self._handle_session(request_id, request)
             if op == "stats":
                 return {"id": request_id, "status": "ok",
                         "stats": self.stats()}
             if op == "ping":
-                return {"id": request_id, "status": "ok"}
+                # The hello exchange: the server's version and identity
+                # statement.  ``wire`` drives client-side negotiation;
+                # ``instance`` changes on restart (restart detection).
+                return {"id": request_id, "status": "ok",
+                        "wire": WIRE_VERSION,
+                        "instance": self.instance_id,
+                        "role": "verifier"}
             self.counters.errors += 1
             return self._error_response(
                 request_id, "unknown-op", "unsupported op %r" % (op,)
@@ -365,6 +381,37 @@ class VerificationService:
 
     async def _handle_verify(self, request_id: Any,
                              request: Dict[str, Any]) -> Dict[str, Any]:
+        response = await self._verify_one(request)
+        response["id"] = request_id
+        return response
+
+    async def _handle_verify_batch(self, request_id: Any,
+                                   request: Dict[str, Any]) -> Dict[str, Any]:
+        """The inter-tier aggregation op (``wire/2``).
+
+        The cluster gateway ships one frame carrying many verify items;
+        each settles through the same cache/keystore/batcher path as a
+        standalone ``verify`` (so gateway aggregation and server-side
+        micro-batching compose), and the response carries one result per
+        item, in order.  Per-item failures (busy, malformed) stay
+        per-item — one bad item never poisons its neighbours.
+        """
+        self.counters.batch_requests += 1
+        items = request.get("items")
+        if not isinstance(items, list):
+            self.counters.errors += 1
+            return self._error_response(
+                request_id, "malformed-request",
+                "verify-batch needs items:list",
+            )
+        results: List[Dict[str, Any]] = await asyncio.gather(*(
+            self._verify_one(item if isinstance(item, dict) else {})
+            for item in items
+        ))
+        return {"id": request_id, "status": "ok", "results": results}
+
+    async def _verify_one(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Settle one verify item; the response carries no ``id`` yet."""
         self.counters.verify_requests += 1
         signer = request.get("signer")
         message = request.get("message")
@@ -372,16 +419,16 @@ class VerificationService:
         if (not isinstance(signer, str) or not isinstance(message, bytes)
                 or not isinstance(signature_data, dict)):
             self.counters.errors += 1
-            return self._error_response(
-                request_id, "malformed-request",
+            return self._item_error(
+                "malformed-request",
                 "verify needs signer:str, message:bytes, signature:dict",
             )
         try:
             signature = RecoverableSignature.from_canonical(signature_data)
         except Exception:
             self.counters.errors += 1
-            return self._error_response(
-                request_id, "malformed-request", "undecodable signature"
+            return self._item_error(
+                "malformed-request", "undecodable signature"
             )
 
         key = VerdictCache.key(signer, message, signature)
@@ -390,8 +437,7 @@ class VerificationService:
             if cached is not None:
                 self.counters.cache_hits += 1
                 return self._verdict_response(
-                    request_id, cached, cache_hit=True, batch_size=0,
-                    queue_wait=0.0,
+                    cached, cache_hit=True, batch_size=0, queue_wait=0.0,
                 )
 
         public_key = self.keystore.maybe_get(signer)
@@ -401,14 +447,13 @@ class VerificationService:
             if self.cache is not None:
                 self.cache.put(key, False)
             return self._verdict_response(
-                request_id, False, cache_hit=False, batch_size=0,
-                queue_wait=0.0, reason="unknown-signer",
+                False, cache_hit=False, batch_size=0, queue_wait=0.0,
+                reason="unknown-signer",
             )
 
         if self._inflight >= self.config.max_queue:
             self.counters.busy += 1
             return {
-                "id": request_id,
                 "status": "busy",
                 "reason": "verification queue is full (%d in flight)"
                           % self._inflight,
@@ -422,7 +467,7 @@ class VerificationService:
         if self.cache is not None:
             self.cache.put(key, settled.verdict)
         return self._verdict_response(
-            request_id, settled.verdict, cache_hit=False,
+            settled.verdict, cache_hit=False,
             batch_size=settled.batch_size, queue_wait=settled.queue_wait,
         )
 
@@ -464,7 +509,7 @@ class VerificationService:
 
     # -- response shapes ---------------------------------------------------------
 
-    def _verdict_response(self, request_id: Any, verdict: bool, *,
+    def _verdict_response(self, verdict: bool, *,
                           cache_hit: bool, batch_size: int,
                           queue_wait: float,
                           reason: Optional[str] = None) -> Dict[str, Any]:
@@ -473,7 +518,6 @@ class VerificationService:
         else:
             self.counters.verdicts_false += 1
         response: Dict[str, Any] = {
-            "id": request_id,
             "status": "ok",
             "verdict": verdict,
             "cache_hit": cache_hit,
@@ -483,6 +527,10 @@ class VerificationService:
         if reason is not None:
             response["reason"] = reason
         return response
+
+    @staticmethod
+    def _item_error(error: str, detail: str) -> Dict[str, Any]:
+        return {"status": "error", "error": error, "detail": detail}
 
     @staticmethod
     def _error_response(request_id: Any, error: str,
@@ -501,6 +549,8 @@ class VerificationService:
             "cache": self.cache.stats() if self.cache is not None else None,
             "batching": self.batcher.stats(),
             "inflight": self._inflight,
+            "instance": self.instance_id,
+            "wire": WIRE_VERSION,
             "crypto": {
                 "backend": self.backend.name,
                 "table_cache": table_cache_info(),
@@ -536,6 +586,12 @@ class ServiceThread:
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — makes a started thread a valid
+        endpoint for :func:`repro.service.connect`."""
+        return self.service.address
 
     def start(self, timeout: float = 10.0) -> Tuple[str, int]:
         """Start the loop thread and the server; returns the address."""

@@ -33,15 +33,28 @@ from repro.exceptions import (
     FrameTooLarge,
     MalformedFrame,
     TruncatedFrame,
+    WireVersionMismatch,
 )
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
+    "WIRE_MAJOR",
     "encode_frame",
     "decode_body",
     "read_frame",
     "split_frames",
+    "parse_wire_version",
+    "check_wire_version",
 ]
+
+#: Wire-protocol version servers advertise in every ``ping`` response.
+#: The major number changes on incompatible request/response shapes;
+#: ``wire/2`` is the first version that advertises itself (and the
+#: first with the ``verify-batch`` inter-tier op), so a peer that
+#: advertises nothing is a ``wire/1`` speaker by definition.
+WIRE_VERSION = "wire/2"
+WIRE_MAJOR = 2
 
 #: Default upper bound on one frame's body.  Generous for session-check
 #: payloads (full initial states travel once per check) yet small enough
@@ -119,6 +132,44 @@ async def read_frame(
             "connection closed inside a %d-byte frame body "
             "(%d bytes received)" % (length, len(exc.partial))
         ) from exc
+
+
+def parse_wire_version(advertised: Any) -> int:
+    """Extract the major version from a ``wire/<major>`` advertisement.
+
+    A missing advertisement (``None``) decodes as major ``1``: servers
+    older than ``wire/2`` did not announce themselves, so absence *is*
+    their version statement.  Anything else that does not look like
+    ``wire/<int>`` raises :class:`~repro.exceptions.WireVersionMismatch`
+    — an unintelligible advertisement is a mismatch, not a crash later.
+    """
+    if advertised is None:
+        return 1
+    if isinstance(advertised, str) and advertised.startswith("wire/"):
+        suffix = advertised[len("wire/"):]
+        if suffix.isdigit():
+            return int(suffix)
+    raise WireVersionMismatch(
+        "unintelligible wire-version advertisement %r" % (advertised,)
+    )
+
+
+def check_wire_version(advertised: Any) -> int:
+    """Refuse a peer whose advertised major differs from ours.
+
+    Returns the peer's major on success; raises the typed
+    :class:`~repro.exceptions.WireVersionMismatch` otherwise.  This is
+    the client half of the hello exchange: gateway and verifier tiers
+    can evolve independently because an incompatible pairing fails
+    loudly at connect time.
+    """
+    major = parse_wire_version(advertised)
+    if major != WIRE_MAJOR:
+        raise WireVersionMismatch(
+            "peer speaks wire/%d, this client speaks %s — refusing the "
+            "connection" % (major, WIRE_VERSION)
+        )
+    return major
 
 
 def split_frames(data: bytes, max_frame: int = MAX_FRAME_BYTES) -> list:

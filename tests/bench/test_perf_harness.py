@@ -299,7 +299,7 @@ class TestSectionFiltering:
                               sections=["dsa", "fleet"])
         assert report["sections"] == ["fleet", "dsa"]
         assert list(ALL_SECTIONS) == [
-            "fleet", "dsa", "crypto", "campaign", "service",
+            "fleet", "dsa", "crypto", "campaign", "service", "cluster",
         ]
 
     def test_unknown_section_is_rejected(self):

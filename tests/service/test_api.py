@@ -1,0 +1,184 @@
+"""The public facade: connect(), endpoint shapes, negotiation, shims."""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro.crypto.keys import Identity
+from repro.exceptions import ConfigurationError, WireVersionMismatch
+from repro.service.api import Verifier, connect, resolve_endpoint
+from repro.service.server import ServiceConfig, ServiceThread
+from repro.service.wire import (
+    WIRE_MAJOR,
+    WIRE_VERSION,
+    check_wire_version,
+    encode_frame,
+    parse_wire_version,
+    read_frame,
+    decode_body,
+)
+
+
+class TestResolveEndpoint:
+    def test_host_port_string(self):
+        assert resolve_endpoint("127.0.0.1:7753") == ("127.0.0.1", 7753)
+
+    def test_host_port_tuple_and_list(self):
+        assert resolve_endpoint(("localhost", 80)) == ("localhost", 80)
+        assert resolve_endpoint(["localhost", "80"]) == ("localhost", 80)
+
+    def test_object_with_bound_address(self):
+        class Endpoint:
+            address = ("10.0.0.1", 1234)
+
+        assert resolve_endpoint(Endpoint()) == ("10.0.0.1", 1234)
+
+    def test_bare_host_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_endpoint("localhost")
+
+    def test_wrong_tuple_arity_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_endpoint(("host", 1, 2))
+
+    def test_unsupported_shape_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_endpoint(7753)
+
+
+class TestWireNegotiation:
+    def test_absent_advertisement_is_wire_1(self):
+        assert parse_wire_version(None) == 1
+
+    def test_current_advertisement_parses(self):
+        assert parse_wire_version(WIRE_VERSION) == WIRE_MAJOR
+
+    def test_garbage_advertisement_is_a_typed_mismatch(self):
+        for garbage in ("wire/", "wire/x", "v2", 2, b"wire/2"):
+            with pytest.raises(WireVersionMismatch):
+                parse_wire_version(garbage)
+
+    def test_check_refuses_other_majors(self):
+        assert check_wire_version(WIRE_VERSION) == WIRE_MAJOR
+        with pytest.raises(WireVersionMismatch):
+            check_wire_version("wire/%d" % (WIRE_MAJOR + 1))
+        with pytest.raises(WireVersionMismatch):
+            check_wire_version(None)  # a wire/1 peer
+
+
+async def _fake_server(ping_response_extra):
+    """A minimal framed server whose ping carries ``extra`` fields."""
+
+    async def handle(reader, writer):
+        while True:
+            body = await read_frame(reader)
+            if body is None:
+                break
+            request = decode_body(body)
+            response = {"id": request.get("id"), "status": "ok"}
+            response.update(ping_response_extra)
+            writer.write(encode_frame(response))
+        writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[:2]
+
+
+class TestConnect:
+    def test_connect_to_a_service_thread_endpoint(self):
+        async def run():
+            with ServiceThread(ServiceConfig(max_delay=0.001)) as thread:
+                verifier = await connect(thread)
+                try:
+                    identity = Identity.generate("host-001")
+                    message = b"reference state"
+                    signature = identity.private_key.sign_recoverable(
+                        message
+                    )
+                    response = await verifier.verify(
+                        "host-001", message, signature
+                    )
+                    assert response["verdict"] is True
+                    assert isinstance(verifier, Verifier)
+                finally:
+                    await verifier.close()
+
+        asyncio.run(run())
+
+    def test_connect_refuses_a_wire_1_server(self):
+        async def run():
+            server, address = await _fake_server({})  # no "wire" field
+            try:
+                with pytest.raises(WireVersionMismatch):
+                    await connect(address, retry_timeout=2.0)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_connect_refuses_a_future_major(self):
+        async def run():
+            server, address = await _fake_server({"wire": "wire/99"})
+            try:
+                with pytest.raises(WireVersionMismatch):
+                    await connect(address, retry_timeout=2.0)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_negotiation_can_be_disabled_for_legacy_peers(self):
+        async def run():
+            server, address = await _fake_server({})
+            try:
+                client = await connect(
+                    address, retry_timeout=2.0, negotiate=False
+                )
+                assert await client.ping()
+                await client.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+
+class TestPublicSurface:
+    def test_stable_entry_points_reexported_from_repro(self):
+        import repro
+        import repro.service
+
+        assert repro.connect is repro.service.connect
+        assert repro.Verifier is repro.service.Verifier
+        assert repro.ServiceConfig is repro.service.ServiceConfig
+        assert repro.ClusterConfig is repro.service.ClusterConfig
+
+    def test_deprecated_names_still_work_but_warn(self):
+        import repro.service as service
+
+        for name in ("ServiceClient", "connect_with_retry",
+                     "ServiceResponseError"):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                attribute = getattr(service, name)
+            assert attribute is not None
+            assert any(
+                issubclass(warning.category, DeprecationWarning)
+                for warning in caught
+            ), name
+
+    def test_implementation_module_imports_stay_warning_free(self):
+        # Internal call sites import from repro.service.client directly;
+        # only the package-level facade access warns.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            from repro.service.client import ServiceClient  # noqa: F401
+        assert not any(
+            issubclass(warning.category, DeprecationWarning)
+            for warning in caught
+        )

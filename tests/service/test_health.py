@@ -1,0 +1,154 @@
+"""Health monitor: thresholds, transitions, restart detection."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.exceptions import ServiceError
+from repro.service.health import HealthMonitor
+
+
+def _monitor(**kwargs):
+    events = []
+
+    async def probe(name):  # pragma: no cover - replaced per-test
+        raise ServiceError("no probe wired")
+
+    monitor = HealthMonitor(
+        probe,
+        on_down=lambda state: events.append(("down", state.name)),
+        on_up=lambda state: events.append(("up", state.name)),
+        on_restart=lambda state, old: events.append(
+            ("restart", state.name, old, state.instance)
+        ),
+        **kwargs,
+    )
+    return monitor, events
+
+
+class TestTransitions:
+    def test_backends_start_down_until_probed(self):
+        monitor, _ = _monitor()
+        state = monitor.add("b1")
+        assert not state.up
+        assert monitor.up_backends() == ()
+
+    def test_success_marks_up_and_bumps_epoch(self):
+        monitor, events = _monitor()
+        state = monitor.record_success("b1", {"instance": "aaa"})
+        assert state.up
+        assert state.epoch == 1
+        assert state.instance == "aaa"
+        assert events == [("up", "b1")]
+        assert monitor.up_backends() == ("b1",)
+
+    def test_mark_down_needs_k_consecutive_failures(self):
+        monitor, events = _monitor(failure_threshold=3)
+        monitor.record_success("b1", {"instance": "aaa"})
+        monitor.record_failure("b1")
+        monitor.record_failure("b1")
+        assert monitor.get("b1").up  # two of three: still up
+        monitor.record_failure("b1")
+        assert not monitor.get("b1").up
+        assert events == [("up", "b1"), ("down", "b1")]
+
+    def test_a_success_resets_the_failure_streak(self):
+        monitor, _ = _monitor(failure_threshold=3)
+        monitor.record_success("b1", {"instance": "aaa"})
+        monitor.record_failure("b1")
+        monitor.record_failure("b1")
+        monitor.record_success("b1", {"instance": "aaa"})
+        monitor.record_failure("b1")
+        monitor.record_failure("b1")
+        assert monitor.get("b1").up  # the streak restarted from zero
+
+    def test_request_path_failures_mark_down_immediately(self):
+        monitor, events = _monitor(failure_threshold=5)
+        monitor.record_success("b1", {"instance": "aaa"})
+        monitor.record_failure("b1", immediate=True)
+        assert not monitor.get("b1").up
+        assert ("down", "b1") in events
+
+    def test_rejoin_bumps_epoch_again(self):
+        monitor, _ = _monitor(failure_threshold=1)
+        monitor.record_success("b1", {"instance": "aaa"})
+        monitor.record_failure("b1")
+        monitor.record_success("b1", {"instance": "aaa"})
+        assert monitor.get("b1").epoch == 2
+        assert monitor.get("b1").up
+
+
+class TestRestartDetection:
+    def test_changed_instance_fires_restart(self):
+        monitor, events = _monitor()
+        monitor.record_success("b1", {"instance": "old-process"})
+        monitor.record_success("b1", {"instance": "new-process"})
+        state = monitor.get("b1")
+        assert state.restarts == 1
+        assert state.instance == "new-process"
+        assert ("restart", "b1", "old-process", "new-process") in events
+
+    def test_same_instance_never_fires_restart(self):
+        monitor, events = _monitor()
+        for _ in range(5):
+            monitor.record_success("b1", {"instance": "stable"})
+        assert monitor.get("b1").restarts == 0
+        assert all(event[0] != "restart" for event in events)
+
+    def test_restart_detected_across_a_down_period(self):
+        # The realistic sequence: process dies, probes fail, a new
+        # process comes up under a new instance id — both the rejoin
+        # and the restart must be observed, in that order.
+        monitor, events = _monitor(failure_threshold=1)
+        monitor.record_success("b1", {"instance": "old"})
+        monitor.record_failure("b1")
+        monitor.record_success("b1", {"instance": "new"})
+        assert events[-2:] == [("up", "b1"), ("restart", "b1", "old", "new")]
+
+
+class TestProbing:
+    def test_probe_once_drives_every_backend(self):
+        calls = []
+
+        async def probe(name):
+            calls.append(name)
+            if name == "bad":
+                raise ServiceError("unreachable")
+            return {"instance": "i-" + name}
+
+        monitor = HealthMonitor(probe, failure_threshold=1)
+        monitor.add("good")
+        monitor.add("bad")
+        monitor.record_success("bad", {"instance": "i-bad"})  # was up
+
+        asyncio.run(monitor.probe_once())
+        assert sorted(calls) == ["bad", "good"]
+        assert monitor.get("good").up
+        assert not monitor.get("bad").up
+        assert monitor.up_backends() == ("good",)
+
+    def test_background_loop_starts_and_stops(self):
+        async def run():
+            probes = []
+
+            async def probe(name):
+                probes.append(name)
+                return {"instance": "x"}
+
+            monitor = HealthMonitor(probe, interval=0.01)
+            monitor.add("b1")
+            monitor.start()
+            await asyncio.sleep(0.05)
+            await monitor.stop()
+            return probes
+
+        probes = asyncio.run(run())
+        assert len(probes) >= 2  # several rounds fit in the window
+
+    def test_stats_exposes_every_state(self):
+        monitor, _ = _monitor()
+        monitor.record_success("b1", {"instance": "aaa"})
+        stats = monitor.stats()
+        assert stats["failure_threshold"] == monitor.failure_threshold
+        assert stats["backends"]["b1"]["up"] is True
+        assert stats["backends"]["b1"]["instance"] == "aaa"

@@ -30,7 +30,7 @@ def _replay(requests, service_config=None, **kwargs):
         )
         host, port = await service.start()
         try:
-            return await replay_requests(host, port, requests, **kwargs)
+            return await replay_requests((host, port), requests, **kwargs)
         finally:
             await service.stop()
 
@@ -85,9 +85,9 @@ class TestReplayParity:
             try:
                 half = len(stream) // 2
                 reports = await asyncio.gather(
-                    replay_requests(host, port, stream[:half],
+                    replay_requests((host, port), stream[:half],
                                     connections=2, max_inflight=16),
-                    replay_requests(host, port, stream[half:],
+                    replay_requests((host, port), stream[half:],
                                     connections=2, max_inflight=16),
                 )
             finally:
@@ -132,9 +132,9 @@ class TestMultiProcess:
         with ServiceThread(ServiceConfig(
             fleet_hosts=_CONFIG.num_hosts, max_batch=8, max_delay=0.002,
         )) as thread:
-            host, port = thread.service.address
+            # A started thread is itself a connect() endpoint.
             report = run_loadgen(
-                host, port, stream, processes=2, connections=1,
+                thread, stream, processes=2, connections=1,
                 max_inflight=8,
             )
         assert report.processes == 2

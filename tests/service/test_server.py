@@ -230,8 +230,13 @@ class TestMalformedTraffic:
                 second = decode_body(await read_frame(reader))
                 assert first["status"] == "error"
                 assert first["error"] == "malformed-frame"
-                # The connection survived and served the next frame.
-                assert second == {"id": 7, "status": "ok"}
+                # The connection survived and served the next frame
+                # (a wire/2 ping: the hello advertisement rides along).
+                assert second["id"] == 7
+                assert second["status"] == "ok"
+                assert second["wire"] == "wire/2"
+                assert second["role"] == "verifier"
+                assert isinstance(second["instance"], str)
                 writer.close()
             finally:
                 await service.stop()
