@@ -11,9 +11,11 @@ Runs the discrete-event fleet engine end to end:
 4. print the aggregate detection / latency report and (optionally)
    write the per-journey JSONL trace.
 
-With ``--workers K`` the fleet is split into K deterministic shards and
-executed across a multiprocess pool; the merged result (and trace) is
-bit-identical to the single-process run of the same seed.
+With ``--workers K`` the fleet is split into deterministic units and
+executed across a work-stealing multiprocess pool (``--unit-size``
+controls the unit granularity); the merged result (and trace) is
+bit-identical to the single-process run of the same seed, whatever
+schedule the pool happens to take.
 
 Invocation — run from the repository root with ``PYTHONPATH=src`` (the
 script also falls back to inserting ``../src`` relative to its own
@@ -56,11 +58,15 @@ def main() -> int:
                         help="verify each transfer signature eagerly "
                              "instead of in batches")
     parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes; the fleet is split into "
-                             "that many deterministic shards (default: 1)")
+                        help="worker processes pulling units off the "
+                             "shared work-stealing queue (default: 1)")
+    parser.add_argument("--unit-size", type=int, default=None,
+                        help="journeys per work-stealing unit (default: "
+                             "the scheduler's dynamic plan)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the merged per-journey JSONL trace "
-                             "here (per-shard files appear next to it)")
+                             "here (per-unit or per-worker stream files "
+                             "appear next to it)")
     args = parser.parse_args()
 
     config = FleetConfig(
@@ -75,13 +81,16 @@ def main() -> int:
     )
     if args.workers < 1:
         parser.error("--workers must be positive")
+    if args.unit_size is not None and args.unit_size < 1:
+        parser.error("--unit-size must be positive")
     try:
         config.validate()
     except ConfigurationError as error:
         parser.error(str(error))
     # Past this point a ConfigurationError would be an engine bug, not a
     # usage error — let it traceback instead of masquerading as one.
-    result = run_fleet(config, workers=args.workers)
+    result = run_fleet(config, workers=args.workers,
+                       unit_size=args.unit_size)
 
     print(fleet_summary_markdown(result))
     print("deterministic signature: %s" % result.deterministic_signature())

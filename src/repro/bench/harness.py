@@ -198,8 +198,20 @@ def run_measurement_grid(protected: bool,
 #: pluggable-backend identifiers threaded through every section; ``/6``
 #: adds the ``cluster`` section (a gateway over real verifier
 #: subprocesses: single-vs-N scaling plus a mid-run SIGKILL failover
-#: leg, all parity-checked against in-process ground truth).
-BENCH_SCHEMA = "repro-bench-fleet/6"
+#: leg, all parity-checked against in-process ground truth); ``/7``
+#: moves the fleet section onto the work-stealing scheduler: per-run
+#: ``worker_utilization`` becomes the CPU-time useful-parallel-work
+#: fraction (uniformly a float, workers=1 included), the wall-clock
+#: busy metric moves to ``busy_fraction``, and runs gain the
+#: per-worker warmup/compute/serialize/merge overhead split
+#: (``workers_detail``, ``merge_seconds``, ``scheduler``) plus the
+#: section-level ``cpu_count`` / ``cpu_limited`` scaling context.
+BENCH_SCHEMA = "repro-bench-fleet/7"
+
+#: Schema of the stand-alone per-worker overhead-split artifact
+#: (``--workers-output``): the fleet runs' scheduling diagnostics only,
+#: small enough to eyeball in a CI artifact listing.
+WORKERS_SCHEMA = "repro-bench-workers/1"
 
 #: Sections the harness can run, in run order.  ``--sections`` selects
 #: a subset; the emitted report records which subset ran so the
@@ -234,6 +246,7 @@ def bench_fleet_throughput(
     workers: int,
     start_method: Optional[str] = None,
     pool: Optional[FleetWorkerPool] = None,
+    unit_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Time the fleet single-process and across a ``workers``-wide pool.
 
@@ -243,6 +256,8 @@ def bench_fleet_throughput(
     optionally names a persistent pre-warmed worker pool; the harness
     passes one so no measured section pays worker spawn or crypto
     warm-up (production deployments hold a pool open the same way).
+    ``unit_size`` overrides the work-stealing unit granularity of the
+    multi-worker leg.
     """
     kwargs: Dict[str, Any] = {}
     if start_method is not None:
@@ -256,7 +271,11 @@ def bench_fleet_throughput(
         started = time.perf_counter()
         # run_fleet keeps workers=1 single-process even with a pool, so
         # the serial leg of the speedup comparison stays serial.
-        result = run_fleet(config, workers=worker_count, pool=pool, **kwargs)
+        result = run_fleet(
+            config, workers=worker_count, pool=pool,
+            unit_size=unit_size if worker_count > 1 else None,
+            **kwargs,
+        )
         wall = time.perf_counter() - started
         key = "workers_%d" % worker_count
         signatures[key] = result.deterministic_signature()
@@ -264,13 +283,25 @@ def bench_fleet_throughput(
             round(shard.get("wall_seconds", 0.0), 4)
             for shard in (result.shards or [])
         ]
-        # Utilization: how much of the pool's wall-clock envelope was
-        # spent inside shard execution.  Low values point at spawn /
-        # warmup / merge overhead rather than a slow engine.
-        utilization = (
-            sum(shard_walls) / (worker_count * wall)
-            if shard_walls and worker_count > 1 and wall > 0 else None
+        report = result.worker_report or {}
+        worker_entries = report.get("workers", [])
+        # Utilization: useful-parallel-work fraction — CPU seconds the
+        # workers spent inside engine execution over the pool's
+        # ``workers × wall`` envelope.  CPU time (process_time) is
+        # immune to timesharing: four workers round-robining one core
+        # read ~0.25, not the ~1.0 the old busy-wall metric showed, so
+        # an oversubscribed machine no longer looks "fully utilized".
+        # Well-defined for every run, including workers=1 (≈ 1.0 when
+        # the single process keeps its core).
+        compute_cpu = sum(
+            entry.get("compute_cpu_seconds") or 0.0
+            for entry in worker_entries
         )
+        busy_wall = sum(
+            entry.get("compute_seconds") or 0.0 for entry in worker_entries
+        )
+        utilization = compute_cpu / (worker_count * wall) if wall > 0 else 0.0
+        busy_fraction = busy_wall / (worker_count * wall) if wall > 0 else 0.0
         runs[key] = {
             "workers": worker_count,
             "num_shards": len(result.shards or []) or 1,
@@ -282,9 +313,13 @@ def bench_fleet_throughput(
             "false_positives": result.false_positives,
             "events_processed": result.events_processed,
             "shard_wall_seconds": shard_walls,
-            "worker_utilization": (
-                round(utilization, 3) if utilization is not None else None
-            ),
+            "worker_utilization": round(utilization, 3),
+            # The old semantics (wall-clock busy fraction), kept under
+            # an honest name: high busy + low utilization = contention.
+            "busy_fraction": round(busy_fraction, 3),
+            "scheduler": report.get("mode"),
+            "merge_seconds": report.get("merge_seconds"),
+            "workers_detail": worker_entries,
         }
         if worker_count == 1:
             cache_after = encoding_cache_stats()
@@ -312,6 +347,11 @@ def bench_fleet_throughput(
         "backend": get_backend().name,
         "runs": runs,
         "speedup_vs_single": round(speedup, 3),
+        # Scaling numbers are meaningless without knowing whether the
+        # machine could physically run the workers in parallel.
+        "cpu_count": os.cpu_count(),
+        "cpu_limited": bool((os.cpu_count() or 1) < workers),
+        "unit_size": unit_size,
         "hash_cache": {
             "hits": hits,
             "misses": misses,
@@ -993,6 +1033,7 @@ def build_report(
     service_config: Optional[FleetConfig] = None,
     service_options: Optional[Dict[str, Any]] = None,
     cluster_options: Optional[Dict[str, Any]] = None,
+    unit_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the selected perf benchmarks and assemble the report.
 
@@ -1029,7 +1070,8 @@ def build_report(
     benchmarks: Dict[str, Any] = {}
     if "fleet" in selected:
         benchmarks["fleet"] = bench_fleet_throughput(
-            config, workers, start_method=start_method, pool=pool
+            config, workers, start_method=start_method, pool=pool,
+            unit_size=unit_size,
         )
     if "dsa" in selected:
         benchmarks["dsa_verification"] = bench_dsa_verification()
@@ -1375,10 +1417,11 @@ def format_speedup_warning(workers: int, fleet: Dict[str, Any],
     """The loud sub-1.0x-speedup banner, with attribution data.
 
     Beyond the headline, the banner breaks the regression down so it is
-    attributable from the log alone: per-shard wall seconds and worker
-    utilization (is the pool idle or the shards slow?), and the
-    warmup-versus-run time split (is startup cost eating the
-    parallelism?).
+    attributable from the log alone: the useful-parallel-work fraction
+    against the wall-clock busy fraction (busy-but-not-useful means the
+    cores are contended, not the engine slow), and the per-worker
+    units / warmup / compute / serialize split plus the coordinator
+    merge time from the work-stealing scheduler's report.
     """
     multi = fleet["runs"].get("workers_%d" % workers, {})
     lines = [
@@ -1394,37 +1437,41 @@ def format_speedup_warning(workers: int, fleet: Dict[str, Any],
         "* machine multiprocess runs cannot beat one process — and",
         "* make sure a persistent FleetWorkerPool is in use.",
     ]
-    shard_walls = multi.get("shard_wall_seconds") or []
-    wall = multi.get("wall_seconds") or 0.0
-    if shard_walls:
-        lines.append(
-            "* Per-shard wall seconds: %s"
-            % ", ".join("%.2f" % value for value in shard_walls)
-        )
     utilization = multi.get("worker_utilization")
+    busy = multi.get("busy_fraction")
     if utilization is not None:
         lines.append(
-            "* Worker utilization: %.0f%% of the %d-worker envelope"
+            "* Useful parallel work: %.0f%% of the %d-worker CPU envelope"
             % (100 * utilization, workers)
         )
+    if busy is not None and utilization is not None:
         lines.append(
-            "* was shard execution; the rest is spawn/merge overhead.")
-    warm_times = [
-        entry.get("warmup_seconds")
-        for entry in (fleet.get("worker_warmup") or {}).get("workers", [])
-        if entry.get("warmup_seconds") is not None
-    ]
-    if warm_times and wall:
-        lines.append(
-            "* Warmup vs run: per-worker warmup %.2f-%.2fs (mean "
-            "%.2fs)," % (
-                min(warm_times), max(warm_times),
-                sum(warm_times) / len(warm_times),
-            )
+            "* against a %.0f%% wall-clock busy fraction — busy but not"
+            % (100 * busy)
         )
         lines.append(
-            "* against a measured %d-worker run wall of %.2fs."
-            % (workers, wall)
+            "* useful means the workers are timesharing cores.")
+    detail = multi.get("workers_detail") or []
+    if detail:
+        lines.append("* Per-worker split (units / warmup / compute / "
+                     "serialize):")
+        for entry in detail:
+            warmup = entry.get("warmup_seconds")
+            lines.append(
+                "*   worker %s: %d units  warmup %s  compute %.2fs  "
+                "serialize %.2fs" % (
+                    entry.get("worker"), entry.get("units", 0),
+                    "%.2fs" % warmup if warmup is not None else "n/a",
+                    entry.get("compute_seconds") or 0.0,
+                    entry.get("serialize_seconds") or 0.0,
+                )
+            )
+    wall = multi.get("wall_seconds") or 0.0
+    merge_seconds = multi.get("merge_seconds")
+    if merge_seconds is not None and wall:
+        lines.append(
+            "* Coordinator merge: %.2fs against a run wall of %.2fs."
+            % (merge_seconds, wall)
         )
     lines.append(
         "***********************************************************")
@@ -1456,6 +1503,10 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                         default=min(4, os.cpu_count() or 1),
                         help="pool width of the sharded run "
                              "(default: min(4, cpu_count))")
+    parser.add_argument("--unit-size", type=int, default=None,
+                        help="journeys per work-stealing unit of the "
+                             "multi-worker fleet leg (default: the "
+                             "scheduler's dynamic plan)")
     parser.add_argument("--start-method", default=None,
                         help="multiprocessing start method override")
     parser.add_argument("--backend", default=None,
@@ -1477,7 +1528,18 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "against the baseline (default: 0.30)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the sharded run is at least "
-                             "this much faster than single-process")
+                             "this much faster than single-process.  "
+                             "Only enforced when the machine has at "
+                             "least as many CPUs as workers — on "
+                             "smaller machines the shortfall is "
+                             "reported as a warning (parallel speedup "
+                             "is physically impossible there), exactly "
+                             "like --min-cluster-scaling")
+    parser.add_argument("--workers-output", default=None, metavar="PATH",
+                        help="additionally write the fleet section's "
+                             "per-worker overhead split (warmup / "
+                             "compute / serialize / merge) as a "
+                             "stand-alone JSON artifact")
     parser.add_argument("--campaign-agents", type=int, default=1000,
                         help="journeys of the adversarial campaign "
                              "benchmark (default: 1000)")
@@ -1612,6 +1674,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "verifiers": args.cluster_verifiers,
                 "table_cache": table_cache_dir,
             },
+            unit_size=args.unit_size,
         )
     finally:
         if pool is not None:
@@ -1623,6 +1686,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.profile_output, "w", encoding="utf-8") as handle:
             json.dump(report["profile"], handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if args.workers_output:
+        fleet_section = report["benchmarks"].get("fleet") or {}
+        artifact = {
+            "schema": WORKERS_SCHEMA,
+            "workers": args.workers,
+            "environment": report["environment"],
+            "runs": {
+                key: {
+                    "scheduler": run.get("scheduler"),
+                    "wall_seconds": run.get("wall_seconds"),
+                    "worker_utilization": run.get("worker_utilization"),
+                    "busy_fraction": run.get("busy_fraction"),
+                    "merge_seconds": run.get("merge_seconds"),
+                    "workers_detail": run.get("workers_detail"),
+                }
+                for key, run in fleet_section.get("runs", {}).items()
+            },
+        }
+        with open(args.workers_output, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
     fleet = report["benchmarks"].get("fleet")
     if fleet is not None:
@@ -1630,10 +1714,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             fleet["num_agents"], fleet["deterministic_signature"][:16],
         ))
         for key, run in sorted(fleet["runs"].items()):
-            print("  %-10s %7.2fs  %8.1f journeys/s" % (
-                key, run["wall_seconds"],
-                run["throughput_journeys_per_second"],
-            ))
+            print("  %-10s %7.2fs  %8.1f journeys/s  "
+                  "useful-work %3.0f%%" % (
+                      key, run["wall_seconds"],
+                      run["throughput_journeys_per_second"],
+                      100 * run["worker_utilization"],
+                  ))
         print("  speedup vs single: %.2fx" % fleet["speedup_vs_single"])
         if args.workers > 1 and fleet["speedup_vs_single"] < 1.0:
             print(
@@ -1790,10 +1876,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if (fleet is not None and args.min_speedup is not None
             and args.workers > 1):
         if fleet["speedup_vs_single"] < args.min_speedup:
-            print("FAIL: speedup %.2fx below required %.2fx" % (
-                fleet["speedup_vs_single"], args.min_speedup,
-            ), file=sys.stderr)
-            status = 1
+            if fleet.get("cpu_limited"):
+                # Parallel speedup needs as many cores as workers; on
+                # smaller machines the shortfall is an environment
+                # property, not a regression — same policy as the
+                # cluster scaling gate.
+                print("WARNING: fleet speedup %.2fx below the %.2fx "
+                      "gate, but this machine has %s CPUs for %d "
+                      "workers — gate waived as cpu-limited" % (
+                          fleet["speedup_vs_single"], args.min_speedup,
+                          fleet.get("cpu_count"), args.workers,
+                      ), file=sys.stderr)
+            else:
+                print("FAIL: speedup %.2fx below required %.2fx "
+                      "(%d workers, %s CPUs)" % (
+                          fleet["speedup_vs_single"], args.min_speedup,
+                          args.workers, fleet.get("cpu_count"),
+                      ), file=sys.stderr)
+                status = 1
     if service is not None:
         if (args.min_service_batch_gain is not None
                 and args.min_service_batch_gain >= 0

@@ -13,6 +13,10 @@ to one of four phases by the module it lives in:
     transfers (:mod:`repro.crypto.canonical`, :mod:`repro.crypto.hashing`).
 ``trace``
     JSONL trace writing/merging (:mod:`repro.sim.trace`).
+``shard``
+    Unit planning, scheduling, result decoding, and merging
+    (:mod:`repro.sim.shard`, :mod:`repro.sim.wire`) — the coordinator
+    cost the work-stealing scheduler adds on top of raw engine time.
 ``engine``
     Everything else inside the library: the discrete-event engine,
     platform, agents, workloads, and checkers.
@@ -23,7 +27,7 @@ numbers use *tottime* (own time, callees excluded), so the phase split
 is a partition: the phase seconds plus ``other`` sum to the profiled
 wall time, and no cost is double-counted.
 
-The resulting section lands in the ``repro-bench-fleet/3`` report so a
+The resulting section lands in the ``repro-bench-fleet`` report so a
 throughput regression in CI carries its own attribution.
 """
 
@@ -34,7 +38,8 @@ import pstats
 import time
 from typing import Any, Dict, List
 
-from repro.sim.fleet import FleetConfig, FleetEngine
+from repro.sim.fleet import FleetConfig
+from repro.sim.shard import run_fleet
 
 __all__ = [
     "PROFILE_SCHEMA",
@@ -44,7 +49,7 @@ __all__ = [
 
 #: Schema tag of the profile section (versioned independently of the
 #: enclosing BENCH report so baseline comparison can ignore it).
-PROFILE_SCHEMA = "repro-bench-profile/1"
+PROFILE_SCHEMA = "repro-bench-profile/2"
 
 #: Phase attribution rules, first match wins.  Paths use forward slashes
 #: after normalization, so the rules are platform-independent.
@@ -52,6 +57,7 @@ _PHASE_RULES = (
     ("encode", ("repro/crypto/canonical", "repro/crypto/hashing")),
     ("crypto", ("repro/crypto/",)),
     ("trace", ("repro/sim/trace",)),
+    ("shard", ("repro/sim/shard", "repro/sim/wire")),
     ("engine", ("repro/",)),
 )
 
@@ -77,18 +83,21 @@ def profile_fleet(
     by own time (for drill-down when a phase regresses).  Profiling is
     single-process on purpose — worker processes cannot ship frames
     back, and the phase *split* is what matters, not absolute time.
+    The run goes through :func:`repro.sim.shard.run_fleet` so the
+    scheduler's own cost (the ``shard`` phase) is profiled alongside
+    the engine instead of being invisible overhead.
     """
     profiler = cProfile.Profile()
     started = time.perf_counter()
     profiler.enable()
-    result = FleetEngine(config).run()
+    result = run_fleet(config, workers=1)
     profiler.disable()
     wall = time.perf_counter() - started
 
     stats = pstats.Stats(profiler)
     phases: Dict[str, float] = {
         "crypto": 0.0, "encode": 0.0, "engine": 0.0,
-        "trace": 0.0, "other": 0.0,
+        "trace": 0.0, "shard": 0.0, "other": 0.0,
     }
     rows: List[Dict[str, Any]] = []
     for (filename, lineno, name), row in stats.stats.items():

@@ -21,6 +21,11 @@ parity) as fixed-width tables.
 the crypto-backend comparison: one row per measured
 :mod:`repro.crypto.backend` implementation with its sign / verify /
 batch-verify costs, annotated with which backend is active.
+
+``--table workers`` reads a harness report (``--report``) and renders
+the fleet section's work-stealing diagnostics: per-run useful-work vs
+busy fractions and the per-worker units / warmup / compute / serialize
+split, plus the coordinator merge time.
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ __all__ = [
     "format_cluster_table",
     "format_detectability_table",
     "format_service_table",
+    "format_workers_table",
     "overall_factors",
     "main",
 ]
@@ -339,6 +345,63 @@ def format_cluster_table(
     return "\n".join(lines)
 
 
+def format_workers_table(
+    section: Dict[str, object],
+    title: str = "Fleet worker scheduling",
+) -> str:
+    """Render the harness's ``fleet`` section's scheduling diagnostics.
+
+    One block per measured run (``workers_1``, ``workers_N``): the
+    useful-parallel-work utilization next to the wall-clock busy
+    fraction, then one row per worker with its units / warmup /
+    compute / serialize split and the coordinator merge time — the
+    whole overhead budget of the work-stealing scheduler on one screen.
+    Every run renders through the same path; ``worker_utilization`` is
+    a plain float for single- and multi-worker runs alike.
+    """
+    lines = [title, "=" * len(title)]
+    lines.append("speedup vs single: %s%s" % (
+        metric_cell(section.get("speedup_vs_single"), "%.2fx"),
+        "  [cpu-limited: %s CPUs]" % section.get("cpu_count")
+        if section.get("cpu_limited") else "",
+    ))
+    runs = section.get("runs")
+    runs = runs if isinstance(runs, dict) else {}
+    for key in sorted(runs):
+        run = runs[key]
+        if not isinstance(run, dict):
+            continue
+        util = run.get("worker_utilization")
+        busy = run.get("busy_fraction")
+        lines.append("")
+        lines.append("%s (%s): wall %ss, useful-work %s, busy %s" % (
+            key, run.get("scheduler", "?"),
+            metric_cell(run.get("wall_seconds")),
+            metric_cell(100 * util if util is not None else None, "%.0f%%"),
+            metric_cell(100 * busy if busy is not None else None, "%.0f%%"),
+        ))
+        header = "  %-8s %6s %9s %12s %12s %12s" % (
+            "worker", "units", "journeys", "warmup [s]",
+            "compute [s]", "serialize [s]",
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        detail = run.get("workers_detail")
+        for entry in detail if isinstance(detail, list) else []:
+            lines.append("  %-8s %6s %9s %12s %12s %12s" % (
+                entry.get("worker", "?"),
+                entry.get("units", 0),
+                entry.get("journeys", 0),
+                metric_cell(entry.get("warmup_seconds")),
+                metric_cell(entry.get("compute_seconds")),
+                metric_cell(entry.get("serialize_seconds")),
+            ))
+        lines.append("  coordinator merge: %ss" % metric_cell(
+            run.get("merge_seconds"), "%.3f",
+        ))
+    return "\n".join(lines)
+
+
 def format_backend_table(
     section: Dict[str, object],
     title: str = "Crypto backends",
@@ -408,13 +471,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--table",
                         choices=("1", "2", "both", "detectability",
-                                 "service", "cluster", "backends"),
+                                 "service", "cluster", "backends",
+                                 "workers"),
                         default="both",
                         help="which table to regenerate")
     parser.add_argument("--report", default="BENCH_fleet.json",
                         metavar="PATH",
                         help="harness report to read for --table "
-                             "service/cluster/backends "
+                             "service/cluster/backends/workers "
                              "(default: BENCH_fleet.json)")
     parser.add_argument("--fast-cycles", action="store_true",
                         help="use the C-level cycle loop (JIT ablation)")
@@ -425,12 +489,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="campaign seed for --table detectability")
     options = parser.parse_args(argv)
 
-    if options.table in ("service", "cluster", "backends"):
+    if options.table in ("service", "cluster", "backends", "workers"):
         import json
 
         section_name = {
             "service": "service", "cluster": "cluster",
-            "backends": "crypto",
+            "backends": "crypto", "workers": "fleet",
         }[options.table]
         try:
             with open(options.report, "r", encoding="utf-8") as handle:
@@ -450,6 +514,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(format_service_table(section))
         elif options.table == "cluster":
             print(format_cluster_table(section))
+        elif options.table == "workers":
+            print(format_workers_table(section))
         else:
             print(format_backend_table(section))
         return 0

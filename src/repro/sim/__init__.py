@@ -3,9 +3,9 @@
 * :mod:`repro.sim.fleet` — the event-queue engine interleaving
   thousands of agent journeys across a host topology with a tunable
   malicious fraction, plus the :class:`FleetResult` aggregate;
-* :mod:`repro.sim.shard` — deterministic sharding of a fleet across a
-  multiprocess worker pool, merging to a result bit-identical to the
-  single-process run;
+* :mod:`repro.sim.shard` — deterministic sharding of a fleet into
+  units scheduled across a work-stealing multiprocess pool, merging to
+  a result bit-identical to the single-process run;
 * :mod:`repro.sim.campaign` — adversarial campaigns: journey-resident
   attacks assigned from a dedicated substream, aggregated into
   per-scenario precision / recall / time-to-detection;
@@ -49,11 +49,14 @@ from repro.sim.shard import (
     FleetWorkerPool,
     ShardResult,
     ShardSpec,
+    execute_unit,
     merge_shard_results,
+    plan_units,
     run_fleet,
     run_shard,
     split_fleet,
     warm_worker,
+    worker_trace_path,
 )
 from repro.sim.trace import (
     TraceWriter,
@@ -88,6 +91,7 @@ __all__ = [
     "campaign_config",
     "derive_substream",
     "detection_report_from_trace",
+    "execute_unit",
     "execution_log_at",
     "fleet_event_key",
     "fleet_host_names",
@@ -96,10 +100,12 @@ __all__ = [
     "merge_shard_events",
     "merge_shard_results",
     "plan_journey_attack",
+    "plan_units",
     "read_trace",
     "run_campaign",
     "run_fleet",
     "run_shard",
     "split_fleet",
     "warm_worker",
+    "worker_trace_path",
 ]

@@ -388,6 +388,11 @@ class FleetResult:
     #: :func:`repro.sim.shard.run_fleet` (wall times, ranges, workers).
     #: Not part of the deterministic surface.
     shards: Optional[List[Dict[str, Any]]] = None
+    #: Per-worker scheduling diagnostics from the work-stealing pool
+    #: (units executed, warmup/compute/serialize split, coordinator
+    #: merge time).  Wall-clock only — never part of the deterministic
+    #: surface.
+    worker_report: Optional[Dict[str, Any]] = None
 
     # -- population slices -------------------------------------------------------
 

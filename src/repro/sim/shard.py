@@ -1,4 +1,4 @@
-"""Sharded multiprocess fleet execution.
+"""Sharded multiprocess fleet execution with work-stealing scheduling.
 
 A fleet run is shard-decomposable because :class:`~repro.sim.fleet.FleetEngine`
 derives all of its randomness from named substreams
@@ -7,22 +7,41 @@ timeline are pure functions of the configuration, and every journey owns
 a private stream.  This module exploits that property:
 
 * :func:`split_fleet` partitions the journey-index range of a
-  :class:`~repro.sim.fleet.FleetConfig` into ``num_shards`` contiguous,
-  disjoint :class:`ShardSpec` ranges with per-shard derived seeds;
-* :func:`run_shard` executes one shard in the current process and
-  returns a pickle-safe :class:`ShardResult` (plain dataclasses and
-  dictionaries only — no hosts, runners, or simulators cross the
-  process boundary);
-* :func:`run_fleet` fans the shards out over a
-  :mod:`multiprocessing` pool and merges the shard outputs into a
-  single :class:`~repro.sim.fleet.FleetResult` that is **bit-identical**
-  to the single-process run of the same seed — same deterministic
-  signature, same merged JSONL trace bytes.
+  :class:`~repro.sim.fleet.FleetConfig` into contiguous, disjoint
+  :class:`ShardSpec` units with per-unit derived seeds;
+* :func:`execute_unit` runs one unit in the current process and returns
+  a :class:`ShardResult` with its warmup/compute/serialize timing;
+* :class:`FleetWorkerPool` holds persistent ``spawn`` workers that pull
+  units from a **shared task queue** — an idle worker steals whatever
+  unit is next, so a slow or stalled worker never strands its share of
+  the fleet the way the old static ``one shard per worker`` partition
+  did;
+* :func:`run_fleet` plans the units, dispatches them, and merges the
+  outputs into a single :class:`~repro.sim.fleet.FleetResult` that is
+  **bit-identical** to the single-process run of the same seed — same
+  deterministic signature, same merged JSONL trace bytes.
 
-Trace handling is shard-aware: each shard writes its own JSONL file
-(``<trace>.shard-K-of-N``) and the coordinator merges them through
-:func:`~repro.sim.trace.merge_shard_events`, whose canonical ordering
-makes the merged file independent of shard count and completion order.
+Determinism under dynamic scheduling
+------------------------------------
+Bit-identity survives any scheduling interleaving because units carry
+their *substream identity* (journey-index range + unit index), never
+their schedule order: which worker executes a unit, and when, changes
+no random draw.  The unit partition itself is a pure function of
+``(config, unit count)``, and the merge orders outcomes and trace
+events by content (completion time, journey id), so the merged result
+is a pure function of the partition — the schedule is invisible.
+
+Result channel and trace streams
+--------------------------------
+Unit results return on a per-worker :func:`multiprocessing.Pipe` as
+pickle-free JSON frames (:mod:`repro.sim.wire`) instead of through
+``Pool.map`` pickling.  Trace events never cross the channel at all:
+each worker streams its finished units' events into its own JSONL file
+(``<trace>.worker-K-of-N``) and the coordinator merges the streams
+after the last unit completes — serialization cost stays in the
+workers, off the coordinator's critical path.  Sequential runs
+(``workers=1``) keep the classic per-unit ``<trace>.shard-K-of-N``
+files.
 """
 
 from __future__ import annotations
@@ -31,8 +50,10 @@ import hashlib
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Union
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.sim.fleet import (
@@ -42,15 +63,26 @@ from repro.sim.fleet import (
     JourneyOutcome,
     fleet_host_names,
 )
-from repro.sim.trace import TraceWriter, merge_shard_events, read_trace
+from repro.sim.trace import TraceWriter, append_events, merge_trace_files
+from repro.sim.wire import (
+    WIRE_VERSION,
+    decode_message,
+    encode_message,
+    outcome_from_wire,
+    outcome_to_wire,
+)
 
 __all__ = [
     "ShardSpec",
     "ShardResult",
     "FleetWorkerPool",
+    "DEFAULT_UNITS_PER_WORKER",
     "derive_shard_seed",
     "shard_trace_path",
+    "worker_trace_path",
     "split_fleet",
+    "plan_units",
+    "execute_unit",
     "run_shard",
     "warm_worker",
     "merge_shard_results",
@@ -63,11 +95,23 @@ __all__ = [
 #: execution); determinism never relies on it, only portability does.
 DEFAULT_START_METHOD = "spawn"
 
+#: Default queue granularity: units per worker when neither
+#: ``num_shards`` nor ``unit_size`` is given.  Several units per worker
+#: is what makes stealing effective (a worker finishing early picks up
+#: another unit instead of idling), while units stay large enough that
+#: per-unit topology setup is noise.
+DEFAULT_UNITS_PER_WORKER = 4
+
+#: How long the coordinator waits on the result channels before
+#: re-checking that its workers are still alive.
+_POLL_SECONDS = 5.0
+
 
 #: Per-process record of the last :func:`warm_worker` run — the pid,
 #: the pinned backend, the wall time the warmup took, and the table
-#: cache counters.  Collected across workers by
-#: :meth:`FleetWorkerPool.warmup_report`.
+#: cache counters.  Every pool worker sends this once on its result
+#: channel (before pulling any task), which is what
+#: :meth:`FleetWorkerPool.warmup_report` collects.
 _WARM_STATE: Dict[str, Any] = {}
 
 
@@ -78,12 +122,13 @@ def warm_worker(
 ) -> None:
     """Pre-build deterministic crypto state in a (worker) process.
 
-    Used as the :class:`FleetWorkerPool` initializer: host key pairs are
-    pure functions of their names, so shipping the *names* ships the
-    keys — each worker regenerates them once at pool startup (through
-    the process-wide identity memo) instead of inside every shard's
-    measured execution, and eagerly builds the fixed-base tables for
-    the generator and every host public key.
+    Runs exactly once per worker process, at startup — host key pairs
+    are pure functions of their names, so shipping the *names* ships
+    the keys: each worker regenerates them once (through the
+    process-wide identity memo) instead of inside any measured unit,
+    and eagerly builds the fixed-base tables for the generator and
+    every host public key.  However many units a worker later steals,
+    it never pays warmup again.
 
     ``backend`` pins the crypto backend in the worker (``spawn`` workers
     do not inherit the coordinator's in-process selection, only its
@@ -91,7 +136,7 @@ def warm_worker(
     cache at a shared directory so the first process on a host builds
     the tables and every later one loads them.
 
-    Module-level on purpose: ``spawn`` pool initializers are resolved by
+    Module-level on purpose: ``spawn`` workers resolve their target by
     qualified name.
     """
     from repro.crypto.backend import get_backend, set_backend
@@ -117,107 +162,6 @@ def warm_worker(
     )
 
 
-def _warmup_probe(_index: int) -> Dict[str, Any]:
-    """Return this process's warm state (pool-mapped by the coordinator).
-
-    The tiny sleep keeps one fast worker from draining the whole probe
-    queue before its siblings pick up a task.
-    """
-    time.sleep(0.01)
-    return dict(_WARM_STATE)
-
-
-class FleetWorkerPool:
-    """A reusable, pre-warmed multiprocessing pool for sharded fleets.
-
-    ``spawn`` workers pay a real startup tax — interpreter boot, imports,
-    and (before this class existed) regenerating every DSA key pair and
-    exponentiation table inside the first measured shard.  The pool
-    moves all of that into a one-time initializer and **persists across
-    runs**: the benchmark harness creates one pool and reuses it for
-    every fleet and campaign section instead of spawning fresh workers
-    per measurement.
-
-    Use as a context manager, or call :meth:`close` explicitly.
-    """
-
-    def __init__(
-        self,
-        workers: int,
-        start_method: str = DEFAULT_START_METHOD,
-        warm_config: Optional[FleetConfig] = None,
-        backend: Optional[str] = None,
-        table_cache_dir: Optional[Union[str, os.PathLike]] = None,
-    ) -> None:
-        if workers < 1:
-            raise ConfigurationError("workers must be positive")
-        self.workers = workers
-        self.start_method = start_method
-        self.backend = backend
-        self.table_cache_dir = (
-            os.fspath(table_cache_dir) if table_cache_dir is not None else None
-        )
-        host_names = (
-            fleet_host_names(warm_config) if warm_config is not None else []
-        )
-        context = multiprocessing.get_context(start_method)
-        self._pool = context.Pool(
-            processes=workers,
-            initializer=warm_worker,
-            initargs=(host_names, backend, self.table_cache_dir),
-        )
-        self.warmup_seconds: Optional[float] = None
-        if warm_config is not None:
-            # Warm the coordinator process with the same state the
-            # workers build, so single-process comparison runs and the
-            # merge path start equally hot.
-            started = time.perf_counter()
-            warm_worker(host_names, backend, self.table_cache_dir)
-            self.warmup_seconds = time.perf_counter() - started
-
-    def map(self, func, iterable):
-        """Forward to :meth:`multiprocessing.pool.Pool.map`."""
-        return self._pool.map(func, iterable)
-
-    def warmup_report(self) -> Dict[str, Any]:
-        """Best-effort per-worker warmup diagnostics.
-
-        Floods the pool with cheap probe tasks and dedupes the answers
-        by pid.  Oversubscription plus ``chunksize=1`` makes it very
-        likely every worker answers at least once, but a worker that
-        never picks up a probe is simply absent — callers must treat
-        the list as a sample, not a census.
-        """
-        probes = self._pool.map(
-            _warmup_probe, range(self.workers * 4), chunksize=1
-        )
-        by_pid: Dict[int, Dict[str, Any]] = {}
-        for probe in probes:
-            if probe and probe.get("pid") not in by_pid:
-                by_pid[probe["pid"]] = probe
-        workers = sorted(by_pid.values(), key=lambda w: w["pid"])
-        return {
-            "workers": workers,
-            "workers_reporting": len(workers),
-            "coordinator_warmup_seconds": self.warmup_seconds,
-            "backend": self.backend or (
-                workers[0]["backend"] if workers else None
-            ),
-            "table_cache_dir": self.table_cache_dir,
-        }
-
-    def close(self) -> None:
-        """Shut the worker processes down."""
-        self._pool.close()
-        self._pool.join()
-
-    def __enter__(self) -> "FleetWorkerPool":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-
 def derive_shard_seed(seed: int, shard_index: int, num_shards: int) -> int:
     """Deterministic per-shard seed from the master seed and position."""
     material = "shard|%d|%d|%d" % (seed, shard_index, num_shards)
@@ -230,28 +174,40 @@ def shard_trace_path(trace_path: str, shard_index: int, num_shards: int) -> str:
     return "%s.shard-%02d-of-%02d" % (trace_path, shard_index, num_shards)
 
 
+def worker_trace_path(trace_path: str, worker_index: int, workers: int) -> str:
+    """Per-worker JSONL stream path derived from the merged trace path.
+
+    Pool workers append every unit they execute to their own stream
+    file; which units land in which stream depends on the (dynamic)
+    schedule, but the *merged* trace does not — units own disjoint
+    journey-id sets, so the canonical event order is schedule-free.
+    """
+    return "%s.worker-%02d-of-%02d" % (trace_path, worker_index, workers)
+
+
 @dataclass(frozen=True)
 class ShardSpec:
-    """One deterministic slice of a fleet run.
+    """One deterministic slice (unit) of a fleet run.
 
     Attributes
     ----------
     config:
         The full fleet configuration (``trace_path`` stripped — shard
-        traces go to :attr:`trace_path` instead).
+        traces go to :attr:`trace_path` or a per-worker stream instead).
     shard_index / num_shards:
-        Position of this shard in the partition.
+        Position of this unit in the partition.
     agent_start / agent_stop:
-        Journey-index range ``[agent_start, agent_stop)`` this shard
+        Journey-index range ``[agent_start, agent_stop)`` this unit
         executes.  Ranges of a partition are contiguous and disjoint.
     seed:
-        Per-shard derived seed (:func:`derive_shard_seed`).  Recorded
+        Per-unit derived seed (:func:`derive_shard_seed`).  Recorded
         for provenance (shard metadata, reports) only — it must never
         feed engine randomness, which flows exclusively from the global
         substreams of ``config.seed``; a shard-local draw would break
         the bit-identity of sharded and single-process runs.
     trace_path:
-        Optional path for this shard's own JSONL trace file.
+        Optional path for this unit's own JSONL trace file (sequential
+        runs; pooled runs stream into per-worker files instead).
     """
 
     config: FleetConfig
@@ -264,7 +220,7 @@ class ShardSpec:
 
     @property
     def num_agents(self) -> int:
-        """Number of journeys this shard executes."""
+        """Number of journeys this unit executes."""
         return self.agent_stop - self.agent_start
 
     def describe(self) -> Dict[str, Any]:
@@ -280,12 +236,19 @@ class ShardSpec:
 
 @dataclass
 class ShardResult:
-    """Everything one shard sends back to the coordinator.
+    """Everything one unit sends back to the coordinator.
 
-    Deliberately pickle-safe: journey outcomes, plain dictionaries, and
-    numbers only.  Trace events travel through the per-shard JSONL file
-    named in ``spec.trace_path`` (when tracing is on), not through the
-    pickle channel.
+    Crosses the worker boundary as a pickle-free JSON frame
+    (:mod:`repro.sim.wire`): journey outcomes, plain dictionaries, and
+    numbers only.  Trace events travel through JSONL files (per-unit or
+    per-worker streams), never through the result channel.
+
+    The ``compute`` / ``serialize`` seconds are this unit's share of
+    the per-worker overhead split; ``compute_cpu_seconds`` uses CPU
+    time (:func:`time.process_time`), which is what makes the
+    harness's useful-parallel-work utilization honest on oversubscribed
+    machines — an engine timesharing one core burns wall time but not
+    CPU time.
     """
 
     spec: ShardSpec
@@ -298,9 +261,17 @@ class ShardResult:
     deferred_signature_failures: List[Dict[str, Any]] = field(
         default_factory=list
     )
-    #: Journeys of this shard that carried a campaign attack (adversarial
-    #: load is range-dependent, so it is worth surfacing per shard).
+    #: Journeys of this unit that carried a campaign attack (adversarial
+    #: load is range-dependent, so it is worth surfacing per unit).
     campaign_attacked: int = 0
+    #: Which pool worker executed the unit (None when run in process).
+    worker_index: Optional[int] = None
+    worker_pid: Optional[int] = None
+    #: Engine execution wall / CPU time for this unit.
+    compute_seconds: float = 0.0
+    compute_cpu_seconds: float = 0.0
+    #: Trace serialization time for this unit (0 when tracing is off).
+    serialize_seconds: float = 0.0
 
 
 def split_fleet(
@@ -347,15 +318,53 @@ def split_fleet(
     return specs
 
 
-def run_shard(spec: ShardSpec) -> ShardResult:
-    """Execute one shard in the current process.
+def plan_units(
+    config: FleetConfig,
+    workers: int,
+    num_shards: Optional[int] = None,
+    unit_size: Optional[int] = None,
+) -> int:
+    """Unit count for a run: explicit shards, a unit size, or default.
 
-    Module-level on purpose: worker pools resolve it by qualified name
-    under the ``spawn`` start method.  When the spec names a trace path,
-    the shard's JSONL file is written before returning so the
-    coordinator can merge files instead of shipping events through
-    pickles.
+    ``num_shards`` pins the partition exactly (legacy interface);
+    ``unit_size`` asks for units of about that many journeys; with
+    neither, multi-worker runs get :data:`DEFAULT_UNITS_PER_WORKER`
+    units per worker (capped at one journey per unit) so the shared
+    queue always holds spare units for an idle worker to steal, and
+    single-worker runs stay one unit.
     """
+    if num_shards is not None and unit_size is not None:
+        raise ConfigurationError(
+            "num_shards and unit_size are mutually exclusive"
+        )
+    config.validate()
+    if num_shards is not None:
+        return num_shards
+    if unit_size is not None:
+        if unit_size < 1:
+            raise ConfigurationError("unit_size must be positive")
+        return -(-config.num_agents // unit_size)
+    if workers <= 1:
+        return 1
+    return min(config.num_agents, workers * DEFAULT_UNITS_PER_WORKER)
+
+
+def execute_unit(
+    spec: ShardSpec,
+    trace_path: Optional[str] = None,
+    append: bool = False,
+) -> ShardResult:
+    """Execute one unit in the current process, timing each phase.
+
+    ``trace_path`` overrides where (and whether) the unit's events are
+    serialized; with ``append`` they are appended to an existing stream
+    file (the per-worker streaming mode) instead of written as a
+    standalone canonical file.  Compute is timed in both wall and CPU
+    seconds, serialization separately — the raw material of the
+    harness's per-worker overhead split.
+    """
+    started = time.perf_counter()
+    cpu_started = time.process_time()
     engine = FleetEngine(
         spec.config,
         agent_start=spec.agent_start,
@@ -364,8 +373,15 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         num_shards=spec.num_shards,
     )
     result = engine.run()
-    if spec.trace_path:
-        engine.trace.write(spec.trace_path, canonical_order=True)
+    compute_seconds = time.perf_counter() - started
+    compute_cpu_seconds = time.process_time() - cpu_started
+    serialize_started = time.perf_counter()
+    if trace_path:
+        if append:
+            append_events(trace_path, engine.trace.events)
+        else:
+            engine.trace.write(trace_path, canonical_order=True)
+    serialize_seconds = time.perf_counter() - serialize_started
     return ShardResult(
         spec=spec,
         outcomes=result.outcomes,
@@ -376,7 +392,443 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         verifier_stats=result.verifier_stats,
         deferred_signature_failures=result.deferred_signature_failures,
         campaign_attacked=len(result.campaign_journeys),
+        worker_pid=os.getpid(),
+        compute_seconds=compute_seconds,
+        compute_cpu_seconds=compute_cpu_seconds,
+        serialize_seconds=serialize_seconds,
     )
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Execute one shard in the current process (classic interface).
+
+    When the spec names a trace path, the shard's JSONL file is written
+    before returning so the coordinator can merge files instead of
+    shipping events through the result channel.
+    """
+    return execute_unit(spec, trace_path=spec.trace_path)
+
+
+def _unit_result_to_wire(result: ShardResult) -> Dict[str, Any]:
+    """The JSON frame a worker sends for one finished unit."""
+    return {
+        "kind": "unit",
+        "version": WIRE_VERSION,
+        "worker": result.worker_index,
+        "pid": result.worker_pid,
+        "shard_index": result.spec.shard_index,
+        "outcomes": [outcome_to_wire(o) for o in result.outcomes],
+        "malicious_hosts": dict(result.malicious_hosts),
+        "virtual_makespan": result.virtual_makespan,
+        "events_processed": result.events_processed,
+        "wall_seconds": result.wall_seconds,
+        "verifier_stats": result.verifier_stats,
+        "deferred_signature_failures": list(
+            result.deferred_signature_failures
+        ),
+        "campaign_attacked": result.campaign_attacked,
+        "compute_seconds": result.compute_seconds,
+        "compute_cpu_seconds": result.compute_cpu_seconds,
+        "serialize_seconds": result.serialize_seconds,
+    }
+
+
+def _unit_result_from_wire(
+    message: Dict[str, Any], spec: ShardSpec
+) -> ShardResult:
+    """Rebuild a :class:`ShardResult` from its frame and the local spec.
+
+    The coordinator already holds every spec it dispatched, so only the
+    unit index crosses the wire and the (config-bearing) spec is
+    re-attached locally.
+    """
+    if message["shard_index"] != spec.shard_index:
+        raise RuntimeError(
+            "unit frame for shard %r decoded against spec %r"
+            % (message["shard_index"], spec.shard_index)
+        )
+    return ShardResult(
+        spec=spec,
+        outcomes=[outcome_from_wire(o) for o in message["outcomes"]],
+        malicious_hosts=dict(message["malicious_hosts"]),
+        virtual_makespan=message["virtual_makespan"],
+        events_processed=message["events_processed"],
+        wall_seconds=message["wall_seconds"],
+        verifier_stats=message["verifier_stats"],
+        deferred_signature_failures=list(
+            message["deferred_signature_failures"]
+        ),
+        campaign_attacked=message["campaign_attacked"],
+        worker_index=message["worker"],
+        worker_pid=message["pid"],
+        compute_seconds=message["compute_seconds"],
+        compute_cpu_seconds=message["compute_cpu_seconds"],
+        serialize_seconds=message["serialize_seconds"],
+    )
+
+
+def _unit_worker_main(
+    worker_index: int,
+    workers: int,
+    host_names: Sequence[str],
+    backend: Optional[str],
+    table_cache_dir: Optional[str],
+    tasks: Any,
+    channel: Any,
+    stall_seconds: float = 0.0,
+) -> None:
+    """Body of one work-stealing pool worker (module-level for spawn).
+
+    Protocol, in order:
+
+    1. warm once (:func:`warm_worker`) and send the warm state as the
+       first frame on the dedicated result channel — a bounded,
+       deterministic per-worker probe that cannot interleave with unit
+       execution because it never touches the shared task queue;
+    2. optionally stall (test hook for forcing adversarial schedules);
+    3. loop: pull ``(spec, trace_template)`` tasks from the shared
+       queue — this *is* the work stealing; whichever worker is idle
+       takes the next unit — execute, stream trace events to this
+       worker's own JSONL file, and send the result back as one
+       pickle-free JSON frame.  A ``None`` task is the shutdown
+       sentinel.
+
+    Any exception is reported as an ``error`` frame instead of a silent
+    worker death.
+    """
+    try:
+        warm_worker(host_names, backend, table_cache_dir)
+        warm_frame = {
+            "kind": "warm", "version": WIRE_VERSION, "worker": worker_index,
+        }
+        warm_frame.update(_WARM_STATE)
+        channel.send_bytes(encode_message(warm_frame))
+        if stall_seconds > 0:
+            time.sleep(stall_seconds)
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            spec, trace_template = task
+            stream = (
+                worker_trace_path(trace_template, worker_index, workers)
+                if trace_template else None
+            )
+            result = execute_unit(spec, trace_path=stream, append=True)
+            result.worker_index = worker_index
+            channel.send_bytes(encode_message(_unit_result_to_wire(result)))
+    except Exception:
+        try:
+            channel.send_bytes(encode_message({
+                "kind": "error",
+                "version": WIRE_VERSION,
+                "worker": worker_index,
+                "error": traceback.format_exc(),
+            }))
+        except (OSError, ValueError):
+            pass
+    finally:
+        channel.close()
+
+
+class FleetWorkerPool:
+    """A reusable, pre-warmed pool of work-stealing fleet workers.
+
+    ``spawn`` workers pay a real startup tax — interpreter boot,
+    imports, and regenerating every DSA key pair and exponentiation
+    table.  The pool moves all of that into a once-per-process warmup
+    and **persists across runs**: the benchmark harness creates one pool
+    and reuses it for every fleet and campaign section instead of
+    spawning fresh workers per measurement.
+
+    Scheduling is dynamic: :meth:`run_units` drops every unit of a run
+    onto one shared task queue and idle workers pull from it, so a
+    worker that is slow (noisy neighbour, unlucky unit mix) simply
+    executes fewer units while its siblings steal the rest — no static
+    partition to strand work behind the slowest process.  Results come
+    back on per-worker pipe connections as pickle-free JSON frames
+    (:mod:`repro.sim.wire`).
+
+    ``stall_seconds`` maps worker index → an artificial delay between
+    warmup and the first queue pull.  It exists for tests and
+    diagnostics: stalling one worker forces the adversarial schedule in
+    which its siblings steal its share, which is exactly the
+    interleaving the bit-identity property tests must cover.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: str = DEFAULT_START_METHOD,
+        warm_config: Optional[FleetConfig] = None,
+        backend: Optional[str] = None,
+        table_cache_dir: Optional[Union[str, os.PathLike]] = None,
+        stall_seconds: Optional[Dict[int, float]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be positive")
+        self.workers = workers
+        self.start_method = start_method
+        self.backend = backend
+        self.table_cache_dir = (
+            os.fspath(table_cache_dir) if table_cache_dir is not None else None
+        )
+        host_names = (
+            fleet_host_names(warm_config) if warm_config is not None else []
+        )
+        stalls = dict(stall_seconds or {})
+        context = multiprocessing.get_context(start_method)
+        self._tasks = context.Queue()
+        self._processes: List[Any] = []
+        self._channels: List[Any] = []
+        self._warm_states: Dict[int, Dict[str, Any]] = {}
+        self._closed = False
+        for index in range(workers):
+            receiver, sender = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_unit_worker_main,
+                args=(index, workers, host_names, backend,
+                      self.table_cache_dir, self._tasks, sender,
+                      float(stalls.get(index, 0.0))),
+                daemon=True,
+                name="fleet-worker-%d" % index,
+            )
+            process.start()
+            # The parent's copy of the send end must close so a dead
+            # worker surfaces as EOF on its channel instead of a hang.
+            sender.close()
+            self._processes.append(process)
+            self._channels.append(receiver)
+        self.warmup_seconds: Optional[float] = None
+        if warm_config is not None:
+            # Warm the coordinator process with the same state the
+            # workers build, so single-process comparison runs and the
+            # merge path start equally hot.
+            started = time.perf_counter()
+            warm_worker(host_names, backend, self.table_cache_dir)
+            self.warmup_seconds = time.perf_counter() - started
+
+    # -- result channel ---------------------------------------------------------
+
+    def _open_channels(self) -> List[Any]:
+        return [channel for channel in self._channels if channel is not None]
+
+    def _receive(self, timeout: Optional[float]) -> List[Dict[str, Any]]:
+        """Drain ready channels; returns the unit frames received.
+
+        Warm-state frames are absorbed into :attr:`_warm_states`; error
+        frames and worker deaths (EOF) raise.
+        """
+        channels = self._open_channels()
+        if not channels:
+            raise RuntimeError("all fleet workers have exited")
+        units: List[Dict[str, Any]] = []
+        for channel in _connection_wait(channels, timeout=timeout):
+            try:
+                data = channel.recv_bytes()
+            except EOFError:
+                index = self._channels.index(channel)
+                self._channels[index] = None
+                process = self._processes[index]
+                process.join(timeout=1.0)
+                raise RuntimeError(
+                    "fleet worker %d (pid %s) exited unexpectedly "
+                    "(exitcode %r)" % (index, process.pid, process.exitcode)
+                )
+            message = decode_message(data)
+            if message.get("version") != WIRE_VERSION:
+                raise RuntimeError(
+                    "result-channel version mismatch: worker sent %r, "
+                    "coordinator speaks %r"
+                    % (message.get("version"), WIRE_VERSION)
+                )
+            kind = message.get("kind")
+            if kind == "warm":
+                self._warm_states[message["worker"]] = message
+            elif kind == "error":
+                raise RuntimeError(
+                    "fleet worker %r failed:\n%s"
+                    % (message.get("worker"), message.get("error"))
+                )
+            elif kind == "unit":
+                units.append(message)
+            else:
+                raise RuntimeError("unknown channel frame kind %r" % (kind,))
+        return units
+
+    def _assert_workers_alive(self) -> None:
+        for index, process in enumerate(self._processes):
+            if self._channels[index] is not None and not process.is_alive():
+                raise RuntimeError(
+                    "fleet worker %d (pid %s) died (exitcode %r)"
+                    % (index, process.pid, process.exitcode)
+                )
+
+    def _collect_warm_states(self, timeout: float) -> None:
+        """Wait until every worker's warm frame has arrived (bounded)."""
+        deadline = time.monotonic() + timeout
+        while (len(self._warm_states) < self.workers
+               and self._open_channels()):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._receive(timeout=min(remaining, 0.25))
+            self._assert_workers_alive()
+
+    # -- scheduling -------------------------------------------------------------
+
+    def run_units(
+        self,
+        specs: Sequence[ShardSpec],
+        trace_path: Optional[str] = None,
+    ) -> Tuple[List[ShardResult], Dict[str, Any]]:
+        """Execute units across the pool via the shared task queue.
+
+        Every spec goes onto the queue at once; workers pull (steal)
+        whatever is next as they go idle.  Blocks until all results are
+        back and returns them (schedule order) together with the
+        scheduling report: per-worker units / journeys /
+        warmup-compute-serialize split, and — when ``trace_path`` is
+        set — the per-worker trace stream files the caller must merge.
+        """
+        if self._closed:
+            raise ConfigurationError("worker pool is closed")
+        by_index: Dict[int, ShardSpec] = {}
+        for spec in specs:
+            if spec.shard_index in by_index:
+                raise ConfigurationError(
+                    "duplicate unit index %d" % spec.shard_index
+                )
+            by_index[spec.shard_index] = spec
+        trace_files: List[str] = []
+        if trace_path:
+            # Truncate the streams up front: workers append per unit,
+            # and a reused pool must not leak a previous run's events.
+            for index in range(self.workers):
+                stream = worker_trace_path(trace_path, index, self.workers)
+                with open(stream, "w", encoding="utf-8"):
+                    pass
+                trace_files.append(stream)
+        for spec in specs:
+            self._tasks.put((spec, trace_path))
+        results: List[ShardResult] = []
+        while len(results) < len(specs):
+            frames = self._receive(timeout=_POLL_SECONDS)
+            if not frames:
+                self._assert_workers_alive()
+                continue
+            for frame in frames:
+                spec = by_index.get(frame.get("shard_index"))
+                if spec is None:
+                    raise RuntimeError(
+                        "worker answered for unknown unit %r"
+                        % (frame.get("shard_index"),)
+                    )
+                results.append(_unit_result_from_wire(frame, spec))
+        report = {
+            "mode": "work-stealing",
+            "workers": self._per_worker_report(results),
+            "trace_files": trace_files,
+        }
+        return results, report
+
+    def _per_worker_report(
+        self, results: Sequence[ShardResult]
+    ) -> List[Dict[str, Any]]:
+        """Per-worker overhead split covering *all* workers (0-unit ones
+        included — a stalled worker showing ``units: 0`` is the
+        diagnostic, not a reporting gap)."""
+        self._collect_warm_states(timeout=10.0)
+        report = []
+        for index in range(self.workers):
+            warm = self._warm_states.get(index, {})
+            mine = [r for r in results if r.worker_index == index]
+            report.append({
+                "worker": index,
+                "pid": warm.get("pid") or (
+                    mine[0].worker_pid if mine else None
+                ),
+                "units": len(mine),
+                "journeys": sum(r.spec.num_agents for r in mine),
+                "warmup_seconds": warm.get("warmup_seconds"),
+                "compute_seconds": round(
+                    sum(r.compute_seconds for r in mine), 6
+                ),
+                "compute_cpu_seconds": round(
+                    sum(r.compute_cpu_seconds for r in mine), 6
+                ),
+                "serialize_seconds": round(
+                    sum(r.serialize_seconds for r in mine), 6
+                ),
+            })
+        return report
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def warmup_report(self) -> Dict[str, Any]:
+        """Deterministic per-worker warmup diagnostics.
+
+        Every worker sends its warm state exactly once, as the first
+        frame on its dedicated result channel — before it ever touches
+        the shared task queue, so the probe cannot interleave with (or
+        be starved by) real unit work.  The report is a census, not a
+        sample: all ``workers`` entries are present, ordered by worker
+        index.
+        """
+        self._collect_warm_states(timeout=120.0)
+        if len(self._warm_states) < self.workers:
+            raise RuntimeError(
+                "only %d of %d workers reported their warm state"
+                % (len(self._warm_states), self.workers)
+            )
+        workers = []
+        for index in sorted(self._warm_states):
+            state = dict(self._warm_states[index])
+            state.pop("kind", None)
+            state.pop("version", None)
+            workers.append(state)
+        return {
+            "workers": workers,
+            "workers_reporting": len(workers),
+            "coordinator_warmup_seconds": self.warmup_seconds,
+            "backend": self.backend or (
+                workers[0].get("backend") if workers else None
+            ),
+            "table_cache_dir": self.table_cache_dir,
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._processes:
+            try:
+                self._tasks.put(None)
+            except (OSError, ValueError):
+                break
+        for process in self._processes:
+            process.join(timeout=10.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for channel in self._channels:
+            if channel is not None:
+                channel.close()
+        self._channels = [None] * self.workers
+        self._tasks.close()
+        self._tasks.join_thread()
+
+    def __enter__(self) -> "FleetWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _merge_verifier_stats(
@@ -413,14 +865,15 @@ def merge_shard_results(
     shard_results: Sequence[ShardResult],
     wall_seconds: float,
 ) -> FleetResult:
-    """Fold shard outputs into one :class:`FleetResult`.
+    """Fold unit outputs into one :class:`FleetResult`.
 
     The merged result carries the canonical outcome order (completion
     time, then journey id) — the same order a single-process engine
     produces — so its deterministic signature equals the unsharded
-    run's.  Shards rebuild the topology independently; a mismatch in
-    their malicious-host maps would mean the topology substream leaked
-    shard-local state, so it is asserted rather than papered over.
+    run's, whatever schedule produced the inputs.  Units rebuild the
+    topology independently; a mismatch in their malicious-host maps
+    would mean the topology substream leaked shard-local state, so it
+    is asserted rather than papered over.
     """
     if not shard_results:
         raise ConfigurationError("cannot merge zero shard results")
@@ -469,7 +922,8 @@ def merge_shard_results(
         shards=[
             dict(r.spec.describe(), wall_seconds=r.wall_seconds,
                  events_processed=r.events_processed,
-                 campaign_attacked=r.campaign_attacked)
+                 campaign_attacked=r.campaign_attacked,
+                 worker=r.worker_index)
             for r in ordered
         ],
     )
@@ -478,16 +932,12 @@ def merge_shard_results(
 def _write_merged_trace(
     config: FleetConfig,
     trace_path: str,
-    specs: Sequence[ShardSpec],
+    shard_files: Sequence[str],
 ) -> None:
-    """Merge per-shard JSONL files into the canonical merged trace."""
+    """Merge unit/worker JSONL files into the canonical merged trace."""
     writer = TraceWriter()
     writer.emit("fleet", config=config.to_canonical())
-    for event in merge_shard_events(
-        read_trace(spec.trace_path)
-        for spec in sorted(specs, key=lambda s: s.shard_index)
-        if spec.trace_path
-    ):
+    for event in merge_trace_files(sorted(shard_files)):
         writer.emit(event.pop("event"), **event)
     writer.write(trace_path, canonical_order=True)
 
@@ -498,21 +948,25 @@ def run_fleet(
     num_shards: Optional[int] = None,
     start_method: str = DEFAULT_START_METHOD,
     pool: Optional[FleetWorkerPool] = None,
+    unit_size: Optional[int] = None,
 ) -> FleetResult:
-    """Run a fleet across a multiprocess worker pool and merge the shards.
+    """Run a fleet across the work-stealing pool and merge the units.
 
     Parameters
     ----------
     config:
         The fleet description.  ``config.trace_path`` (if set) receives
-        the merged JSONL trace; per-shard files appear next to it.
+        the merged JSONL trace; per-unit (sequential) or per-worker
+        (pooled) stream files appear next to it.
     workers:
-        Worker processes to use.  ``1`` executes the shards sequentially
+        Worker processes to use.  ``1`` executes the units sequentially
         in this process — same code path, no pool.
     num_shards:
-        Number of shards; defaults to ``workers``.  The merged result is
-        bit-identical for every ``(num_shards, workers)`` choice,
-        including the unsharded single-process engine.
+        Pin the unit count exactly.  Defaults to the dynamic plan of
+        :func:`plan_units` (several small units per worker).  The
+        merged result is bit-identical for every ``(num_shards,
+        workers, unit_size)`` choice, including the unsharded
+        single-process engine.
     start_method:
         :mod:`multiprocessing` start method for the pool (ignored when
         ``pool`` is given).
@@ -520,33 +974,77 @@ def run_fleet(
         Optional persistent :class:`FleetWorkerPool`.  Passing one
         amortizes worker spawn and crypto warm-up across many runs —
         the pool is left open for the caller to reuse.  Without it a
-        throwaway pool is created per call, exactly as before.  A
-        ``workers=1`` call stays single-process even when a pool is
-        supplied, so serial baselines remain serial.
+        throwaway pool is created per call.  A ``workers=1`` call stays
+        single-process even when a pool is supplied, so serial
+        baselines remain serial.
+    unit_size:
+        Journeys per unit (mutually exclusive with ``num_shards``).
+        Smaller units steal better; larger units amortize per-unit
+        setup.
 
     Returns
     -------
     FleetResult
-        Merged result with per-shard metadata in ``result.shards``.
+        Merged result with per-unit metadata in ``result.shards`` and
+        the scheduling/overhead report in ``result.worker_report``.
     """
     if workers < 1:
         raise ConfigurationError("workers must be positive")
     started = time.perf_counter()
-    shards = num_shards if num_shards is not None else workers
-    specs = split_fleet(config, min(shards, config.num_agents))
+    units = min(
+        plan_units(config, workers, num_shards=num_shards,
+                   unit_size=unit_size),
+        config.num_agents,
+    )
+    specs = split_fleet(config, units)
 
     if workers == 1 or len(specs) == 1:
         shard_results = [run_shard(spec) for spec in specs]
-    elif pool is not None:
-        shard_results = pool.map(run_shard, specs)
+        report: Dict[str, Any] = {
+            "mode": "sequential",
+            "workers": [{
+                "worker": 0,
+                "pid": os.getpid(),
+                "units": len(shard_results),
+                "journeys": sum(r.spec.num_agents for r in shard_results),
+                "warmup_seconds": 0.0,
+                "compute_seconds": round(
+                    sum(r.compute_seconds for r in shard_results), 6
+                ),
+                "compute_cpu_seconds": round(
+                    sum(r.compute_cpu_seconds for r in shard_results), 6
+                ),
+                "serialize_seconds": round(
+                    sum(r.serialize_seconds for r in shard_results), 6
+                ),
+            }],
+        }
+        trace_files = [s.trace_path for s in specs if s.trace_path]
     else:
-        context = multiprocessing.get_context(start_method)
-        with context.Pool(processes=min(workers, len(specs))) as throwaway:
-            shard_results = throwaway.map(run_shard, specs)
+        active = pool
+        own_pool: Optional[FleetWorkerPool] = None
+        if active is None:
+            own_pool = FleetWorkerPool(
+                min(workers, len(specs)), start_method=start_method
+            )
+            active = own_pool
+        try:
+            unit_specs = [replace(s, trace_path=None) for s in specs]
+            shard_results, report = active.run_units(
+                unit_specs, trace_path=config.trace_path
+            )
+        finally:
+            if own_pool is not None:
+                own_pool.close()
+        trace_files = report.pop("trace_files", [])
 
+    merge_started = time.perf_counter()
     merged = merge_shard_results(
         config, shard_results, wall_seconds=time.perf_counter() - started
     )
     if config.trace_path:
-        _write_merged_trace(config, config.trace_path, specs)
+        _write_merged_trace(config, config.trace_path, trace_files)
+    report["merge_seconds"] = round(time.perf_counter() - merge_started, 6)
+    report["num_units"] = len(specs)
+    merged.worker_report = report
     return merged

@@ -52,9 +52,12 @@ from repro.agents.execution_log import ExecutionLog
 
 __all__ = [
     "TraceWriter",
+    "append_events",
     "attack_events",
+    "events_to_jsonl",
     "fleet_event_key",
     "merge_shard_events",
+    "merge_trace_files",
     "read_trace",
     "journey_events",
     "execution_log_at",
@@ -94,6 +97,52 @@ def merge_shard_events(
     return merged
 
 
+def events_to_jsonl(events: Iterable[Dict[str, Any]]) -> str:
+    """Serialize events as JSONL (sorted keys, stable floats).
+
+    The single serialization routine every trace file goes through —
+    :class:`TraceWriter`, the per-worker event streams of the
+    work-stealing scheduler, and the shard merger all produce the same
+    bytes for the same events.
+    """
+    buffer = io.StringIO()
+    for event in events:
+        json.dump(event, buffer, sort_keys=True, separators=(",", ":"))
+        buffer.write("\n")
+    return buffer.getvalue()
+
+
+def append_events(path: str, events: Iterable[Dict[str, Any]]) -> None:
+    """Append events to a JSONL stream file.
+
+    Used by pool workers to stream each finished unit's events into
+    their per-worker file: serialization happens in the worker (off the
+    coordinator's critical path) and the events never cross the result
+    channel.  The coordinator truncates the stream files before
+    dispatching a run, so appends from consecutive units of the same
+    run accumulate and runs never bleed into each other.
+    """
+    payload = events_to_jsonl(events)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def merge_trace_files(paths: Iterable[str]) -> List[Dict[str, Any]]:
+    """Merge shard/worker JSONL files into one canonical event list.
+
+    Reads each file (missing files count as empty streams — a worker
+    that never got a traced unit leaves its stream file empty or
+    absent) and folds them through :func:`merge_shard_events`.  The
+    result is independent of file order: units own disjoint journey-id
+    sets, so the canonical key never ties across files.
+    """
+    import os
+
+    return merge_shard_events(
+        read_trace(path) for path in paths if os.path.exists(path)
+    )
+
+
 class TraceWriter:
     """Accumulates trace events and serializes them as JSONL.
 
@@ -130,11 +179,7 @@ class TraceWriter:
         events = self._events
         if canonical_order:
             events = sorted(events, key=fleet_event_key)
-        buffer = io.StringIO()
-        for event in events:
-            json.dump(event, buffer, sort_keys=True, separators=(",", ":"))
-            buffer.write("\n")
-        return buffer.getvalue()
+        return events_to_jsonl(events)
 
     def write(self, path: str, canonical_order: bool = False) -> None:
         """Write the trace to ``path`` (overwrites)."""

@@ -1,0 +1,85 @@
+"""Pickle-free wire encoding for the shard result channel.
+
+Worker processes in :mod:`repro.sim.shard` send their unit results back
+to the coordinator over a dedicated :func:`multiprocessing.Pipe`
+connection as self-describing JSON frames (``Connection.send_bytes``,
+never ``Connection.send``).  Keeping pickle out of the result path has
+two payoffs:
+
+* the channel cannot execute code on receive — a corrupted or
+  adversarial frame fails JSON parsing instead of unpickling something;
+* every field that crosses the boundary is named here, so the wire
+  surface is reviewable and versioned (:data:`WIRE_VERSION`) instead of
+  implicitly being "whatever the dataclass happens to contain".
+
+Floats survive the round trip bit-exactly: :func:`json.dumps` emits the
+shortest ``repr`` that parses back to the identical IEEE-754 double, so
+a merged result decoded from frames hashes to the same deterministic
+signature as one produced in process.
+
+Only the journey-outcome codec and the frame encode/decode primitives
+live here; :mod:`repro.sim.shard` composes them into its unit-result
+and warm-state messages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.sim.fleet import JourneyOutcome
+
+__all__ = [
+    "WIRE_VERSION",
+    "decode_message",
+    "encode_message",
+    "outcome_from_wire",
+    "outcome_to_wire",
+]
+
+#: Version tag every frame carries; a coordinator refuses frames from a
+#: worker running different wire code instead of mis-decoding them.
+WIRE_VERSION = 1
+
+#: Outcome fields the dataclass types as tuples; JSON turns them into
+#: lists, so decoding restores the tuple type explicitly.
+_TUPLE_FIELDS = ("itinerary", "malicious_visited", "scenarios",
+                 "blamed_hosts")
+
+
+def outcome_to_wire(outcome: JourneyOutcome) -> Dict[str, Any]:
+    """JSON-ready dictionary of one journey outcome.
+
+    The canonical (deterministic) fields plus the wall-clock phase
+    timings — unlike :meth:`JourneyOutcome.to_canonical` this is a
+    *transport* encoding, and the coordinator needs the wall timings for
+    :meth:`~repro.sim.fleet.FleetResult.per_phase_seconds`.
+    """
+    payload = outcome.to_canonical()
+    payload["check_seconds"] = outcome.check_seconds
+    payload["session_seconds"] = outcome.session_seconds
+    payload["migrate_seconds"] = outcome.migrate_seconds
+    return payload
+
+
+def outcome_from_wire(payload: Dict[str, Any]) -> JourneyOutcome:
+    """Rebuild a :class:`JourneyOutcome` from its wire dictionary."""
+    fields = dict(payload)
+    for name in _TUPLE_FIELDS:
+        fields[name] = tuple(fields[name])
+    return JourneyOutcome(**fields)
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One channel frame: compact UTF-8 JSON with sorted keys."""
+    return json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_message(data: bytes) -> Dict[str, Any]:
+    """Parse a channel frame produced by :func:`encode_message`."""
+    message = json.loads(data.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("channel frame is not a JSON object")
+    return message

@@ -69,6 +69,22 @@ class TestReportSchema:
         run = fleet["runs"]["workers_1"]
         assert run["throughput_journeys_per_second"] > 0
         assert run["wall_seconds"] > 0
+        # Every run — workers_1 included — records the same well-typed
+        # scheduling diagnostics; renderers never special-case null.
+        for entry in fleet["runs"].values():
+            assert isinstance(entry["worker_utilization"], float)
+            assert entry["worker_utilization"] > 0
+            assert isinstance(entry["busy_fraction"], float)
+            assert entry["scheduler"] in ("sequential", "work-stealing")
+            assert isinstance(entry["merge_seconds"], float)
+            assert entry["workers_detail"]
+            for worker in entry["workers_detail"]:
+                for key in ("worker", "units", "journeys",
+                            "compute_seconds", "compute_cpu_seconds",
+                            "serialize_seconds"):
+                    assert key in worker
+        assert fleet["cpu_count"] >= 1
+        assert isinstance(fleet["cpu_limited"], bool)
         cache = fleet["hash_cache"]
         assert cache["hits"] + cache["misses"] > 0
         assert 0.0 <= cache["hit_rate"] <= 1.0
@@ -264,27 +280,34 @@ class TestSpeedupWarning:
             "speedup_vs_single": 0.8,
             "runs": {"workers_4": {
                 "wall_seconds": 2.0,
-                "shard_wall_seconds": [0.5, 0.6, 0.55, 0.58],
                 "worker_utilization": 0.28,
+                "busy_fraction": 0.97,
+                "merge_seconds": 0.05,
+                "workers_detail": [
+                    {"worker": 0, "units": 3, "warmup_seconds": 0.9,
+                     "compute_seconds": 1.2, "serialize_seconds": 0.1},
+                    {"worker": 1, "units": 5, "warmup_seconds": 1.1,
+                     "compute_seconds": 1.4, "serialize_seconds": 0.2},
+                ],
             }},
-            "worker_warmup": {"workers": [
-                {"pid": 1, "warmup_seconds": 0.9},
-                {"pid": 2, "warmup_seconds": 1.1},
-            ]},
         }
         banner = format_speedup_warning(4, fleet, cpu_count=4)
         assert "WARNING" in banner
         assert "0.80x" in banner
-        assert "0.50, 0.60, 0.55, 0.58" in banner
-        assert "28% of the 4-worker envelope" in banner
-        assert "0.90-1.10s" in banner and "mean 1.00s" in banner
-        assert "run wall of 2.00s" in banner
+        assert "28% of the 4-worker CPU envelope" in banner
+        assert "97% wall-clock busy fraction" in banner
+        assert ("worker 0: 3 units  warmup 0.90s  compute 1.20s  "
+                "serialize 0.10s") in banner
+        assert ("worker 1: 5 units  warmup 1.10s  compute 1.40s  "
+                "serialize 0.20s") in banner
+        assert "merge: 0.05s against a run wall of 2.00s" in banner
 
     def test_banner_degrades_without_attribution_data(self):
         fleet = {"speedup_vs_single": 0.5, "runs": {}}
         banner = format_speedup_warning(2, fleet, cpu_count=1)
         assert "0.50x" in banner
-        assert "Per-shard" not in banner and "Warmup vs run" not in banner
+        assert "Per-worker" not in banner
+        assert "Coordinator merge" not in banner
 
 
 class TestSectionFiltering:

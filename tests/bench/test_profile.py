@@ -20,6 +20,8 @@ class TestClassification:
         ("/x/src/repro/crypto/canonical.py", "encode"),
         ("/x/src/repro/crypto/hashing.py", "encode"),
         ("/x/src/repro/sim/trace.py", "trace"),
+        ("/x/src/repro/sim/shard.py", "shard"),
+        ("/x/src/repro/sim/wire.py", "shard"),
         ("/x/src/repro/sim/fleet.py", "engine"),
         ("/x/src/repro/platform/host.py", "engine"),
         ("/usr/lib/python3.11/hashlib.py", "other"),
@@ -51,7 +53,7 @@ class TestProfileFleet:
         assert profile["schema"] == PROFILE_SCHEMA
         assert profile["journeys"] == 10
         assert set(profile["phases"]) == {
-            "crypto", "encode", "engine", "trace", "other",
+            "crypto", "encode", "engine", "trace", "shard", "other",
         }
         assert profile["top_functions"]
         for row in profile["top_functions"]:

@@ -18,12 +18,13 @@ from repro.exceptions import ConfigurationError
 from repro.sim import (
     FleetConfig,
     FleetEngine,
+    FleetWorkerPool,
     merge_shard_results,
     run_fleet,
     run_shard,
     split_fleet,
 )
-from repro.sim.shard import derive_shard_seed, shard_trace_path
+from repro.sim.shard import derive_shard_seed, plan_units, shard_trace_path
 
 
 def _config(**overrides):
@@ -238,3 +239,79 @@ class TestPartialEngine:
             FleetEngine(config, agent_stop=config.num_agents + 1)
         with pytest.raises(ConfigurationError):
             FleetEngine(config, shard_index=2, num_shards=2)
+
+
+class TestPlanUnits:
+    def test_explicit_shards_win(self):
+        assert plan_units(_config(), workers=4, num_shards=3) == 3
+
+    def test_unit_size_rounds_up(self):
+        assert plan_units(_config(), workers=2, unit_size=7) == 4
+        assert plan_units(_config(), workers=2, unit_size=24) == 1
+        assert plan_units(_config(), workers=2, unit_size=1) == 24
+
+    def test_default_plan_oversubscribes_the_queue(self):
+        # Several units per worker is what makes stealing effective.
+        assert plan_units(_config(), workers=1) == 1
+        assert plan_units(_config(), workers=2) == 8
+        assert plan_units(_config(num_agents=5), workers=4) == 5
+
+    def test_conflicting_knobs_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_units(_config(), workers=2, num_shards=4, unit_size=7)
+        with pytest.raises(ConfigurationError):
+            plan_units(_config(), workers=2, unit_size=0)
+
+
+class TestSchedulingIndependence:
+    """Tentpole property: any (workers, unit size) schedule — including
+    a forced-adversarial one where a stalled worker's units are stolen
+    — merges to the single-process trace bytes and signature."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("reference") / "fleet.jsonl")
+        result = FleetEngine(_config(trace_path=path)).run()
+        with open(path, "rb") as handle:
+            return result.deterministic_signature(), handle.read()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("unit_size", [1, 7, 24])
+    def test_any_schedule_is_bit_identical(
+        self, workers, unit_size, tmp_path, reference
+    ):
+        signature, trace = reference
+        path = str(tmp_path / "merged.jsonl")
+        merged = run_fleet(
+            _config(trace_path=path), workers=workers, unit_size=unit_size
+        )
+        assert merged.deterministic_signature() == signature
+        with open(path, "rb") as handle:
+            assert handle.read() == trace
+        report = merged.worker_report
+        assert report is not None
+        assert report["num_units"] == -(-24 // unit_size)
+        assert (sum(entry["units"] for entry in report["workers"])
+                == report["num_units"])
+
+    def test_adversarial_schedule_steals_the_stalled_workers_units(
+        self, tmp_path, reference
+    ):
+        signature, trace = reference
+        path = str(tmp_path / "stalled.jsonl")
+        # Worker 0 sleeps between warmup and its first queue pull, so
+        # worker 1 must steal (most of) its share for the run to finish
+        # — the interleaving static partitioning can never produce.
+        with FleetWorkerPool(2, stall_seconds={0: 2.0}) as pool:
+            merged = run_fleet(
+                _config(trace_path=path), workers=2, unit_size=3, pool=pool
+            )
+        assert merged.deterministic_signature() == signature
+        with open(path, "rb") as handle:
+            assert handle.read() == trace
+        units = {
+            entry["worker"]: entry["units"]
+            for entry in merged.worker_report["workers"]
+        }
+        assert units[0] + units[1] == 8
+        assert units[1] > units[0]

@@ -70,15 +70,18 @@ def test_warm_worker_pins_backend_and_table_cache(tmp_path):
     assert _WARM_STATE["table_cache"]["path"] == str(tmp_path)
 
 
-def test_warmup_report_samples_every_worker(tmp_path):
+def test_warmup_report_is_a_census_of_every_worker(tmp_path):
     with FleetWorkerPool(2, warm_config=CONFIG, backend="python",
                          table_cache_dir=tmp_path) as pool:
         report = pool.warmup_report()
     assert report["backend"] == "python"
     assert report["table_cache_dir"] == str(tmp_path)
     assert report["coordinator_warmup_seconds"] > 0
-    assert 1 <= report["workers_reporting"] <= 2
-    assert len(report["workers"]) == report["workers_reporting"]
+    # Every worker reports exactly once (its warm state is the first
+    # frame on its dedicated channel) — a census, not a probe sample.
+    assert report["workers_reporting"] == 2
+    assert len(report["workers"]) == 2
+    assert [worker["worker"] for worker in report["workers"]] == [0, 1]
     pids = [worker["pid"] for worker in report["workers"]]
     assert len(set(pids)) == len(pids)
     for worker in report["workers"]:
