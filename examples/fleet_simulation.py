@@ -17,6 +17,13 @@ controls the unit granularity); the merged result (and trace) is
 bit-identical to the single-process run of the same seed, whatever
 schedule the pool happens to take.
 
+``--chaos-kill-worker W`` SIGKILLs worker ``W`` the moment it leases
+its ``--chaos-kill-unit``-th unit, demonstrating the supervised pool:
+the dead worker's unit is requeued, its trace stream repaired, a
+replacement respawned (while ``--chaos-respawn-budget`` lasts — budget
+0 forces the coordinator to finish the queue itself), and the printed
+deterministic signature still matches the fault-free run.
+
 Invocation — run from the repository root with ``PYTHONPATH=src`` (the
 script also falls back to inserting ``../src`` relative to its own
 location, but CI and documentation set the path explicitly rather than
@@ -67,6 +74,18 @@ def main() -> int:
                         help="write the merged per-journey JSONL trace "
                              "here (per-unit or per-worker stream files "
                              "appear next to it)")
+    parser.add_argument("--chaos-kill-worker", type=int, default=None,
+                        metavar="W",
+                        help="SIGKILL worker W mid-run to demonstrate "
+                             "supervised recovery (requires --workers > 1)")
+    parser.add_argument("--chaos-kill-unit", type=int, default=0,
+                        metavar="N",
+                        help="which of the victim's leased units "
+                             "triggers the kill (0-based, default: 0)")
+    parser.add_argument("--chaos-respawn-budget", type=int, default=None,
+                        help="replacement workers the pool may spawn "
+                             "(default: one per original worker; 0 "
+                             "degrades to coordinator execution)")
     args = parser.parse_args()
 
     config = FleetConfig(
@@ -87,12 +106,50 @@ def main() -> int:
         config.validate()
     except ConfigurationError as error:
         parser.error(str(error))
+    if args.chaos_kill_worker is not None:
+        if args.workers < 2:
+            parser.error("--chaos-kill-worker needs --workers > 1")
+        if not 0 <= args.chaos_kill_worker < args.workers:
+            parser.error("--chaos-kill-worker must name one of the "
+                         "%d workers" % args.workers)
     # Past this point a ConfigurationError would be an engine bug, not a
     # usage error — let it traceback instead of masquerading as one.
-    result = run_fleet(config, workers=args.workers,
-                       unit_size=args.unit_size)
+    if args.chaos_kill_worker is not None:
+        from repro.chaos import WORKER_CRASH, Fault, FaultPlan
+        from repro.sim.shard import FleetWorkerPool
+
+        plan = FaultPlan(faults=(
+            Fault(kind=WORKER_CRASH, worker=args.chaos_kill_worker,
+                  at_unit=args.chaos_kill_unit),
+        ))
+        with FleetWorkerPool(
+            args.workers, warm_config=config, fault_plan=plan,
+            respawn_budget=args.chaos_respawn_budget,
+        ) as pool:
+            result = run_fleet(config, workers=args.workers, pool=pool,
+                               unit_size=args.unit_size)
+    else:
+        result = run_fleet(config, workers=args.workers,
+                           unit_size=args.unit_size)
 
     print(fleet_summary_markdown(result))
+    supervision = (result.worker_report or {}).get("supervision")
+    if supervision and (supervision["crashes"]
+                        or supervision["degraded_units"]):
+        for crash in supervision["crashes"]:
+            print("chaos: worker %d died (exit %s) holding unit %s — "
+                  "requeued=%s respawned=%s" % (
+                      crash["worker"], crash["exitcode"],
+                      crash["leased_unit"], crash["requeued"],
+                      crash["respawned"],
+                  ))
+        if supervision["degraded_units"]:
+            print("chaos: respawn budget exhausted; coordinator "
+                  "finished %d unit(s) itself"
+                  % supervision["degraded_units"])
+        print("chaos: %d respawn(s) of a budget of %d" % (
+            supervision["respawns"], supervision["respawn_budget"],
+        ))
     print("deterministic signature: %s" % result.deterministic_signature())
     if args.trace:
         with open(args.trace, "r", encoding="utf-8") as handle:

@@ -84,6 +84,8 @@ __all__ = [
     "bench_crypto_backends",
     "bench_campaign",
     "bench_service",
+    "bench_cluster",
+    "bench_chaos",
     "build_report",
     "compare_to_baseline",
     "format_speedup_warning",
@@ -205,8 +207,12 @@ def run_measurement_grid(protected: bool,
 #: busy metric moves to ``busy_fraction``, and runs gain the
 #: per-worker warmup/compute/serialize/merge overhead split
 #: (``workers_detail``, ``merge_seconds``, ``scheduler``) plus the
-#: section-level ``cpu_count`` / ``cpu_limited`` scaling context.
-BENCH_SCHEMA = "repro-bench-fleet/7"
+#: section-level ``cpu_count`` / ``cpu_limited`` scaling context; ``/8``
+#: adds the ``chaos`` section (seeded fault injection through the
+#: supervised worker pool: clean vs crash-injected vs degraded legs,
+#: all required byte-identical, with recovery wall-time overhead) and
+#: the fleet pool's ``supervision`` block in worker reports.
+BENCH_SCHEMA = "repro-bench-fleet/8"
 
 #: Schema of the stand-alone per-worker overhead-split artifact
 #: (``--workers-output``): the fleet runs' scheduling diagnostics only,
@@ -217,7 +223,9 @@ WORKERS_SCHEMA = "repro-bench-workers/1"
 #: a subset; the emitted report records which subset ran so the
 #: baseline gate can tell "not requested" apart from "silently
 #: dropped".
-ALL_SECTIONS = ("fleet", "dsa", "crypto", "campaign", "service", "cluster")
+ALL_SECTIONS = (
+    "fleet", "dsa", "crypto", "campaign", "service", "cluster", "chaos",
+)
 
 
 def collect_environment() -> Dict[str, Any]:
@@ -1021,6 +1029,139 @@ def bench_cluster(
     }
 
 
+def bench_chaos(
+    config: Optional[FleetConfig] = None,
+    workers: int = 2,
+    chaos_seed: int = 2028,
+    fault_count: int = 2,
+) -> Dict[str, Any]:
+    """Benchmark supervised fault recovery: chaos must cost time, not bits.
+
+    Three legs over the same fleet workload, every one through a fresh
+    ``workers``-wide :class:`~repro.sim.shard.FleetWorkerPool`:
+
+    * **clean** — no faults: the reference wall time, trace, and
+      deterministic signature;
+    * **injected** — a seeded :class:`~repro.chaos.FaultPlan` SIGKILLs
+      workers (including mid-append tears); the pool must requeue the
+      leased units, repair the torn streams, and respawn replacements;
+    * **degraded** — the same plan with ``respawn_budget=0``: every
+      channel dies and the coordinator itself finishes the queue.
+
+    Any divergence — signature or merged trace bytes — from the clean
+    leg is a hard :class:`RuntimeError`, not a number in the report.
+    The reported ``recovery_overhead_fraction`` is the injected leg's
+    wall-time cost relative to clean.
+    """
+    import hashlib
+    import tempfile
+
+    from repro.chaos import LETHAL_FAULT_KINDS, WORKER_CRASH, Fault, FaultPlan
+
+    if workers < 2:
+        raise ValueError("the chaos benchmark needs at least two workers")
+    if config is None:
+        config = FleetConfig(
+            num_agents=24, num_hosts=8, hops_per_journey=2,
+            malicious_host_fraction=0.25, seed=2028,
+            protected=True, batched_verification=True,
+        )
+    else:
+        config = replace(config, protected=True, batched_verification=True)
+
+    plan = FaultPlan.generate(
+        chaos_seed, workers, kinds=LETHAL_FAULT_KINDS, count=fault_count,
+    )
+    # The degraded leg must actually reach coordinator execution, which
+    # requires *every* worker dead with no respawns — top the generated
+    # plan up with a first-lease crash for any worker it spared.
+    targeted = {fault.worker for fault in plan.faults}
+    degraded_plan = FaultPlan(
+        faults=plan.faults + tuple(
+            Fault(kind=WORKER_CRASH, worker=index, at_unit=0)
+            for index in range(workers) if index not in targeted
+        ),
+        seed=plan.seed,
+    )
+
+    def leg(name: str, fault_plan: Optional["FaultPlan"],
+            respawn_budget: Optional[int]) -> Dict[str, Any]:
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = os.path.join(tmp, "%s.jsonl" % name)
+            pool = FleetWorkerPool(
+                workers, warm_config=config, fault_plan=fault_plan,
+                respawn_budget=respawn_budget,
+            )
+            try:
+                started = time.perf_counter()
+                result = run_fleet(
+                    replace(config, trace_path=trace_path),
+                    workers=workers, pool=pool,
+                )
+                wall = time.perf_counter() - started
+            finally:
+                pool.close()
+            with open(trace_path, "rb") as handle:
+                trace_digest = hashlib.sha256(handle.read()).hexdigest()
+        supervision = (result.worker_report or {}).get("supervision", {})
+        crashes = supervision.get("crashes", [])
+        return {
+            "wall_seconds": round(wall, 4),
+            "signature": result.deterministic_signature(),
+            "trace_sha256": trace_digest,
+            "crashes": len(crashes),
+            "requeued_units": sum(
+                1 for crash in crashes if crash.get("requeued")
+            ),
+            "trace_repairs": sum(
+                1 for crash in crashes if crash.get("trace_repair")
+            ),
+            "respawns": supervision.get("respawns", 0),
+            "degraded_units": supervision.get("degraded_units", 0),
+        }
+
+    clean = leg("clean", None, None)
+    injected = leg("injected", plan, None)
+    degraded = leg("degraded", degraded_plan, 0)
+
+    for name, chaotic in (("injected", injected), ("degraded", degraded)):
+        if chaotic["signature"] != clean["signature"]:
+            raise RuntimeError(
+                "%s chaos leg diverged from the clean signature: %s != %s"
+                % (name, chaotic["signature"], clean["signature"])
+            )
+        if chaotic["trace_sha256"] != clean["trace_sha256"]:
+            raise RuntimeError(
+                "%s chaos leg produced different trace bytes than the "
+                "clean run" % name
+            )
+    clean_wall = clean["wall_seconds"]
+    overhead = (
+        (injected["wall_seconds"] - clean_wall) / clean_wall
+        if clean_wall > 0 else 0.0
+    )
+    return {
+        "workload": {
+            "num_agents": config.num_agents,
+            "num_hosts": config.num_hosts,
+            "hops_per_journey": config.hops_per_journey,
+            "seed": config.seed,
+        },
+        "workers": int(workers),
+        "chaos_seed": int(chaos_seed),
+        "faults": [fault.describe() for fault in plan.faults],
+        "faults_injected": len(plan.faults),
+        "clean": clean,
+        "injected": injected,
+        "degraded": degraded,
+        "recovery_overhead_fraction": round(overhead, 4),
+        "parity": {
+            "signature_identical": True,
+            "trace_identical": True,
+        },
+    }
+
+
 def build_report(
     config: FleetConfig,
     workers: int,
@@ -1033,6 +1174,7 @@ def build_report(
     service_config: Optional[FleetConfig] = None,
     service_options: Optional[Dict[str, Any]] = None,
     cluster_options: Optional[Dict[str, Any]] = None,
+    chaos_options: Optional[Dict[str, Any]] = None,
     unit_size: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the selected perf benchmarks and assemble the report.
@@ -1049,7 +1191,8 @@ def build_report(
     one.  ``service_config`` shapes the service section's request
     stream (defaults to a 150-journey fleet) and ``service_options``
     passes extra keyword arguments to :func:`bench_service`;
-    ``cluster_options`` does the same for :func:`bench_cluster`.
+    ``cluster_options`` does the same for :func:`bench_cluster` and
+    ``chaos_options`` for :func:`bench_chaos`.
     """
     selected = list(sections) if sections is not None else list(ALL_SECTIONS)
     unknown = [name for name in selected if name not in ALL_SECTIONS]
@@ -1089,6 +1232,8 @@ def build_report(
         benchmarks["cluster"] = bench_cluster(
             service_config, **(cluster_options or {})
         )
+    if "chaos" in selected:
+        benchmarks["chaos"] = bench_chaos(**(chaos_options or {}))
     report = {
         "schema": BENCH_SCHEMA,
         "quick": quick,
@@ -1151,6 +1296,10 @@ def compare_to_baseline(
             failures.extend(_compare_cluster_sections(
                 current, baseline, max_regression
             ))
+        if "chaos" in sections and "chaos" in baseline["benchmarks"]:
+            failures.extend(_compare_chaos_sections(
+                current, baseline, max_regression
+            ))
         return failures
     if "fleet" not in current["benchmarks"]:
         return ["fleet section missing from current report"]
@@ -1197,6 +1346,10 @@ def compare_to_baseline(
         ))
     if "cluster" in sections:
         failures.extend(_compare_cluster_sections(
+            current, baseline, max_regression
+        ))
+    if "chaos" in sections:
+        failures.extend(_compare_chaos_sections(
             current, baseline, max_regression
         ))
     return failures
@@ -1412,6 +1565,48 @@ def _compare_cluster_sections(
     return failures
 
 
+def _compare_chaos_sections(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> List[str]:
+    """Chaos leg of :func:`compare_to_baseline`.
+
+    Correctness (byte-identity under injected faults) is enforced by
+    :func:`bench_chaos` itself — a divergent run never produces a
+    report.  The baseline gate therefore only checks that the section
+    was not silently dropped and that the same faults were injected;
+    recovery overhead is recorded, not gated — respawn cost is
+    machine-load-dependent in exactly the way wall clocks are.
+    """
+    failures: List[str] = []
+    base_chaos = baseline["benchmarks"].get("chaos")
+    if base_chaos is None:
+        return failures
+    cur_chaos = current["benchmarks"].get("chaos")
+    if cur_chaos is None:
+        return [
+            "chaos section missing from current report — the fault-"
+            "injection benchmark must not be silently dropped"
+        ]
+    for knob in ("chaos_seed", "workers", "faults_injected"):
+        if base_chaos.get(knob) != cur_chaos.get(knob):
+            failures.append(
+                "chaos plan mismatch on %s: baseline %r vs current %r — "
+                "refresh the baseline"
+                % (knob, base_chaos.get(knob), cur_chaos.get(knob))
+            )
+            return failures
+    parity = cur_chaos.get("parity", {})
+    if not (parity.get("signature_identical")
+            and parity.get("trace_identical")):
+        failures.append(
+            "chaos parity flags are not set — injected runs must be "
+            "byte-identical to clean runs"
+        )
+    return failures
+
+
 def format_speedup_warning(workers: int, fleet: Dict[str, Any],
                            cpu_count: Any) -> str:
     """The loud sub-1.0x-speedup banner, with attribution data.
@@ -1580,6 +1775,16 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "shortfall is reported as a warning "
                              "(scaling is physically impossible there), "
                              "exactly like the fleet speedup banner.")
+    parser.add_argument("--chaos-workers", type=int, default=2,
+                        help="worker-pool width of the chaos section's "
+                             "fault-injected legs (default: 2)")
+    parser.add_argument("--chaos-seed", type=int, default=2028,
+                        help="seed of the generated chaos fault plan — "
+                             "the same seed injects the same faults on "
+                             "every machine (default: 2028)")
+    parser.add_argument("--chaos-faults", type=int, default=2,
+                        help="lethal worker faults the generated plan "
+                             "places (default: 2)")
     parser.add_argument("--profile", action="store_true",
                         help="attribute fleet wall time to crypto / "
                              "encode / engine / trace phases (cProfile) "
@@ -1673,6 +1878,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             cluster_options={
                 "verifiers": args.cluster_verifiers,
                 "table_cache": table_cache_dir,
+            },
+            chaos_options={
+                "workers": args.chaos_workers,
+                "chaos_seed": args.chaos_seed,
+                "fault_count": args.chaos_faults,
             },
             unit_size=args.unit_size,
         )
@@ -1854,6 +2064,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("  note: the kill landed after the stream drained "
                   "(no in-flight work to fail over) — rerun with a "
                   "larger stream for a live drill", file=sys.stderr)
+    chaos = report["benchmarks"].get("chaos")
+    if chaos is not None:
+        print("chaos: %d seeded fault(s) injected into a %d-worker "
+              "fleet (seed %d)" % (
+                  chaos["faults_injected"], chaos["workers"],
+                  chaos["chaos_seed"],
+              ))
+        for fault in chaos["faults"]:
+            print("  fault: %s" % json.dumps(fault, sort_keys=True))
+        injected = chaos["injected"]
+        degraded = chaos["degraded"]
+        print("  injected leg: %d crash(es), %d unit(s) requeued, "
+              "%d stream repair(s), %d respawn(s)" % (
+                  injected["crashes"], injected["requeued_units"],
+                  injected["trace_repairs"], injected["respawns"],
+              ))
+        print("  degraded leg: %d crash(es), %d unit(s) finished by "
+              "the coordinator (respawn budget 0)" % (
+                  degraded["crashes"], degraded["degraded_units"],
+              ))
+        print("  recovery overhead: %+.1f%% wall time vs clean "
+              "(%.2fs vs %.2fs); signature and trace byte-identical "
+              "across all legs" % (
+                  100 * chaos["recovery_overhead_fraction"],
+                  injected["wall_seconds"], chaos["clean"]["wall_seconds"],
+              ))
     if args.profile:
         from repro.bench.profile import format_profile
 

@@ -174,5 +174,21 @@ class NoBackendAvailable(ServiceError):
     """
 
 
+class RetryExhausted(ServiceError):
+    """A retried operation kept failing until its deadline.
+
+    Raised by :meth:`repro.service.retry.RetryPolicy.call` with the
+    attempt count and the last underlying error attached (also chained
+    as ``__cause__``) — a typed budget-exhaustion signal, not a bare
+    re-raise of whichever transient happened to come last.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: "BaseException | None" = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class ProofError(ReproError):
     """A holographic proof was malformed or failed verification."""

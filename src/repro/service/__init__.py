@@ -19,6 +19,12 @@ load.  This package is that serving layer:
   routing (:mod:`repro.service.ring`), health checking
   (:mod:`repro.service.health`), idempotent failover, and the local
   multi-process launcher;
+* :mod:`repro.service.retry` — the typed :class:`RetryPolicy`
+  (deadline + jittered exponential backoff) that governs dialing and
+  idempotent request retry everywhere;
+* :mod:`repro.service.breaker` — the per-backend
+  :class:`CircuitBreaker` the gateway uses to shed flapping verifiers
+  from the request path;
 * :mod:`repro.service.client` — the pooled, pipelined wire client
   underneath :func:`connect`;
 * :mod:`repro.service.loadgen` — multi-process replay of fleet journey
@@ -38,8 +44,10 @@ The one way to talk to any of it::
 
 import warnings
 
+from repro.exceptions import RetryExhausted
 from repro.service.api import Verifier, connect, resolve_endpoint
 from repro.service.batching import MicroBatcher, SettledVerification
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import VerdictCache
 from repro.service.cluster import (
     ClusterConfig,
@@ -57,6 +65,7 @@ from repro.service.loadgen import (
     replay_requests,
     run_loadgen,
 )
+from repro.service.retry import DEFAULT_RETRYABLE, RetryPolicy
 from repro.service.ring import HashRing
 from repro.service.server import (
     ServiceConfig,
@@ -96,6 +105,11 @@ __all__ = [
     "MicroBatcher",
     "SettledVerification",
     "VerdictCache",
+    # Robustness: typed retry and per-backend circuit breaking.
+    "RetryPolicy",
+    "RetryExhausted",
+    "DEFAULT_RETRYABLE",
+    "CircuitBreaker",
     # Load generation.
     "LoadgenReport",
     "build_loadgen_stream",

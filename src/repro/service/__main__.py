@@ -56,6 +56,13 @@ def _add_gateway_arguments(parser: argparse.ArgumentParser) -> None:
                         help="consecutive probe failures before mark-down")
     parser.add_argument("--max-attempts", type=int, default=4,
                         help="routing attempts per request across failovers")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive request failures before a "
+                             "backend's circuit breaker sheds it from "
+                             "routing (0 disables breakers)")
+    parser.add_argument("--breaker-cooldown", type=float, default=1.0,
+                        help="seconds a tripped breaker sheds its backend "
+                             "(doubles while the backend keeps flapping)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -154,10 +161,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="replay only raw verify requests")
     loadgen.add_argument("--json", default=None, metavar="PATH",
                          help="write the merged report as JSON")
+    loadgen.add_argument("--retry-deadline", type=float, default=5.0,
+                         help="seconds to retry a request's transport "
+                              "transients before counting it dropped "
+                              "(all replayed requests are idempotent; "
+                              "0 disables retries)")
     loadgen.add_argument("--expect-parity", action="store_true",
                          help="exit non-zero unless every verdict matches "
                               "the in-process ground truth and no request "
-                              "was dropped")
+                              "was dropped (transients are retried under "
+                              "--retry-deadline before counting a drop)")
     return parser
 
 
@@ -213,6 +226,8 @@ def _gateway_config(args: argparse.Namespace,
         health_interval=args.health_interval,
         failure_threshold=args.failure_threshold,
         max_attempts=args.max_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
 
 
@@ -294,6 +309,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         rps=args.rps,
         connections=args.connections,
         max_inflight=args.max_inflight,
+        retry_deadline=args.retry_deadline,
     )
     report.corrupted = corrupted
     summary = report.summary()
@@ -324,6 +340,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         if status == 0:
             print("parity ok: %d/%d verdicts match, zero drops"
                   % (report.completed, report.sent))
+            if report.recovered:
+                print("(%d transient failure(s) recovered by retry)"
+                      % report.recovered)
     return status
 
 

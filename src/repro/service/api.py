@@ -29,7 +29,8 @@ from typing import Any, Dict, List, Optional, Protocol, Tuple, \
     runtime_checkable
 
 from repro.exceptions import ConfigurationError
-from repro.service.client import ServiceClient, connect_with_retry
+from repro.service.client import ServiceClient
+from repro.service.retry import RetryPolicy
 from repro.service.wire import MAX_FRAME_BYTES, check_wire_version
 
 __all__ = ["Verifier", "connect", "resolve_endpoint"]
@@ -118,26 +119,43 @@ async def connect(
     *,
     connections: int = 1,
     retry_timeout: float = 10.0,
+    retry: Optional[RetryPolicy] = None,
     negotiate: bool = True,
     max_frame: int = MAX_FRAME_BYTES,
 ) -> ServiceClient:
     """Open a :class:`Verifier` to ``endpoint`` — the one way to connect.
 
-    Retries the TCP connect until ``retry_timeout`` (a just-spawned
-    server may still be binding), then performs the hello exchange:
-    the server's advertised wire version must match this client's major
-    or the typed :class:`~repro.exceptions.WireVersionMismatch` is
-    raised and the connection is closed.  Pass ``negotiate=False`` only
-    to talk to a pre-``wire/2`` server that cannot advertise.
+    Dialing is governed by a typed
+    :class:`~repro.service.retry.RetryPolicy` — jittered exponential
+    backoff under a deadline (a just-spawned server may still be
+    binding; a thousand clients must not stampede it in lockstep).
+    Pass ``retry`` to control the policy; the plain ``retry_timeout``
+    shorthand builds one with that deadline.  The policy stays attached
+    to the returned client, which transparently re-dials a pooled
+    connection that has since died before using it — so a verifier
+    restart costs callers one failed request at worst, not a dead
+    client.
+
+    After dialing comes the hello exchange: the server's advertised
+    wire version must match this client's major or the typed
+    :class:`~repro.exceptions.WireVersionMismatch` is raised and the
+    connection is closed.  Pass ``negotiate=False`` only to talk to a
+    pre-``wire/2`` server that cannot advertise.
 
     The returned object satisfies :class:`Verifier` regardless of what
     answers: a single verifier, a cluster gateway, or an in-process
     service thread.
     """
     host, port = resolve_endpoint(endpoint)
-    client = await connect_with_retry(
-        host, port, connections=connections, timeout=retry_timeout,
-        max_frame=max_frame,
+    policy = retry if retry is not None else RetryPolicy(
+        deadline=retry_timeout
+    )
+    client = await policy.call(
+        lambda: ServiceClient.connect(
+            host, port, connections=connections, max_frame=max_frame,
+            retry=policy,
+        ),
+        describe="connect to %s:%d" % (host, port),
     )
     if negotiate:
         try:

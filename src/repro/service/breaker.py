@@ -1,0 +1,155 @@
+"""Per-backend circuit breaker for the cluster gateway.
+
+The health monitor and the breaker answer different questions.  The
+monitor asks "does this backend answer a probe?" — which a *flapping*
+verifier (up for a probe, dead for the next three requests) passes
+often enough to keep being routed to, burning a failover round trip on
+the request path every time.  The breaker asks "has this backend been
+failing *real requests*?" and, once tripped, sheds it from routing for
+a cooldown that doubles while the flapping continues — probe results
+never close a breaker, only request-path successes do.
+
+States follow the classic machine:
+
+``closed``
+    Healthy.  Requests flow; ``failure_threshold`` consecutive
+    request-path failures trip the breaker open.
+``open``
+    Shed.  :meth:`blocked` is true until the cooldown elapses, so the
+    router never offers the backend a request to fail.
+``half-open``
+    Probation.  After the cooldown, up to ``half_open_probes``
+    concurrent trial requests may pass; a success closes the breaker,
+    a failure re-opens it with the cooldown doubled (capped at
+    ``max_cooldown``).  Closing within ``flap_window`` of the next trip
+    keeps the doubled cooldown — a backend alternating fast between
+    fine and failing earns longer and longer time-outs instead of a
+    fresh start every flap.
+
+The clock is injectable (``clock=time.monotonic``) so the whole state
+machine is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Request-path failure breaker for one backend."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 1.0,
+        max_cooldown: float = 30.0,
+        flap_window: float = 10.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be positive")
+        if cooldown <= 0:
+            raise ConfigurationError("cooldown must be positive")
+        if max_cooldown < cooldown:
+            raise ConfigurationError("max_cooldown must be >= cooldown")
+        if half_open_probes < 1:
+            raise ConfigurationError("half_open_probes must be positive")
+        self.failure_threshold = failure_threshold
+        self.base_cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self.flap_window = flap_window
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._cooldown = cooldown
+        self._open_until = 0.0
+        self._last_trip = float("-inf")
+        self._half_open_inflight = 0
+        self._trips = 0
+
+    @property
+    def trips(self) -> int:
+        """How many times this breaker has opened."""
+        return self._trips
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` → ``half-open`` on expiry."""
+        if self._state == OPEN and self._clock() >= self._open_until:
+            self._state = HALF_OPEN
+            self._half_open_inflight = 0
+        return self._state
+
+    def blocked(self) -> bool:
+        """Whether routing must avoid this backend right now.
+
+        Pure with respect to trial budget — the router calls this for
+        *every* candidate when building its avoid set, so it must not
+        consume half-open probes for backends the ring never picks.
+        """
+        state = self.state
+        if state == OPEN:
+            return True
+        if state == HALF_OPEN:
+            return self._half_open_inflight >= self.half_open_probes
+        return False
+
+    def begin_attempt(self) -> None:
+        """Account one request routed to this backend."""
+        if self.state == HALF_OPEN:
+            self._half_open_inflight += 1
+
+    def record_success(self) -> None:
+        """A routed request succeeded — close (or stay closed)."""
+        if self.state == HALF_OPEN:
+            self._half_open_inflight = max(0, self._half_open_inflight - 1)
+            self._state = CLOSED
+            # Deliberately NOT resetting the doubled cooldown here: it
+            # only relaxes back to base after the backend stays closed
+            # longer than the flap window (checked at the next trip).
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A routed request failed on transport — count, maybe trip."""
+        state = self.state
+        if state == HALF_OPEN:
+            self._half_open_inflight = max(0, self._half_open_inflight - 1)
+            self._trip(escalate=True)
+            return
+        if state == OPEN:
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            now = self._clock()
+            self._trip(escalate=now - self._last_trip <= self.flap_window)
+
+    def _trip(self, escalate: bool) -> None:
+        now = self._clock()
+        if escalate:
+            self._cooldown = min(self.max_cooldown, self._cooldown * 2.0)
+        else:
+            self._cooldown = self.base_cooldown
+        self._state = OPEN
+        self._open_until = now + self._cooldown
+        self._last_trip = now
+        self._consecutive_failures = 0
+        self._trips += 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "trips": self._trips,
+            "cooldown": self._cooldown,
+            "consecutive_failures": self._consecutive_failures,
+        }

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro.crypto.dsa import RecoverableSignature
 from repro.crypto.signing import RecoverableEnvelope
 from repro.exceptions import ServiceError, ServiceUnavailable
+from repro.service.retry import RetryPolicy
 from repro.service.wire import (
     MAX_FRAME_BYTES,
     decode_body,
@@ -120,14 +121,34 @@ class ServiceClient:
 
     Build instances through :meth:`connect`; close with :meth:`close`
     (or use ``async with``).
+
+    A client built by :meth:`connect` remembers its peer address and
+    **self-heals**: a pooled connection found dead when its turn comes
+    is replaced with a fresh dial before the request is written, so a
+    restarted server costs callers the requests that were in flight
+    when it died — never every request thereafter.  In-flight failures
+    still surface to the caller (only the caller knows whether a retry
+    is safe); :class:`~repro.service.retry.RetryPolicy` is the tool for
+    that layer.
     """
 
-    def __init__(self, connections: List[_Connection]) -> None:
+    def __init__(
+        self,
+        connections: List[_Connection],
+        remote: Optional[Any] = None,
+        max_frame: int = MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         if not connections:
             raise ServiceError("a client needs at least one connection")
         self._connections = connections
         self._rr = itertools.cycle(range(len(connections)))
         self._ids = itertools.count(1)
+        self._remote = tuple(remote) if remote is not None else None
+        self._max_frame = max_frame
+        self._retry = retry
+        self._slot_locks = [asyncio.Lock() for _ in connections]
+        self._closed = False
 
     @classmethod
     async def connect(
@@ -136,6 +157,7 @@ class ServiceClient:
         port: int,
         connections: int = 1,
         max_frame: int = MAX_FRAME_BYTES,
+        retry: Optional[RetryPolicy] = None,
     ) -> "ServiceClient":
         """Open ``connections`` parallel connections to ``host:port``."""
         pool: List[_Connection] = []
@@ -147,15 +169,54 @@ class ServiceClient:
             for connection in pool:
                 await connection.close()
             raise
-        return cls(pool)
+        return cls(pool, remote=(host, port), max_frame=max_frame,
+                   retry=retry)
 
     # -- request primitives ------------------------------------------------------
+
+    def _is_dead(self, connection: _Connection) -> bool:
+        return (connection.failure is not None
+                or connection.reader_task.done()
+                or connection.writer.is_closing())
+
+    async def _slot(self, index: int) -> _Connection:
+        """The connection at ``index``, re-dialed if it has died.
+
+        Reconnection needs a remembered peer (clients built straight
+        from a connection list have none) and is serialized per slot so
+        two concurrent requests cannot race a double dial and leak one.
+        A failed re-dial surfaces as the slot's original failure —
+        callers keep seeing the :class:`ServiceError` they always did.
+        """
+        connection = self._connections[index]
+        if not self._is_dead(connection) or self._remote is None:
+            return connection
+        async with self._slot_locks[index]:
+            connection = self._connections[index]
+            if self._closed or not self._is_dead(connection):
+                return connection
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *self._remote
+                )
+            except (ConnectionError, OSError) as exc:
+                failure = connection.failure
+                if isinstance(failure, ServiceError):
+                    raise failure from exc
+                raise ServiceError(
+                    "connection to %s:%s is closed and re-dial failed: %s"
+                    % (self._remote[0], self._remote[1], exc)
+                ) from exc
+            replacement = _Connection(reader, writer, self._max_frame)
+            await connection.close()
+            self._connections[index] = replacement
+            return replacement
 
     async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one raw request (an ``id`` is added) on the next connection."""
         body = dict(payload)
         body["id"] = next(self._ids)
-        connection = self._connections[next(self._rr)]
+        connection = await self._slot(next(self._rr))
         return await connection.request(body)
 
     async def request_checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -257,7 +318,8 @@ class ServiceClient:
     # -- lifecycle ---------------------------------------------------------------
 
     async def close(self) -> None:
-        """Close every pooled connection."""
+        """Close every pooled connection (and stop self-healing)."""
+        self._closed = True
         for connection in self._connections:
             await connection.close()
 
@@ -276,18 +338,24 @@ async def connect_with_retry(
     interval: float = 0.1,
     max_frame: int = MAX_FRAME_BYTES,
 ) -> ServiceClient:
-    """Connect, retrying until ``timeout`` (server still coming up)."""
-    loop = asyncio.get_event_loop()
-    deadline = loop.time() + timeout
-    while True:
-        try:
-            return await ServiceClient.connect(
-                host, port, connections=connections, max_frame=max_frame
-            )
-        except (ConnectionError, OSError):
-            if loop.time() >= deadline:
-                raise
-            await asyncio.sleep(interval)
+    """Connect, retrying until ``timeout`` (server still coming up).
+
+    Deprecated: the fixed-interval loop this function used to be is now
+    a degenerate :class:`~repro.service.retry.RetryPolicy` (no backoff
+    growth, no jitter) — call ``repro.service.connect(endpoint)`` or
+    build a real policy instead.
+    """
+    policy = RetryPolicy(
+        deadline=timeout, base_delay=interval, max_delay=interval,
+        multiplier=1.0, jitter=0.0,
+    )
+    return await policy.call(
+        lambda: ServiceClient.connect(
+            host, port, connections=connections, max_frame=max_frame,
+            retry=policy,
+        ),
+        describe="connect to %s:%d" % (host, port),
+    )
 
 
 __all__.append("connect_with_retry")

@@ -34,6 +34,13 @@ Design points, in the order a request meets them:
   every backend; K consecutive failures (or one request-path
   connection failure) mark it down, a succeeding probe marks it back
   up and the ring-avoidance set shrinks again — rejoin is rebalancing.
+* **circuit breaking** — a per-backend
+  :class:`repro.service.breaker.CircuitBreaker` fed only by the
+  request path.  A *flapping* verifier (alive for probes, dead for
+  requests) keeps passing health checks; its breaker trips after K
+  consecutive request failures and sheds it from routing for an
+  escalating cooldown, so flaps cost idle time instead of failover
+  round trips on live traffic.
 
 :func:`spawn_verifier` / :class:`LocalCluster` launch real verifier
 subprocesses plus an in-process gateway — the bench harness, the CI
@@ -64,6 +71,7 @@ from repro.exceptions import (
     ServiceUnavailable,
     TruncatedFrame,
 )
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import VerdictCache
 from repro.service.client import ServiceClient
 from repro.service.health import BackendState, HealthMonitor
@@ -120,6 +128,18 @@ class ClusterConfig:
     max_attempts: int = 4
     ring_replicas: int = DEFAULT_REPLICAS
     max_frame: int = MAX_FRAME_BYTES
+    #: Per-backend circuit breaker: consecutive *request-path* failures
+    #: before the backend is shed from routing (``0`` disables the
+    #: breaker tier).  A flapping verifier passes health probes yet
+    #: fails real requests; the breaker keeps it off the request path
+    #: for ``breaker_cooldown`` seconds, doubling (up to
+    #: ``breaker_max_cooldown``) while flaps recur within
+    #: ``breaker_flap_window`` of each other.
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 1.0
+    breaker_max_cooldown: float = 30.0
+    breaker_flap_window: float = 10.0
+    breaker_half_open_probes: int = 1
 
 
 @dataclass
@@ -135,6 +155,8 @@ class _GatewayCounters:
     dedup_hits: int = 0
     failovers: int = 0
     reissues: int = 0
+    breaker_trips: int = 0
+    breaker_shed: int = 0
     no_backend: int = 0
     busy: int = 0
     errors: int = 0
@@ -256,6 +278,23 @@ class ClusterGateway:
         for name in self._addresses:
             self.monitor.add(name)
         self.counters = _GatewayCounters()
+        #: Request-path breakers, one per backend.  The health monitor
+        #: sees probe results; a *flapping* backend passes probes yet
+        #: fails real requests, so the breakers are fed exclusively by
+        #: the dispatch loops — never by :meth:`_probe`.
+        self._breakers: Dict[str, CircuitBreaker] = (
+            {
+                name: CircuitBreaker(
+                    failure_threshold=config.breaker_threshold,
+                    cooldown=config.breaker_cooldown,
+                    max_cooldown=config.breaker_max_cooldown,
+                    flap_window=config.breaker_flap_window,
+                    half_open_probes=config.breaker_half_open_probes,
+                )
+                for name in self._addresses
+            }
+            if config.breaker_threshold > 0 else {}
+        )
         self._clients: Dict[str, ServiceClient] = {}
         self._client_locks: Dict[str, asyncio.Lock] = {}
         self._batchers: Dict[str, _BackendBatcher] = {
@@ -340,6 +379,37 @@ class ClusterGateway:
         return tuple(
             state.name for state in self.monitor.backends if not state.up
         )
+
+    def _avoid_names(self) -> Tuple[str, ...]:
+        """Backends routing must skip: monitor-down plus breaker-shed.
+
+        Shedding only applies while it leaves at least one routable
+        backend — with every breaker open the gateway degrades to
+        monitor health alone instead of refusing requests that the
+        backends might still answer.
+        """
+        avoid = set(self._down_names())
+        shed = [
+            name for name, breaker in self._breakers.items()
+            if name not in avoid and breaker.blocked()
+        ]
+        if shed and len(avoid) + len(shed) < len(self._addresses):
+            self.counters.breaker_shed += len(shed)
+            avoid.update(shed)
+        return tuple(avoid)
+
+    def _note_backend_result(self, backend: str, ok: bool) -> None:
+        """Feed one request-path outcome to ``backend``'s breaker."""
+        breaker = self._breakers.get(backend)
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success()
+            return
+        before = breaker.trips
+        breaker.record_failure()
+        if breaker.trips > before:
+            self.counters.breaker_trips += 1
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -598,11 +668,14 @@ class ClusterGateway:
         """Route ``key`` to a live backend, re-issuing across failures."""
         last_error: Optional[BaseException] = None
         for attempt in range(max(1, self.config.max_attempts)):
-            backend = self.ring.route_avoiding(key, self._down_names())
+            backend = self.ring.route_avoiding(key, self._avoid_names())
             if backend is None:
                 raise NoBackendAvailable(
                     "all %d verifier backends are down" % len(self.ring)
                 )
+            breaker = self._breakers.get(backend)
+            if breaker is not None:
+                breaker.begin_attempt()
             try:
                 result = await self._batchers[backend].submit(item)
             except (ServiceError, ConnectionError, OSError,
@@ -614,9 +687,11 @@ class ClusterGateway:
                 self.counters.failovers += 1
                 if attempt + 1 < max(1, self.config.max_attempts):
                     self.counters.reissues += 1
+                self._note_backend_result(backend, ok=False)
                 self.monitor.record_failure(backend, immediate=True)
                 await self._drop_client(backend)
                 continue
+            self._note_backend_result(backend, ok=True)
             return result, backend
         assert last_error is not None
         raise last_error
@@ -636,12 +711,15 @@ class ClusterGateway:
         last_error: Optional[BaseException] = None
         for attempt in range(max(1, self.config.max_attempts)):
             backend = self.ring.route_avoiding(
-                route_key, self._down_names()
+                route_key, self._avoid_names()
             )
             if backend is None:
                 raise NoBackendAvailable(
                     "all %d verifier backends are down" % len(self.ring)
                 )
+            breaker = self._breakers.get(backend)
+            if breaker is not None:
+                breaker.begin_attempt()
             try:
                 client = await self._client(backend)
                 response = await client.request(payload)
@@ -651,9 +729,11 @@ class ClusterGateway:
                 self.counters.failovers += 1
                 if attempt + 1 < max(1, self.config.max_attempts):
                     self.counters.reissues += 1
+                self._note_backend_result(backend, ok=False)
                 self.monitor.record_failure(backend, immediate=True)
                 await self._drop_client(backend)
                 continue
+            self._note_backend_result(backend, ok=True)
             response = dict(response)
             response["id"] = request_id
             response.setdefault("backend", backend)
@@ -689,6 +769,10 @@ class ClusterGateway:
                 name: batcher.stats()
                 for name, batcher in self._batchers.items()
             },
+            "breakers": {
+                name: breaker.stats()
+                for name, breaker in self._breakers.items()
+            },
             "config": {
                 "backends": [list(address)
                              for address in self.config.backends],
@@ -698,6 +782,8 @@ class ClusterGateway:
                 "health_interval": self.config.health_interval,
                 "failure_threshold": self.config.failure_threshold,
                 "max_attempts": self.config.max_attempts,
+                "breaker_threshold": self.config.breaker_threshold,
+                "breaker_cooldown": self.config.breaker_cooldown,
             },
         }
 

@@ -22,7 +22,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence, Tuple
 
+from repro.exceptions import ServiceError
 from repro.service.api import connect, resolve_endpoint
+from repro.service.retry import RetryPolicy
 from repro.sim.fleet import FleetConfig
 from repro.sim.requests import (
     VerificationRequest,
@@ -38,6 +40,13 @@ __all__ = [
     "run_loadgen",
     "percentile",
 ]
+
+#: What a replay may safely retry: every service request is a pure
+#: function of its payload, so transport transients — resets, torn
+#: reads, a dead pooled connection surfacing as a
+#: :class:`~repro.exceptions.ServiceError` — are retried; a typed
+#: error *response* is an answer and is never retried.
+LOADGEN_RETRYABLE = (OSError, EOFError, ServiceError)
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -57,6 +66,8 @@ class LoadgenReport:
     completed: int = 0
     busy: int = 0
     errors: int = 0
+    retried: int = 0
+    recovered: int = 0
     mismatches: int = 0
     corrupted: int = 0
     verify_requests: int = 0
@@ -83,6 +94,8 @@ class LoadgenReport:
         self.completed += other.completed
         self.busy += other.busy
         self.errors += other.errors
+        self.retried += other.retried
+        self.recovered += other.recovered
         self.mismatches += other.mismatches
         self.corrupted += other.corrupted
         self.verify_requests += other.verify_requests
@@ -100,6 +113,8 @@ class LoadgenReport:
             "dropped": self.dropped,
             "busy": self.busy,
             "errors": self.errors,
+            "retried": self.retried,
+            "recovered": self.recovered,
             "mismatches": self.mismatches,
             "corrupted": self.corrupted,
             "verify_requests": self.verify_requests,
@@ -178,6 +193,7 @@ async def replay_requests(
     connections: int = 2,
     max_inflight: int = 128,
     connect_timeout: float = 10.0,
+    retry_deadline: float = 0.0,
 ) -> LoadgenReport:
     """Drive one async replay of ``requests`` against ``endpoint``.
 
@@ -187,10 +203,21 @@ async def replay_requests(
     ``rps`` schedules request starts on a fixed grid (0 = unthrottled);
     ``max_inflight`` bounds client-side concurrency so an unthrottled
     replay exerts backpressure-shaped load rather than a single burst.
+
+    ``retry_deadline`` > 0 retries transport transients per request
+    under a :class:`~repro.service.retry.RetryPolicy` with that
+    deadline before counting an error — every replayed request is
+    idempotent, so a backend restart mid-run costs latency, not drops.
+    Requests that needed a retry are counted in ``retried`` and, when
+    they ultimately succeeded, in ``recovered``.
     """
     report = LoadgenReport()
     client = await connect(
         endpoint, connections=connections, retry_timeout=connect_timeout
+    )
+    policy = (
+        RetryPolicy(deadline=retry_deadline, retryable=LOADGEN_RETRYABLE)
+        if retry_deadline > 0 else None
     )
     loop = asyncio.get_event_loop()
     gate = asyncio.Semaphore(max(1, int(max_inflight)))
@@ -203,11 +230,28 @@ async def replay_requests(
                 await asyncio.sleep(delay)
         async with gate:
             begin = loop.time()
+            attempts = 0
+
+            async def send() -> Dict[str, Any]:
+                nonlocal attempts
+                attempts += 1
+                return await client.request(dict(request.payload))
+
             try:
-                response = await client.request(dict(request.payload))
+                if policy is not None:
+                    response = await policy.call(
+                        send, describe="%s request %d" % (request.op, index)
+                    )
+                else:
+                    response = await send()
             except Exception:
                 report.errors += 1
+                if attempts > 1:
+                    report.retried += 1
                 return
+            if attempts > 1:
+                report.retried += 1
+                report.recovered += 1
             report.latencies.append(loop.time() - begin)
             status = response.get("status")
             if status == "busy":
@@ -248,10 +292,11 @@ async def replay_requests(
 
 def _loadgen_worker(args: Tuple[Any, ...]) -> Dict[str, Any]:
     """Top-level worker (spawn-picklable): replay a slice of the stream."""
-    (endpoint, requests, rps, connections, max_inflight) = args
+    (endpoint, requests, rps, connections, max_inflight,
+     retry_deadline) = args
     report = asyncio.run(replay_requests(
         endpoint, requests, rps=rps, connections=connections,
-        max_inflight=max_inflight,
+        max_inflight=max_inflight, retry_deadline=retry_deadline,
     ))
     state = dict(report.__dict__)
     return state
@@ -264,6 +309,7 @@ def run_loadgen(
     rps: float = 0.0,
     connections: int = 2,
     max_inflight: int = 128,
+    retry_deadline: float = 0.0,
 ) -> LoadgenReport:
     """Replay ``requests`` from ``processes`` worker processes.
 
@@ -279,7 +325,7 @@ def run_loadgen(
     if processes == 1:
         report = asyncio.run(replay_requests(
             endpoint, list(requests), rps=rps, connections=connections,
-            max_inflight=max_inflight,
+            max_inflight=max_inflight, retry_deadline=retry_deadline,
         ))
         report.processes = 1
         return report
@@ -289,7 +335,7 @@ def run_loadgen(
         slices[index % processes].append(request)
     worker_args = [
         (endpoint, chunk, rps / processes if rps > 0 else 0.0,
-         connections, max_inflight)
+         connections, max_inflight, retry_deadline)
         for chunk in slices if chunk
     ]
     context = multiprocessing.get_context("spawn")

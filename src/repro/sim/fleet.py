@@ -68,8 +68,20 @@ __all__ = [
     "derive_substream",
     "fleet_host_names",
     "journey_arrival_times",
+    "journey_id_for_index",
     "plan_journey_attack",
 ]
+
+
+def journey_id_for_index(index: int) -> str:
+    """The deterministic journey id of the ``index``-th journey.
+
+    Journey ids are a pure function of position — the property that
+    lets a supervisor map a crashed unit's ``[agent_start, agent_stop)``
+    range back to the trace events it must scrub before re-executing
+    the unit.
+    """
+    return "j%05d" % index
 
 
 def fleet_host_names(config: "FleetConfig") -> List[str]:
@@ -753,7 +765,7 @@ class FleetEngine:
         }
 
         for index in range(self.agent_start, self.agent_stop):
-            journey_id = "j%05d" % index
+            journey_id = journey_id_for_index(index)
             journey_rng = Random(derive_substream(config.seed, "journey", index))
             workload = journey_rng.choices(workloads, weights=weights, k=1)[0]
             visited = journey_rng.sample(self._host_names, config.hops_per_journey)

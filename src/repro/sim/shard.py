@@ -49,12 +49,21 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import queue as _queue
 import time
 import traceback
 from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.chaos import (
+    WORKER_CRASH_MID_WRITE,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    kill_self,
+    torn_prefix,
+)
 from repro.exceptions import ConfigurationError
 from repro.sim.fleet import (
     FleetConfig,
@@ -62,8 +71,15 @@ from repro.sim.fleet import (
     FleetResult,
     JourneyOutcome,
     fleet_host_names,
+    journey_id_for_index,
 )
-from repro.sim.trace import TraceWriter, append_events, merge_trace_files
+from repro.sim.trace import (
+    TraceWriter,
+    append_events,
+    events_to_jsonl,
+    merge_trace_files,
+    sanitize_stream_file,
+)
 from repro.sim.wire import (
     WIRE_VERSION,
     decode_message,
@@ -353,6 +369,7 @@ def execute_unit(
     spec: ShardSpec,
     trace_path: Optional[str] = None,
     append: bool = False,
+    fault: Optional[Fault] = None,
 ) -> ShardResult:
     """Execute one unit in the current process, timing each phase.
 
@@ -362,6 +379,12 @@ def execute_unit(
     standalone canonical file.  Compute is timed in both wall and CPU
     seconds, serialization separately — the raw material of the
     harness's per-worker overhead split.
+
+    ``fault`` is the chaos hook for the one injury that must fire
+    *inside* the serialize phase: a
+    :data:`~repro.chaos.WORKER_CRASH_MID_WRITE` appends only a torn
+    prefix of the unit's events, fsyncs, and SIGKILLs the process —
+    the crash signature the supervisor's stream repair must survive.
     """
     started = time.perf_counter()
     cpu_started = time.process_time()
@@ -378,6 +401,13 @@ def execute_unit(
     serialize_started = time.perf_counter()
     if trace_path:
         if append:
+            if fault is not None and fault.kind == WORKER_CRASH_MID_WRITE:
+                payload = events_to_jsonl(engine.trace.events)
+                with open(trace_path, "a", encoding="utf-8") as handle:
+                    handle.write(torn_prefix(payload, fault.fraction))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                kill_self()
             append_events(trace_path, engine.trace.events)
         else:
             engine.trace.write(trace_path, canonical_order=True)
@@ -476,6 +506,7 @@ def _unit_worker_main(
     tasks: Any,
     channel: Any,
     stall_seconds: float = 0.0,
+    faults: Sequence[Fault] = (),
 ) -> None:
     """Body of one work-stealing pool worker (module-level for spawn).
 
@@ -488,14 +519,23 @@ def _unit_worker_main(
     2. optionally stall (test hook for forcing adversarial schedules);
     3. loop: pull ``(spec, trace_template)`` tasks from the shared
        queue — this *is* the work stealing; whichever worker is idle
-       takes the next unit — execute, stream trace events to this
-       worker's own JSONL file, and send the result back as one
-       pickle-free JSON frame.  A ``None`` task is the shutdown
-       sentinel.
+       takes the next unit.  Each pull is announced with a ``lease``
+       frame *before* execution starts, so the coordinator always
+       knows which unit dies with a worker and must be requeued.  Then
+       execute, stream trace events to this worker's own JSONL file,
+       and send the result back as one pickle-free JSON frame.  A
+       ``None`` task is the shutdown sentinel.
 
-    Any exception is reported as an ``error`` frame instead of a silent
-    worker death.
+    ``faults`` is this worker's share of a chaos plan
+    (:meth:`repro.chaos.FaultPlan.for_worker`); the injector applies
+    each fault around the lease it targets — including the lethal ones
+    that end this function with a SIGKILL.
+
+    Any Python exception is reported as an ``error`` frame instead of a
+    silent worker death; process death itself is the supervisor's
+    problem.
     """
+    injector = FaultInjector(faults)
     try:
         warm_worker(host_names, backend, table_cache_dir)
         warm_frame = {
@@ -505,17 +545,30 @@ def _unit_worker_main(
         channel.send_bytes(encode_message(warm_frame))
         if stall_seconds > 0:
             time.sleep(stall_seconds)
+        leases = 0
         while True:
             task = tasks.get()
             if task is None:
                 break
             spec, trace_template = task
+            channel.send_bytes(encode_message({
+                "kind": "lease",
+                "version": WIRE_VERSION,
+                "worker": worker_index,
+                "shard_index": spec.shard_index,
+            }))
+            fault = injector.fault_for_unit(leases)
+            leases += 1
+            injector.apply_pre_execution(fault)
             stream = (
                 worker_trace_path(trace_template, worker_index, workers)
                 if trace_template else None
             )
-            result = execute_unit(spec, trace_path=stream, append=True)
+            result = execute_unit(
+                spec, trace_path=stream, append=True, fault=fault
+            )
             result.worker_index = worker_index
+            injector.apply_post_execution(fault, channel)
             channel.send_bytes(encode_message(_unit_result_to_wire(result)))
     except Exception:
         try:
@@ -555,6 +608,29 @@ class FleetWorkerPool:
     which its siblings steal its share, which is exactly the
     interleaving the bit-identity property tests must cover.
 
+    Supervision
+    -----------
+    The pool is supervised, not fail-fast.  Workers announce every unit
+    they lease before executing it; when a worker process dies (EOF or
+    a torn frame on its channel), the coordinator joins it, repairs the
+    dead worker's trace stream (drops the torn final line and any
+    events the crashed unit already appended —
+    :func:`repro.sim.trace.sanitize_stream_file`), requeues the leased
+    unit, and respawns a replacement at the same index while the
+    ``respawn_budget`` (default: one per worker) lasts.  Budget spent,
+    the pool degrades to the surviving workers; with *no* survivors the
+    coordinator executes the remaining units itself.  Units carry their
+    substream identity, so a re-executed unit is bit-identical to the
+    first attempt by construction — crashes cost wall time, never bits.
+    Deterministic Python exceptions inside a unit still raise (an
+    ``error`` frame): those reproduce on retry, so retrying them would
+    loop, not heal.
+
+    ``fault_plan`` injects a :class:`repro.chaos.FaultPlan` into the
+    workers — each worker applies its own share of the plan to itself.
+    Respawned workers never inherit their predecessor's faults (a
+    crash-at-unit-k would otherwise loop until the budget drained).
+
     Use as a context manager, or call :meth:`close` explicitly.
     """
 
@@ -566,49 +642,83 @@ class FleetWorkerPool:
         backend: Optional[str] = None,
         table_cache_dir: Optional[Union[str, os.PathLike]] = None,
         stall_seconds: Optional[Dict[int, float]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        respawn_budget: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be positive")
+        if respawn_budget is not None and respawn_budget < 0:
+            raise ConfigurationError("respawn_budget must be non-negative")
+        if fault_plan is not None:
+            fault_plan.validate()
         self.workers = workers
         self.start_method = start_method
         self.backend = backend
         self.table_cache_dir = (
             os.fspath(table_cache_dir) if table_cache_dir is not None else None
         )
-        host_names = (
+        self.respawn_budget = (
+            workers if respawn_budget is None else respawn_budget
+        )
+        self._fault_plan = fault_plan
+        self._host_names = (
             fleet_host_names(warm_config) if warm_config is not None else []
         )
-        stalls = dict(stall_seconds or {})
-        context = multiprocessing.get_context(start_method)
-        self._tasks = context.Queue()
+        self._stalls = dict(stall_seconds or {})
+        self._context = multiprocessing.get_context(start_method)
+        self._tasks = self._context.Queue()
         self._processes: List[Any] = []
         self._channels: List[Any] = []
         self._warm_states: Dict[int, Dict[str, Any]] = {}
+        self._leases: Dict[int, int] = {}
+        self._pending_deaths: List[int] = []
+        self._crashes: List[Dict[str, Any]] = []
+        self._respawns = 0
+        self._degraded_units = 0
         self._closed = False
         for index in range(workers):
-            receiver, sender = context.Pipe(duplex=False)
-            process = context.Process(
-                target=_unit_worker_main,
-                args=(index, workers, host_names, backend,
-                      self.table_cache_dir, self._tasks, sender,
-                      float(stalls.get(index, 0.0))),
-                daemon=True,
-                name="fleet-worker-%d" % index,
-            )
-            process.start()
-            # The parent's copy of the send end must close so a dead
-            # worker surfaces as EOF on its channel instead of a hang.
-            sender.close()
-            self._processes.append(process)
-            self._channels.append(receiver)
+            self._spawn_worker(index, initial=True)
         self.warmup_seconds: Optional[float] = None
         if warm_config is not None:
             # Warm the coordinator process with the same state the
             # workers build, so single-process comparison runs and the
             # merge path start equally hot.
             started = time.perf_counter()
-            warm_worker(host_names, backend, self.table_cache_dir)
+            warm_worker(self._host_names, backend, self.table_cache_dir)
             self.warmup_seconds = time.perf_counter() - started
+
+    def _spawn_worker(self, index: int, initial: bool) -> None:
+        """Start (or replace) the worker at ``index``.
+
+        Replacements get no stall and no faults: stalls model one slow
+        incarnation, and a respawned worker re-suffering its
+        predecessor's crash fault would burn the whole respawn budget
+        on one injury.
+        """
+        faults: Tuple[Fault, ...] = ()
+        stall = 0.0
+        if initial:
+            stall = float(self._stalls.get(index, 0.0))
+            if self._fault_plan is not None:
+                faults = self._fault_plan.for_worker(index)
+        receiver, sender = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_unit_worker_main,
+            args=(index, self.workers, self._host_names, self.backend,
+                  self.table_cache_dir, self._tasks, sender, stall, faults),
+            daemon=True,
+            name="fleet-worker-%d" % index,
+        )
+        process.start()
+        # The parent's copy of the send end must close so a dead
+        # worker surfaces as EOF on its channel instead of a hang.
+        sender.close()
+        if index < len(self._processes):
+            self._processes[index] = process
+            self._channels[index] = receiver
+        else:
+            self._processes.append(process)
+            self._channels.append(receiver)
 
     # -- result channel ---------------------------------------------------------
 
@@ -618,25 +728,28 @@ class FleetWorkerPool:
     def _receive(self, timeout: Optional[float]) -> List[Dict[str, Any]]:
         """Drain ready channels; returns the unit frames received.
 
-        Warm-state frames are absorbed into :attr:`_warm_states`; error
-        frames and worker deaths (EOF) raise.
+        Warm-state frames are absorbed into :attr:`_warm_states` and
+        lease announcements into :attr:`_leases`.  A worker death —
+        EOF, or a frame torn mid-transmission — closes that channel and
+        queues the index on :attr:`_pending_deaths` for
+        :meth:`_service_deaths`; it never raises.  ``error`` frames
+        (deterministic Python exceptions inside a unit) still raise:
+        those reproduce on re-execution, so supervision cannot heal
+        them.
         """
         channels = self._open_channels()
         if not channels:
-            raise RuntimeError("all fleet workers have exited")
+            return []
         units: List[Dict[str, Any]] = []
         for channel in _connection_wait(channels, timeout=timeout):
             try:
                 data = channel.recv_bytes()
-            except EOFError:
+            except (EOFError, OSError):
                 index = self._channels.index(channel)
                 self._channels[index] = None
-                process = self._processes[index]
-                process.join(timeout=1.0)
-                raise RuntimeError(
-                    "fleet worker %d (pid %s) exited unexpectedly "
-                    "(exitcode %r)" % (index, process.pid, process.exitcode)
-                )
+                channel.close()
+                self._pending_deaths.append(index)
+                continue
             message = decode_message(data)
             if message.get("version") != WIRE_VERSION:
                 raise RuntimeError(
@@ -647,35 +760,100 @@ class FleetWorkerPool:
             kind = message.get("kind")
             if kind == "warm":
                 self._warm_states[message["worker"]] = message
+            elif kind == "lease":
+                self._leases[message["worker"]] = message["shard_index"]
             elif kind == "error":
                 raise RuntimeError(
                     "fleet worker %r failed:\n%s"
                     % (message.get("worker"), message.get("error"))
                 )
             elif kind == "unit":
+                self._leases.pop(message["worker"], None)
                 units.append(message)
             else:
                 raise RuntimeError("unknown channel frame kind %r" % (kind,))
         return units
 
-    def _assert_workers_alive(self) -> None:
-        for index, process in enumerate(self._processes):
-            if self._channels[index] is not None and not process.is_alive():
-                raise RuntimeError(
-                    "fleet worker %d (pid %s) died (exitcode %r)"
-                    % (index, process.pid, process.exitcode)
-                )
+    def _service_deaths(
+        self,
+        outstanding: Optional[Dict[int, ShardSpec]] = None,
+        trace_path: Optional[str] = None,
+    ) -> None:
+        """Supervise every death :meth:`_receive` has detected.
+
+        For each dead worker: join it for the exitcode, repair its
+        trace stream and requeue the unit it held a lease on (if any),
+        and respawn a replacement at the same index while the budget
+        lasts.  The repair must precede both the requeue and the
+        respawn — the re-executed unit and the replacement worker
+        append to the very bytes being scrubbed.
+        """
+        while self._pending_deaths:
+            index = self._pending_deaths.pop(0)
+            process = self._processes[index]
+            process.join(timeout=5.0)
+            leased = self._leases.pop(index, None)
+            crash: Dict[str, Any] = {
+                "worker": index,
+                "pid": process.pid,
+                "exitcode": process.exitcode,
+                "leased_unit": leased,
+                "requeued": False,
+                "respawned": False,
+                "trace_repair": None,
+            }
+            if (leased is not None and outstanding is not None
+                    and leased in outstanding):
+                spec = outstanding[leased]
+                if trace_path:
+                    stream = worker_trace_path(
+                        trace_path, index, self.workers
+                    )
+                    crash["trace_repair"] = sanitize_stream_file(
+                        stream,
+                        drop_journeys=[
+                            journey_id_for_index(i)
+                            for i in range(spec.agent_start, spec.agent_stop)
+                        ],
+                    )
+                self._tasks.put((spec, trace_path))
+                crash["requeued"] = True
+            if self._respawns < self.respawn_budget:
+                self._respawns += 1
+                self._spawn_worker(index, initial=False)
+                crash["respawned"] = True
+            self._crashes.append(crash)
+
+    def supervision_report(self) -> Dict[str, Any]:
+        """Everything the pool has survived so far."""
+        return {
+            "respawn_budget": self.respawn_budget,
+            "respawns": self._respawns,
+            "crashes": [dict(crash) for crash in self._crashes],
+            "degraded_units": self._degraded_units,
+        }
 
     def _collect_warm_states(self, timeout: float) -> None:
-        """Wait until every worker's warm frame has arrived (bounded)."""
+        """Wait until every *live* worker's warm frame arrived (bounded).
+
+        Dead, unreplaced slots are not waited on — their absence is the
+        diagnostic, and blocking the per-worker report on a worker that
+        can never answer would turn every degraded run into a timeout.
+        """
         deadline = time.monotonic() + timeout
-        while (len(self._warm_states) < self.workers
-               and self._open_channels()):
+        while True:
+            waiting = [
+                index for index in range(self.workers)
+                if self._channels[index] is not None
+                and index not in self._warm_states
+            ]
+            if not waiting:
+                break
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
             self._receive(timeout=min(remaining, 0.25))
-            self._assert_workers_alive()
+            self._service_deaths()
 
     # -- scheduling -------------------------------------------------------------
 
@@ -690,8 +868,16 @@ class FleetWorkerPool:
         whatever is next as they go idle.  Blocks until all results are
         back and returns them (schedule order) together with the
         scheduling report: per-worker units / journeys /
-        warmup-compute-serialize split, and — when ``trace_path`` is
-        set — the per-worker trace stream files the caller must merge.
+        warmup-compute-serialize split, the supervision record
+        (crashes survived, respawns, degraded units), and — when
+        ``trace_path`` is set — the trace stream files the caller must
+        merge.
+
+        Worker deaths do not fail the run: leased units are requeued
+        (after stream repair) and workers respawned while the budget
+        lasts; if every worker is gone and the budget is spent, the
+        coordinator finishes the remaining units in-process.  The
+        returned results are bit-identical to a crash-free run.
         """
         if self._closed:
             raise ConfigurationError("worker pool is closed")
@@ -713,12 +899,18 @@ class FleetWorkerPool:
                 trace_files.append(stream)
         for spec in specs:
             self._tasks.put((spec, trace_path))
+        outstanding: Dict[int, ShardSpec] = dict(by_index)
         results: List[ShardResult] = []
-        while len(results) < len(specs):
+        while outstanding:
+            if not self._open_channels():
+                # Every worker is dead and the respawn budget is spent:
+                # degrade to in-process execution of whatever is left.
+                results.extend(
+                    self._run_degraded(outstanding, trace_path, trace_files)
+                )
+                break
             frames = self._receive(timeout=_POLL_SECONDS)
-            if not frames:
-                self._assert_workers_alive()
-                continue
+            self._service_deaths(outstanding, trace_path)
             for frame in frames:
                 spec = by_index.get(frame.get("shard_index"))
                 if spec is None:
@@ -726,13 +918,58 @@ class FleetWorkerPool:
                         "worker answered for unknown unit %r"
                         % (frame.get("shard_index"),)
                     )
+                if spec.shard_index not in outstanding:
+                    raise RuntimeError(
+                        "duplicate result for unit %d — a requeued unit "
+                        "was also completed by its original worker"
+                        % spec.shard_index
+                    )
                 results.append(_unit_result_from_wire(frame, spec))
+                del outstanding[spec.shard_index]
         report = {
             "mode": "work-stealing",
             "workers": self._per_worker_report(results),
             "trace_files": trace_files,
+            "supervision": self.supervision_report(),
         }
         return results, report
+
+    def _run_degraded(
+        self,
+        outstanding: Dict[int, ShardSpec],
+        trace_path: Optional[str],
+        trace_files: List[str],
+    ) -> List[ShardResult]:
+        """Finish a run with zero live workers, in the coordinator.
+
+        The shared queue is drained (nobody is left to claim it) and
+        every not-yet-completed unit executes in-process, streaming
+        into a dedicated coordinator trace file.  Forward progress is
+        guaranteed whatever the pool survived; only wall time is lost.
+        """
+        self._drain_tasks()
+        stream: Optional[str] = None
+        if trace_path:
+            stream = "%s.worker-coordinator" % trace_path
+            with open(stream, "w", encoding="utf-8"):
+                pass
+            trace_files.append(stream)
+        results: List[ShardResult] = []
+        for index in sorted(outstanding):
+            results.append(
+                execute_unit(outstanding[index], trace_path=stream,
+                             append=True)
+            )
+        self._degraded_units += len(results)
+        outstanding.clear()
+        return results
+
+    def _drain_tasks(self) -> None:
+        try:
+            while True:
+                self._tasks.get_nowait()
+        except (_queue.Empty, OSError, ValueError):
+            pass
 
     def _per_worker_report(
         self, results: Sequence[ShardResult]
@@ -821,8 +1058,14 @@ class FleetWorkerPool:
             if channel is not None:
                 channel.close()
         self._channels = [None] * self.workers
+        # An abnormal shutdown (worker deaths, an error-frame raise)
+        # can leave unclaimed units and our own sentinels on the queue
+        # with no worker left to drain them; ``join_thread()`` would
+        # then block on the feeder forever.  Drain what we can and
+        # never wait on the feeder — the queue dies with the pool.
+        self._drain_tasks()
         self._tasks.close()
-        self._tasks.join_thread()
+        self._tasks.cancel_join_thread()
 
     def __enter__(self) -> "FleetWorkerPool":
         return self

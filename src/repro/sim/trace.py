@@ -59,6 +59,7 @@ __all__ = [
     "merge_shard_events",
     "merge_trace_files",
     "read_trace",
+    "sanitize_stream_file",
     "journey_events",
     "execution_log_at",
 ]
@@ -127,7 +128,11 @@ def append_events(path: str, events: Iterable[Dict[str, Any]]) -> None:
         handle.write(payload)
 
 
-def merge_trace_files(paths: Iterable[str]) -> List[Dict[str, Any]]:
+def merge_trace_files(
+    paths: Iterable[str],
+    tolerate_truncated_tail: bool = True,
+    losses: Optional[Dict[str, int]] = None,
+) -> List[Dict[str, Any]]:
     """Merge shard/worker JSONL files into one canonical event list.
 
     Reads each file (missing files count as empty streams — a worker
@@ -135,12 +140,29 @@ def merge_trace_files(paths: Iterable[str]) -> List[Dict[str, Any]]:
     absent) and folds them through :func:`merge_shard_events`.  The
     result is independent of file order: units own disjoint journey-id
     sets, so the canonical key never ties across files.
+
+    Per-worker streams are appended to by processes that can be killed
+    mid-write, so by default a torn *final* line in a file is dropped
+    rather than fatal; every complete event before it is recovered.
+    Pass a ``losses`` dictionary to learn which files lost a tail
+    (path → dropped line count) — merging never hides a loss, it
+    reports it.  Malformed lines anywhere but the tail still raise:
+    those are corruption, not a crash signature.
     """
     import os
 
-    return merge_shard_events(
-        read_trace(path) for path in paths if os.path.exists(path)
-    )
+    streams = []
+    for path in paths:
+        if not os.path.exists(path):
+            continue
+        if tolerate_truncated_tail:
+            events, truncated = _read_events_tolerant(path)
+            if truncated and losses is not None:
+                losses[path] = truncated
+        else:
+            events = read_trace(path)
+        streams.append(events)
+    return merge_shard_events(streams)
 
 
 class TraceWriter:
@@ -196,6 +218,63 @@ def read_trace(path: str) -> List[Dict[str, Any]]:
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def _read_events_tolerant(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Read a JSONL stream, tolerating a torn final line.
+
+    A process killed mid-append leaves the last line incomplete (or,
+    at worst, complete-but-undecodable).  Everything before it is
+    intact — appends are sequential — so the tolerant reader recovers
+    every complete event and reports how many tail lines it dropped
+    (0 or 1).  An undecodable line that is *not* the last one means the
+    file is corrupt, not crash-torn, and still raises.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    lines = [line for line in text.split("\n") if line.strip()]
+    events: List[Dict[str, Any]] = []
+    for position, line in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            if position == len(lines) - 1:
+                return events, 1
+            raise
+    return events, 0
+
+
+def sanitize_stream_file(
+    path: str, drop_journeys: Iterable[str] = ()
+) -> Dict[str, int]:
+    """Scrub a per-worker stream after its worker crashed.
+
+    Drops a torn final line (the append the crash interrupted) and every
+    event belonging to ``drop_journeys`` — the journeys of the unit the
+    dead worker held a lease on.  That unit will be re-executed
+    elsewhere and append its events again; leaving the partial first
+    attempt in place would duplicate them in the merge.  The file is
+    rewritten in place.  Returns counters (``events_kept``,
+    ``events_dropped``, ``lines_truncated``) for the supervision
+    report.
+    """
+    import os
+
+    if not os.path.exists(path):
+        return {"events_kept": 0, "events_dropped": 0, "lines_truncated": 0}
+    events, truncated = _read_events_tolerant(path)
+    drop = set(drop_journeys)
+    kept = [
+        event for event in events
+        if str(event.get("journey", "")) not in drop
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(kept))
+    return {
+        "events_kept": len(kept),
+        "events_dropped": len(events) - len(kept),
+        "lines_truncated": truncated,
+    }
 
 
 def attack_events(events: Iterable[Dict[str, Any]]

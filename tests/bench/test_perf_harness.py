@@ -323,6 +323,7 @@ class TestSectionFiltering:
         assert report["sections"] == ["fleet", "dsa"]
         assert list(ALL_SECTIONS) == [
             "fleet", "dsa", "crypto", "campaign", "service", "cluster",
+            "chaos",
         ]
 
     def test_unknown_section_is_rejected(self):

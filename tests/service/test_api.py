@@ -182,3 +182,38 @@ class TestPublicSurface:
             issubclass(warning.category, DeprecationWarning)
             for warning in caught
         )
+
+
+class TestSlotSelfHealing:
+    def test_client_redials_a_dead_slot_after_server_restart(self):
+        """A pooled connection killed by a backend restart is re-dialed
+        transparently by the slot it lives in — the same client object
+        keeps serving requests against the reborn server."""
+        from repro.service.server import VerificationService
+
+        async def run():
+            service = VerificationService(ServiceConfig(fleet_hosts=4))
+            host, port = await service.start()
+            client = await connect((host, port))
+            try:
+                before = await client.hello()
+                assert before["role"] == "verifier"
+
+                await service.stop()
+                reborn = VerificationService(
+                    ServiceConfig(fleet_hosts=4, host=host, port=port)
+                )
+                assert (await reborn.start()) == (host, port)
+                try:
+                    # Let the pooled connection's reader observe EOF so
+                    # the slot is provably dead, not merely suspect.
+                    await asyncio.sleep(0.05)
+                    after = await client.hello()
+                    assert after["role"] == "verifier"
+                    assert after["instance"] != before["instance"]
+                finally:
+                    await reborn.stop()
+            finally:
+                await client.close()
+
+        asyncio.run(run())

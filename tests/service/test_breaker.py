@@ -1,0 +1,175 @@
+"""CircuitBreaker state machine, driven by an injectable clock.
+
+No sleeping: a fake monotonic clock walks the breaker through trip,
+cooldown, probation, and flap escalation deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import CircuitBreaker
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _breaker(**overrides):
+    clock = FakeClock()
+    defaults = dict(failure_threshold=3, cooldown=1.0, max_cooldown=8.0,
+                    flap_window=10.0, half_open_probes=1, clock=clock)
+    defaults.update(overrides)
+    return CircuitBreaker(**defaults), clock
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("overrides", [
+        {"failure_threshold": 0},
+        {"cooldown": 0.0},
+        {"max_cooldown": 0.5, "cooldown": 1.0},
+        {"half_open_probes": 0},
+    ])
+    def test_bad_knobs_are_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            _breaker(**overrides)
+
+
+class TestTripAndCooldown:
+    def test_threshold_consecutive_failures_trip_the_breaker(self):
+        breaker, _ = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and not breaker.blocked()
+        breaker.record_failure()
+        assert breaker.state == OPEN and breaker.blocked()
+        assert breaker.trips == 1
+
+    def test_a_success_resets_the_failure_streak(self):
+        breaker, _ = _breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_expiry_moves_to_probation(self):
+        breaker, clock = _breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.5)
+        assert breaker.blocked()
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+        assert not breaker.blocked()
+
+    def test_failures_while_open_do_not_stack_trips(self):
+        breaker, _ = _breaker()
+        for _ in range(6):
+            breaker.record_failure()
+        assert breaker.trips == 1
+
+
+class TestProbation:
+    def _tripped(self, **overrides):
+        breaker, clock = _breaker(**overrides)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.state == HALF_OPEN
+        return breaker, clock
+
+    def test_blocked_is_pure_but_begin_attempt_spends_the_probe(self):
+        breaker, _ = self._tripped()
+        for _ in range(5):
+            assert not breaker.blocked()  # pure: no budget consumed
+        breaker.begin_attempt()
+        assert breaker.blocked()  # the single trial is in flight
+
+    def test_probe_budget_admits_that_many_trials(self):
+        breaker, _ = self._tripped(half_open_probes=2)
+        breaker.begin_attempt()
+        assert not breaker.blocked()
+        breaker.begin_attempt()
+        assert breaker.blocked()
+
+    def test_trial_success_closes_the_breaker(self):
+        breaker, _ = self._tripped()
+        breaker.begin_attempt()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert not breaker.blocked()
+
+    def test_trial_failure_reopens_with_doubled_cooldown(self):
+        breaker, clock = self._tripped()
+        breaker.begin_attempt()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        clock.advance(1.1)
+        assert breaker.blocked()  # base cooldown would have expired
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestFlapEscalation:
+    def _flap_once(self, breaker, clock):
+        """One full flap: trip, wait out the cooldown, pass the trial,
+        then immediately start failing again."""
+        clock.advance(breaker.stats()["cooldown"] + 0.01)
+        breaker.begin_attempt()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_flapping_doubles_the_cooldown_up_to_the_cap(self):
+        breaker, clock = _breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        cooldowns = [breaker.stats()["cooldown"]]
+        for _ in range(4):
+            self._flap_once(breaker, clock)
+            cooldowns.append(breaker.stats()["cooldown"])
+        assert cooldowns == [1.0, 2.0, 4.0, 8.0, 8.0]  # capped
+
+    def test_staying_closed_past_the_flap_window_earns_a_fresh_start(self):
+        breaker, clock = _breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        self._flap_once(breaker, clock)
+        assert breaker.stats()["cooldown"] == 2.0
+        clock.advance(2.1)
+        breaker.begin_attempt()
+        breaker.record_success()
+        clock.advance(10.1)  # outlive the flap window while closed
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.stats()["cooldown"] == 1.0  # back to base
+
+
+class TestStats:
+    def test_stats_expose_the_operational_story(self):
+        breaker, _ = _breaker()
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats["state"] == CLOSED
+        assert stats["trips"] == 0
+        assert stats["consecutive_failures"] == 1
+        for _ in range(2):
+            breaker.record_failure()
+        stats = breaker.stats()
+        assert stats["state"] == OPEN
+        assert stats["trips"] == 1
+        assert stats["consecutive_failures"] == 0

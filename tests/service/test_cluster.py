@@ -232,6 +232,75 @@ class TestFailover:
         asyncio.run(run())
 
 
+class TestCircuitBreaking:
+    def test_flapping_backend_is_shed_not_reprobed(self):
+        """A verifier that passes health probes but fails real requests
+        must be shed by its breaker: traffic keeps flowing through the
+        survivor with zero lost or wrong verdicts and zero failover
+        round trips, even while the monitor swears the flapper is up."""
+        async def run():
+            backends, gateway, client = await _start_cluster(
+                2, breaker_threshold=1, breaker_cooldown=30.0
+            )
+            try:
+                await backends[0].stop()  # fails requests from now on
+                first = await asyncio.gather(*(
+                    client.verify("host-001", message, signature)
+                    for message, signature in _signed(20, prefix=b"flap1")
+                ))
+                assert [r["verdict"] for r in first] == [True] * 20
+                assert gateway.counters.breaker_trips >= 1
+                (flapper,) = (set(gateway.ring.nodes)
+                              - set(gateway.monitor.up_backends()))
+                # The flap: a probe sneaks through and the monitor
+                # marks the backend up again — requests would fail.
+                gateway.monitor.record_success(flapper, {})
+                assert flapper in gateway.monitor.up_backends()
+                assert gateway._breakers[flapper].blocked()
+
+                failovers_before = gateway.counters.failovers
+                second = await asyncio.gather(*(
+                    client.verify("host-001", message, signature)
+                    for message, signature in _signed(20, prefix=b"flap2")
+                ))
+                # Zero lost, zero duplicated, zero wrong: one correct
+                # verdict per request, all from the survivor, and not a
+                # single failover burned on re-probing the flapper.
+                assert [r["verdict"] for r in second] == [True] * 20
+                assert {r["backend"] for r in second} == {
+                    name for name in gateway.ring.nodes if name != flapper
+                }
+                assert gateway.counters.failovers == failovers_before
+                assert gateway.counters.breaker_shed > 0
+
+                stats = await client.stats()
+                assert stats["breakers"][flapper]["state"] == "open"
+                assert stats["breakers"][flapper]["trips"] >= 1
+            finally:
+                await _teardown(backends, gateway, client)
+
+        asyncio.run(run())
+
+    def test_threshold_zero_disables_the_breakers(self):
+        async def run():
+            backends, gateway, client = await _start_cluster(
+                2, breaker_threshold=0
+            )
+            try:
+                assert gateway._breakers == {}
+                message, signature = _signed(1, prefix=b"nb")[0]
+                response = await client.verify(
+                    "host-001", message, signature
+                )
+                assert response["verdict"] is True
+                stats = await client.stats()
+                assert stats["breakers"] == {}
+            finally:
+                await _teardown(backends, gateway, client)
+
+        asyncio.run(run())
+
+
 class TestRestartInvalidation:
     def test_backend_restart_invalidates_its_tagged_verdicts(self):
         async def run():

@@ -172,3 +172,95 @@ class TestReporting:
         assert merged.busy == 1
         assert merged.wall_seconds == 2.0
         assert merged.dropped == 1
+
+
+class TestTransientRetry:
+    def test_backend_restart_mid_replay_costs_latency_not_drops(self):
+        """Satellite: with ``retry_deadline`` set, a parity replay that
+        straddles a backend restart retries its idempotent requests
+        instead of reporting them dropped — zero errors, zero
+        mismatches, and the retries are accounted."""
+        stream, _ = build_loadgen_stream(
+            _CONFIG, requests=60, adversarial_fraction=0.25, seed=7
+        )
+
+        async def run():
+            config = ServiceConfig(fleet_hosts=_CONFIG.num_hosts,
+                                   max_batch=16, max_delay=0.005)
+            service = VerificationService(config)
+            host, port = await service.start()
+
+            async def restart_soon():
+                await asyncio.sleep(0.05)
+                await service.stop()
+                reborn = VerificationService(
+                    ServiceConfig(fleet_hosts=_CONFIG.num_hosts,
+                                  max_batch=16, max_delay=0.005,
+                                  host=host, port=port)
+                )
+                await reborn.start()
+                return reborn
+
+            restarter = asyncio.ensure_future(restart_soon())
+            try:
+                # rps pacing stretches the replay across the restart so
+                # some requests are in flight when the listener dies.
+                report = await replay_requests(
+                    (host, port), stream, rps=300.0, connections=1,
+                    max_inflight=4, retry_deadline=10.0,
+                )
+            finally:
+                reborn = await restarter
+                await reborn.stop()
+            return report
+
+        report = asyncio.run(run())
+        assert report.completed == 60
+        assert report.errors == 0
+        assert report.dropped == 0
+        assert report.mismatches == 0
+        assert report.retried > 0
+        assert report.recovered == report.retried
+        summary = report.summary()
+        assert summary["retried"] == report.retried
+        assert summary["recovered"] == report.recovered
+
+    def test_without_retry_the_same_restart_drops_requests(self):
+        """The control: retry_deadline=0 keeps the legacy behaviour —
+        transport errors during the restart surface as drops."""
+        stream, _ = build_loadgen_stream(
+            _CONFIG, requests=60, adversarial_fraction=0.0, seed=7
+        )
+
+        async def run():
+            config = ServiceConfig(fleet_hosts=_CONFIG.num_hosts,
+                                   max_batch=16, max_delay=0.005)
+            service = VerificationService(config)
+            host, port = await service.start()
+
+            async def restart_soon():
+                await asyncio.sleep(0.05)
+                await service.stop()
+                reborn = VerificationService(
+                    ServiceConfig(fleet_hosts=_CONFIG.num_hosts,
+                                  max_batch=16, max_delay=0.005,
+                                  host=host, port=port)
+                )
+                await reborn.start()
+                return reborn
+
+            restarter = asyncio.ensure_future(restart_soon())
+            try:
+                report = await replay_requests(
+                    (host, port), stream, rps=300.0, connections=1,
+                    max_inflight=4, retry_deadline=0.0,
+                )
+            finally:
+                reborn = await restarter
+                await reborn.stop()
+            return report
+
+        report = asyncio.run(run())
+        assert report.errors > 0
+        assert report.dropped > 0
+        assert report.retried == 0

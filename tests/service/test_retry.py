@@ -1,0 +1,117 @@
+"""RetryPolicy: deadline-bounded, jitter-deterministic, typed exhaustion."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ProtocolError,
+    RetryExhausted,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.service import DEFAULT_RETRYABLE, RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        RetryPolicy().validate()
+
+    @pytest.mark.parametrize("overrides", [
+        {"deadline": 0.0},
+        {"deadline": -1.0},
+        {"base_delay": 0.0},
+        {"max_delay": 0.01, "base_delay": 0.05},
+        {"multiplier": 0.5},
+        {"jitter": -0.1},
+        {"jitter": 1.5},
+        {"retryable": ()},
+    ])
+    def test_bad_knobs_are_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**overrides).validate()
+
+
+class TestBackoffSchedule:
+    def test_delay_grows_geometrically_to_the_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0,
+                             max_delay=0.5, jitter=0.0)
+        assert [policy.delay(n) for n in range(5)] == [
+            pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.4),
+            pytest.approx(0.5), pytest.approx(0.5),
+        ]
+
+    def test_jitter_only_shrinks_the_delay(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        rng = random.Random(3)
+        for attempt in range(6):
+            delay = policy.delay(attempt, rng)
+            ceiling = min(policy.max_delay,
+                          policy.base_delay * policy.multiplier ** attempt)
+            assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_seeded_policies_jitter_identically(self):
+        first = [RetryPolicy(seed=9).delay(n, random.Random(9))
+                 for n in range(4)]
+        second = [RetryPolicy(seed=9).delay(n, random.Random(9))
+                  for n in range(4)]
+        assert first == second
+
+
+class TestCall:
+    def test_transient_failures_are_retried_until_success(self):
+        attempts = []
+
+        async def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionResetError("transient")
+            return "served"
+
+        policy = RetryPolicy(deadline=5.0, base_delay=0.001, seed=1)
+        assert asyncio.run(policy.call(flaky)) == "served"
+        assert len(attempts) == 3
+
+    def test_deadline_surfaces_a_typed_exhaustion(self):
+        async def always_down():
+            raise ConnectionRefusedError("nope")
+
+        policy = RetryPolicy(deadline=0.05, base_delay=0.005, seed=1)
+        with pytest.raises(RetryExhausted) as info:
+            asyncio.run(policy.call(always_down, describe="dial"))
+        error = info.value
+        assert isinstance(error, ServiceError)
+        assert error.attempts >= 1
+        assert isinstance(error.last_error, ConnectionRefusedError)
+        assert isinstance(error.__cause__, ConnectionRefusedError)
+        assert "dial" in str(error)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        attempts = []
+
+        async def broken():
+            attempts.append(1)
+            raise ProtocolError("malformed frame")
+
+        policy = RetryPolicy(deadline=5.0, base_delay=0.001)
+        with pytest.raises(ProtocolError):
+            asyncio.run(policy.call(broken))
+        assert len(attempts) == 1
+
+    def test_backpressure_shed_is_retryable_by_default(self):
+        assert ServiceUnavailable in DEFAULT_RETRYABLE
+        attempts = []
+
+        async def shedding():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise ServiceUnavailable("queue full")
+            return "ok"
+
+        policy = RetryPolicy(deadline=5.0, base_delay=0.001, seed=1)
+        assert asyncio.run(policy.call(shedding)) == "ok"
+        assert len(attempts) == 2

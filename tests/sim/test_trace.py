@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+
+import pytest
+
 from repro.sim import (
     FleetConfig,
     FleetEngine,
@@ -10,6 +14,7 @@ from repro.sim import (
     journey_events,
     read_trace,
 )
+from repro.sim.trace import merge_trace_files, sanitize_stream_file
 
 
 class TestTraceWriter:
@@ -75,3 +80,79 @@ class TestFleetTraces:
     def test_missing_hop_returns_none(self, tmp_path):
         _, events = self._events(tmp_path)
         assert execution_log_at(events, "j99999", 0) is None
+
+
+class TestTruncatedStreams:
+    """Satellite: a worker SIGKILLed mid-append leaves a torn final
+    line; the merge recovers every complete event and reports the
+    loss instead of hiding it (or dying on it)."""
+
+    @staticmethod
+    def _stream(path, journeys, torn_tail=False):
+        lines = [
+            json.dumps({"event": "hop", "ts": float(i), "journey": j})
+            for i, j in enumerate(journeys)
+        ]
+        payload = "\n".join(lines) + "\n"
+        if torn_tail:
+            extra = json.dumps(
+                {"event": "settle", "ts": 99.0, "journey": journeys[-1]}
+            )
+            payload += extra[: len(extra) // 2]  # the interrupted append
+        path.write_text(payload, encoding="utf-8")
+        return str(path)
+
+    def test_merge_recovers_complete_events_and_reports_the_loss(
+        self, tmp_path
+    ):
+        intact = self._stream(tmp_path / "w0.jsonl", ["j00000", "j00001"])
+        torn = self._stream(tmp_path / "w1.jsonl", ["j00002", "j00003"],
+                            torn_tail=True)
+        losses = {}
+        events = merge_trace_files([intact, torn], losses=losses)
+        assert [e["journey"] for e in events] == [
+            "j00000", "j00002", "j00001", "j00003"
+        ]
+        assert losses == {torn: 1}
+
+    def test_intact_streams_report_no_losses(self, tmp_path):
+        intact = self._stream(tmp_path / "w0.jsonl", ["j00000"])
+        losses = {}
+        assert len(merge_trace_files([intact], losses=losses)) == 1
+        assert losses == {}
+
+    def test_strict_mode_still_raises_on_a_torn_tail(self, tmp_path):
+        torn = self._stream(tmp_path / "w0.jsonl", ["j00000"],
+                            torn_tail=True)
+        with pytest.raises(ValueError):
+            merge_trace_files([torn], tolerate_truncated_tail=False)
+
+    def test_mid_file_corruption_is_not_mistaken_for_a_crash(
+        self, tmp_path
+    ):
+        path = tmp_path / "w0.jsonl"
+        good = json.dumps({"event": "hop", "ts": 1.0, "journey": "j00000"})
+        path.write_text("{broken\n" + good + "\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            merge_trace_files([str(path)])
+
+    def test_missing_stream_files_count_as_empty(self, tmp_path):
+        intact = self._stream(tmp_path / "w0.jsonl", ["j00000"])
+        events = merge_trace_files([intact, str(tmp_path / "absent.jsonl")])
+        assert len(events) == 1
+
+    def test_sanitize_scrubs_torn_tail_and_leased_journeys(self, tmp_path):
+        path = tmp_path / "w1.jsonl"
+        self._stream(path, ["j00002", "j00003", "j00002"], torn_tail=True)
+        report = sanitize_stream_file(str(path), drop_journeys=["j00002"])
+        assert report == {
+            "events_kept": 1, "events_dropped": 2, "lines_truncated": 1
+        }
+        survivors = read_trace(str(path))
+        assert [e["journey"] for e in survivors] == ["j00003"]
+
+    def test_sanitize_of_a_missing_stream_is_a_no_op(self, tmp_path):
+        report = sanitize_stream_file(str(tmp_path / "absent.jsonl"))
+        assert report == {
+            "events_kept": 0, "events_dropped": 0, "lines_truncated": 0
+        }
