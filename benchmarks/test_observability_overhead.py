@@ -1,0 +1,61 @@
+"""Acceptance gate: live telemetry costs ≤2% of fleet wall time.
+
+The observability layer promises that metrics collection is cheap
+enough to leave on everywhere: counters are plain integer adds,
+histograms are bounded-reservoir appends, and the engine's per-hop
+spans reuse the timestamps the simulator already takes.  This suite
+measures the enabled-vs-disabled delta on a fleet-shaped run
+(interleaved legs, best-of-N, like the other wall-clock gates here) and
+fails if the overhead fraction exceeds the budget.
+
+The structural tests for the same leg live in tier-1
+(tests/bench/test_perf_harness.py); only the timing assertion lives
+here, where wall-clock variance belongs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.reportutil import write_report
+from repro.bench.harness import bench_telemetry_overhead
+from repro.sim import FleetConfig
+
+#: The acceptance budget from the issue: metrics on vs. off within 2%.
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def test_telemetry_overhead_stays_within_budget():
+    config = FleetConfig(
+        num_agents=240,
+        num_hosts=16,
+        hops_per_journey=3,
+        malicious_host_fraction=0.2,
+        seed=2026,
+        batched_verification=True,
+    )
+    result = bench_telemetry_overhead(config, repeats=5, max_agents=240)
+
+    write_report("observability_overhead.md", "\n".join([
+        "# Telemetry overhead (metrics on vs. off)",
+        "",
+        "%d agents, best of %d interleaved pairs" % (
+            result["num_agents"], result["repeats"],
+        ),
+        "",
+        "| leg | seconds |",
+        "|---|---|",
+        "| metrics off | %.4f |" % result["disabled_wall_seconds"],
+        "| metrics on | %.4f |" % result["enabled_wall_seconds"],
+        "",
+        "overhead: %+.2f%% (budget %.0f%%)" % (
+            100.0 * result["overhead_fraction"],
+            100.0 * MAX_OVERHEAD_FRACTION,
+        ),
+        "",
+    ]))
+
+    assert result["disabled_wall_seconds"] > 0
+    assert result["overhead_fraction"] <= MAX_OVERHEAD_FRACTION, (
+        "telemetry overhead %.2f%% exceeds the %.0f%% budget"
+        % (100.0 * result["overhead_fraction"],
+           100.0 * MAX_OVERHEAD_FRACTION)
+    )

@@ -79,6 +79,7 @@ __all__ = [
     "ALL_SECTIONS",
     "collect_environment",
     "bench_fleet_throughput",
+    "bench_telemetry_overhead",
     "bench_table_warmup",
     "bench_dsa_verification",
     "bench_crypto_backends",
@@ -211,8 +212,12 @@ def run_measurement_grid(protected: bool,
 #: adds the ``chaos`` section (seeded fault injection through the
 #: supervised worker pool: clean vs crash-injected vs degraded legs,
 #: all required byte-identical, with recovery wall-time overhead) and
-#: the fleet pool's ``supervision`` block in worker reports.
-BENCH_SCHEMA = "repro-bench-fleet/8"
+#: the fleet pool's ``supervision`` block in worker reports; ``/9``
+#: adds the observability layer: the fleet section's
+#: ``telemetry_overhead`` block (interleaved metrics-on vs metrics-off
+#: single-process legs, best-of-N each) and the merged ``telemetry``
+#: snapshot carried by multi-worker runs' worker reports.
+BENCH_SCHEMA = "repro-bench-fleet/9"
 
 #: Schema of the stand-alone per-worker overhead-split artifact
 #: (``--workers-output``): the fleet runs' scheduling diagnostics only,
@@ -273,6 +278,7 @@ def bench_fleet_throughput(
 
     runs: Dict[str, Any] = {}
     signatures: Dict[str, str] = {}
+    telemetry_by_key: Dict[str, Any] = {}
     cache_before = encoding_cache_stats()
     cache_after = cache_before
     for worker_count in sorted({1, workers}):
@@ -287,6 +293,7 @@ def bench_fleet_throughput(
         wall = time.perf_counter() - started
         key = "workers_%d" % worker_count
         signatures[key] = result.deterministic_signature()
+        telemetry_by_key[key] = (result.worker_report or {}).get("telemetry")
         shard_walls = [
             round(shard.get("wall_seconds", 0.0), 4)
             for shard in (result.shards or [])
@@ -367,10 +374,74 @@ def bench_fleet_throughput(
             if hits + misses else 0.0,
         },
         "warmup": bench_table_warmup(config),
+        "telemetry_overhead": bench_telemetry_overhead(config),
     }
+    # The merged live-telemetry snapshot of the widest run (counters
+    # and latency distributions across all workers) rides along so the
+    # --metrics-out artifact needs no extra measured run.
+    for key in ("workers_%d" % workers, "workers_1"):
+        if telemetry_by_key.get(key) is not None:
+            section["telemetry"] = telemetry_by_key[key]
+            break
+    else:
+        section["telemetry"] = None
     if pool is not None and workers > 1:
         section["worker_warmup"] = pool.warmup_report()
     return section
+
+
+def bench_telemetry_overhead(
+    config: FleetConfig,
+    repeats: int = 3,
+    max_agents: int = 120,
+) -> Dict[str, Any]:
+    """Metrics-on vs metrics-off single-process fleet legs, interleaved.
+
+    The observability layer claims to be effectively free; this leg
+    measures the claim instead of asserting it.  ``repeats`` off/on
+    pairs run back to back (interleaved, so machine drift lands on
+    both sides equally) over a capped slice of the fleet workload, and
+    the best wall of each side is compared.  ``overhead_fraction`` is
+    the enabled side's fractional slowdown — the bench suite gates it
+    at 2%.
+    """
+    from repro.obs import obs_enabled, set_obs_enabled
+
+    leg_config = replace(
+        config, num_agents=min(config.num_agents, max_agents),
+        trace_path=None,
+    )
+
+    def one_run() -> float:
+        started = time.perf_counter()
+        run_fleet(leg_config, workers=1)
+        return time.perf_counter() - started
+
+    previous = obs_enabled()
+    disabled_walls: List[float] = []
+    enabled_walls: List[float] = []
+    try:
+        for _ in range(max(1, repeats)):
+            set_obs_enabled(False)
+            disabled_walls.append(one_run())
+            set_obs_enabled(True)
+            enabled_walls.append(one_run())
+    finally:
+        set_obs_enabled(previous)
+
+    best_disabled = min(disabled_walls)
+    best_enabled = min(enabled_walls)
+    overhead = (
+        (best_enabled - best_disabled) / best_disabled
+        if best_disabled > 0 else 0.0
+    )
+    return {
+        "num_agents": leg_config.num_agents,
+        "repeats": repeats,
+        "disabled_wall_seconds": round(best_disabled, 4),
+        "enabled_wall_seconds": round(best_enabled, 4),
+        "overhead_fraction": round(overhead, 4),
+    }
 
 
 def bench_table_warmup(config: FleetConfig) -> Dict[str, Any]:
@@ -1730,6 +1801,12 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
                              "reported as a warning (parallel speedup "
                              "is physically impossible there), exactly "
                              "like --min-cluster-scaling")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="additionally write the fleet section's "
+                             "merged live-telemetry snapshot (counters, "
+                             "gauges, latency histograms across all "
+                             "workers) plus the metrics-on/off overhead "
+                             "leg as a stand-alone JSON artifact")
     parser.add_argument("--workers-output", default=None, metavar="PATH",
                         help="additionally write the fleet section's "
                              "per-worker overhead split (warmup / "
@@ -1896,6 +1973,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.profile_output, "w", encoding="utf-8") as handle:
             json.dump(report["profile"], handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if args.metrics_out:
+        from repro.obs import TELEMETRY_SCHEMA
+
+        fleet_section = report["benchmarks"].get("fleet") or {}
+        artifact = {
+            "schema": TELEMETRY_SCHEMA,
+            "environment": report["environment"],
+            "telemetry": fleet_section.get("telemetry"),
+            "telemetry_overhead": fleet_section.get("telemetry_overhead"),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("telemetry snapshot written to %s" % args.metrics_out)
     if args.workers_output:
         fleet_section = report["benchmarks"].get("fleet") or {}
         artifact = {
@@ -1950,6 +2041,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                       warmup["warm_seconds"],
                       warmup["speedup"] if warmup["speedup"] is not None
                       else "n/a",
+                  ))
+        overhead = fleet.get("telemetry_overhead")
+        if overhead:
+            print("  telemetry overhead: %+.2f%% wall time with metrics "
+                  "on (%.3fs vs %.3fs, best of %d interleaved pairs)" % (
+                      100 * overhead["overhead_fraction"],
+                      overhead["enabled_wall_seconds"],
+                      overhead["disabled_wall_seconds"],
+                      overhead["repeats"],
                   ))
     dsa = report["benchmarks"].get("dsa_verification")
     if dsa is not None:

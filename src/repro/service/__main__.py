@@ -161,6 +161,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="replay only raw verify requests")
     loadgen.add_argument("--json", default=None, metavar="PATH",
                          help="write the merged report as JSON")
+    loadgen.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write the server's full stats envelope "
+                              "(schema'd counters + telemetry) plus the "
+                              "loadgen summary as one JSON snapshot")
     loadgen.add_argument("--retry-deadline", type=float, default=5.0,
                          help="seconds to retry a request's transport "
                               "transients before counting it dropped "
@@ -325,6 +329,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("report written to %s" % args.json)
+    if args.metrics_out:
+        snapshot = {
+            "schema": server_stats.get("schema"),
+            "endpoint": "%s:%d" % (host, port),
+            "server": server_stats or None,
+            "loadgen": summary,
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("metrics snapshot written to %s" % args.metrics_out)
 
     status = 0
     if args.expect_parity:

@@ -71,6 +71,7 @@ from repro.exceptions import (
     ServiceUnavailable,
     TruncatedFrame,
 )
+from repro.obs import STATS_SCHEMA, new_registry
 from repro.service.breaker import CircuitBreaker
 from repro.service.cache import VerdictCache
 from repro.service.client import ServiceClient
@@ -295,6 +296,26 @@ class ClusterGateway:
             }
             if config.breaker_threshold > 0 else {}
         )
+        self.metrics = new_registry()
+        # Latency histograms exist only for the known ops — request
+        # bodies carry attacker-chosen op strings, which must never
+        # mint new metric names.
+        self._op_latency = {
+            op: self.metrics.histogram("gateway.op.%s.seconds" % op)
+            for op in ("verify", "verify-batch", "check-session",
+                       "stats", "ping")
+        }
+        self._backend_metrics = {
+            name: {
+                "routed": self.metrics.counter(
+                    "gateway.backend.%s.routed" % name),
+                "failovers": self.metrics.counter(
+                    "gateway.backend.%s.failovers" % name),
+                "reissues": self.metrics.counter(
+                    "gateway.backend.%s.reissues" % name),
+            }
+            for name in self._addresses
+        }
         self._clients: Dict[str, ServiceClient] = {}
         self._client_locks: Dict[str, asyncio.Lock] = {}
         self._batchers: Dict[str, _BackendBatcher] = {
@@ -536,6 +557,18 @@ class ClusterGateway:
             return self._error_response(
                 None, "malformed-request", "request must be a mapping"
             )
+        histogram = self._op_latency.get(request.get("op"))
+        if histogram is None:
+            return await self._dispatch_request(request)
+        started = time.perf_counter()
+        try:
+            return await self._dispatch_request(request)
+        finally:
+            histogram.observe(time.perf_counter() - started)
+
+    async def _dispatch_request(
+        self, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
         request_id = request.get("id")
         op = request.get("op")
         self.counters.requests += 1
@@ -685,13 +718,16 @@ class ClusterGateway:
                 # re-issue is idempotent by construction.
                 last_error = exc
                 self.counters.failovers += 1
+                self._backend_metrics[backend]["failovers"].inc()
                 if attempt + 1 < max(1, self.config.max_attempts):
                     self.counters.reissues += 1
+                    self._backend_metrics[backend]["reissues"].inc()
                 self._note_backend_result(backend, ok=False)
                 self.monitor.record_failure(backend, immediate=True)
                 await self._drop_client(backend)
                 continue
             self._note_backend_result(backend, ok=True)
+            self._backend_metrics[backend]["routed"].inc()
             return result, backend
         assert last_error is not None
         raise last_error
@@ -727,13 +763,16 @@ class ClusterGateway:
                     asyncio.IncompleteReadError) as exc:
                 last_error = exc
                 self.counters.failovers += 1
+                self._backend_metrics[backend]["failovers"].inc()
                 if attempt + 1 < max(1, self.config.max_attempts):
                     self.counters.reissues += 1
+                    self._backend_metrics[backend]["reissues"].inc()
                 self._note_backend_result(backend, ok=False)
                 self.monitor.record_failure(backend, immediate=True)
                 await self._drop_client(backend)
                 continue
             self._note_backend_result(backend, ok=True)
+            self._backend_metrics[backend]["routed"].inc()
             response = dict(response)
             response["id"] = request_id
             response.setdefault("backend", backend)
@@ -752,12 +791,33 @@ class ClusterGateway:
         }
 
     def stats(self) -> Dict[str, Any]:
-        """Gateway metrics: counters, cache, health, ring, aggregation."""
+        """Gateway metrics: counters, cache, health, ring, aggregation.
+
+        Shares the ``schema``/``role``/``instance``/``wire``/
+        ``counters``/``telemetry``/``config`` envelope with
+        :meth:`repro.service.server.VerificationService.stats`; the
+        parity test in ``tests/service/test_api.py`` pins the shape.
+        """
+        if self.metrics.enabled:
+            state_codes = {"closed": 0, "half-open": 1, "open": 2}
+            for name, breaker in self._breakers.items():
+                self.metrics.gauge(
+                    "gateway.breaker.%s.state" % name
+                ).set(state_codes.get(breaker.state, -1))
+            self.metrics.gauge("gateway.backends.up").set(
+                len(tuple(self.monitor.up_backends()))
+            )
+            if self.cache is not None:
+                self.metrics.gauge("gateway.cache.hit_rate").set(
+                    self.cache.stats().get("hit_rate") or 0.0
+                )
         return {
+            "schema": STATS_SCHEMA,
             "role": "gateway",
             "instance": self.instance_id,
             "wire": WIRE_VERSION,
             "counters": self.counters.snapshot(),
+            "telemetry": self.metrics.snapshot(),
             "cache": self.cache.stats() if self.cache is not None else None,
             "health": self.monitor.stats(),
             "ring": {
@@ -854,6 +914,10 @@ class ClusterThread:
         self._thread.join(timeout)
         self._thread = None
         self._loop = None
+
+    def stats(self) -> Dict[str, Any]:
+        """The hosted gateway's unified stats envelope."""
+        return self.gateway.stats()
 
     def __enter__(self) -> "ClusterThread":
         self.start()

@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import secrets
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -53,6 +54,7 @@ from repro.exceptions import (
     MalformedFrame,
     TruncatedFrame,
 )
+from repro.obs import STATS_SCHEMA, new_registry
 from repro.service.batching import MicroBatcher
 from repro.service.cache import VerdictCache
 from repro.service.wire import (
@@ -203,6 +205,21 @@ class VerificationService:
         # gateway detects the restart and invalidates that backend's
         # cached verdicts.
         self.instance_id = secrets.token_hex(8)
+        # Side-band telemetry (repro.obs): per-op latency histograms
+        # plus the verify path's queue-wait/batch-size distributions.
+        # The aggregate request counters stay in ``self.counters`` —
+        # telemetry complements them with the latency answers counters
+        # cannot give.
+        self.metrics = new_registry()
+        self._op_latency = {
+            op: self.metrics.histogram("service.op.%s.seconds" % op)
+            for op in ("verify", "verify-batch", "check-session",
+                       "stats", "ping")
+        }
+        self._m_queue_wait = self.metrics.histogram(
+            "service.verify.queue_wait.seconds"
+        )
+        self._m_batch_size = self.metrics.histogram("service.batch_size")
         self._inflight = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._address: Optional[Tuple[str, int]] = None
@@ -347,6 +364,19 @@ class VerificationService:
             return self._error_response(
                 None, "malformed-request", "request must be a mapping"
             )
+        # Per-op latency is only recorded for known ops: metric names
+        # must never be attacker-chosen (an unknown ``op`` string would
+        # otherwise mint a new histogram per request).
+        histogram = self._op_latency.get(request.get("op"))
+        if histogram is None:
+            return await self._dispatch(request)
+        started = time.perf_counter()
+        try:
+            return await self._dispatch(request)
+        finally:
+            histogram.observe(time.perf_counter() - started)
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
         request_id = request.get("id")
         op = request.get("op")
         self.counters.requests += 1
@@ -464,6 +494,8 @@ class VerificationService:
             settled = await self.batcher.submit(public_key, message, signature)
         finally:
             self._inflight -= 1
+        self._m_queue_wait.observe(settled.queue_wait)
+        self._m_batch_size.observe(settled.batch_size)
         if self.cache is not None:
             self.cache.put(key, settled.verdict)
         return self._verdict_response(
@@ -543,9 +575,25 @@ class VerificationService:
         }
 
     def stats(self) -> Dict[str, Any]:
-        """Aggregate server metrics: counters, cache, batching, crypto."""
+        """Aggregate server metrics: counters, cache, batching, crypto.
+
+        The envelope keys ``schema``/``role``/``instance``/``wire``/
+        ``counters``/``telemetry``/``config`` are shared with
+        :meth:`repro.service.cluster.ClusterGateway.stats` — the parity
+        test in ``tests/service/test_api.py`` pins the shape.
+        """
+        if self.metrics.enabled:
+            self.metrics.gauge("service.inflight").set(self._inflight)
+            if self.cache is not None:
+                cache_stats = self.cache.stats()
+                self.metrics.gauge("service.cache.hit_rate").set(
+                    cache_stats.get("hit_rate") or 0.0
+                )
         return {
+            "schema": STATS_SCHEMA,
+            "role": "verifier",
             "counters": self.counters.snapshot(),
+            "telemetry": self.metrics.snapshot(),
             "cache": self.cache.stats() if self.cache is not None else None,
             "batching": self.batcher.stats(),
             "inflight": self._inflight,
@@ -644,6 +692,10 @@ class ServiceThread:
         self._thread.join(timeout)
         self._thread = None
         self._loop = None
+
+    def stats(self) -> Dict[str, Any]:
+        """The hosted service's unified stats envelope."""
+        return self.service.stats()
 
     def __enter__(self) -> "ServiceThread":
         self.start()

@@ -46,6 +46,7 @@ from repro.crypto.keys import KeyStore
 from repro.exceptions import ConfigurationError
 from repro.net.network import UniformLatency
 from repro.net.simulator import EventSimulator
+from repro.obs import new_registry
 from repro.platform.host import Host
 from repro.platform.malicious import MaliciousHost
 from repro.platform.registry import (
@@ -609,6 +610,19 @@ class FleetEngine:
         self._outcomes: List[JourneyOutcome] = []
         self._malicious: Dict[str, str] = {}
         self._host_names: List[str] = []
+        #: Side-band telemetry (repro.obs).  Never feeds the
+        #: deterministic surface; with observability disabled this is
+        #: the shared null registry and the instruments below are
+        #: no-ops.  Instruments are cached here because _hop runs once
+        #: per hop of every journey — the hot path pays attribute
+        #: access plus an observe, never a dict lookup.
+        self.metrics = new_registry()
+        self._m_hops = self.metrics.counter("fleet.hops")
+        self._m_journeys = self.metrics.counter("fleet.journeys")
+        self._m_detections = self.metrics.counter("fleet.detections")
+        self._m_hop_seconds = self.metrics.histogram("fleet.hop.seconds")
+        self._m_check_seconds = self.metrics.histogram("fleet.check.seconds")
+        self._m_journey_hops = self.metrics.histogram("fleet.journey.hops")
 
     # -- public API --------------------------------------------------------------
 
@@ -892,6 +906,12 @@ class FleetEngine:
         journey.check_seconds += outcome.check_seconds
         journey.session_seconds += outcome.session_seconds
         journey.migrate_seconds += outcome.migrate_seconds
+        self._m_hops.inc()
+        self._m_check_seconds.observe(outcome.check_seconds)
+        self._m_hop_seconds.observe(
+            outcome.check_seconds + outcome.session_seconds
+            + outcome.migrate_seconds
+        )
 
         if journey.detected_at is None and any(
             verdict_is_attack(verdict) for verdict in outcome.new_verdicts
@@ -951,6 +971,10 @@ class FleetEngine:
             migrate_seconds=journey.migrate_seconds,
         )
         self._outcomes.append(outcome)
+        self._m_journeys.inc()
+        self._m_journey_hops.observe(outcome.hops)
+        if outcome.detected:
+            self._m_detections.inc()
         self.trace.emit(
             "complete",
             ts=completed_at,

@@ -288,6 +288,10 @@ class ShardResult:
     compute_cpu_seconds: float = 0.0
     #: Trace serialization time for this unit (0 when tracing is off).
     serialize_seconds: float = 0.0
+    #: Sample-bearing telemetry snapshot of the unit's engine
+    #: (``None`` when observability is disabled).  Merged fleet-wide by
+    #: :func:`run_fleet` into ``worker_report["telemetry"]``.
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 def split_fleet(
@@ -426,6 +430,10 @@ def execute_unit(
         compute_seconds=compute_seconds,
         compute_cpu_seconds=compute_cpu_seconds,
         serialize_seconds=serialize_seconds,
+        telemetry=(
+            engine.metrics.snapshot(include_samples=True)
+            if engine.metrics.enabled else None
+        ),
     )
 
 
@@ -460,6 +468,7 @@ def _unit_result_to_wire(result: ShardResult) -> Dict[str, Any]:
         "compute_seconds": result.compute_seconds,
         "compute_cpu_seconds": result.compute_cpu_seconds,
         "serialize_seconds": result.serialize_seconds,
+        "telemetry": result.telemetry,
     }
 
 
@@ -494,6 +503,7 @@ def _unit_result_from_wire(
         compute_seconds=message["compute_seconds"],
         compute_cpu_seconds=message["compute_cpu_seconds"],
         serialize_seconds=message["serialize_seconds"],
+        telemetry=message.get("telemetry"),
     )
 
 
@@ -675,6 +685,8 @@ class FleetWorkerPool:
         self._crashes: List[Dict[str, Any]] = []
         self._respawns = 0
         self._degraded_units = 0
+        self._leases_observed = 0
+        self._trace_losses: Dict[str, int] = {}
         self._closed = False
         for index in range(workers):
             self._spawn_worker(index, initial=True)
@@ -762,6 +774,7 @@ class FleetWorkerPool:
                 self._warm_states[message["worker"]] = message
             elif kind == "lease":
                 self._leases[message["worker"]] = message["shard_index"]
+                self._leases_observed += 1
             elif kind == "error":
                 raise RuntimeError(
                     "fleet worker %r failed:\n%s"
@@ -824,6 +837,19 @@ class FleetWorkerPool:
                 crash["respawned"] = True
             self._crashes.append(crash)
 
+    def note_trace_losses(self, losses: Dict[str, int]) -> None:
+        """Record merge-time torn-tail drops against this pool.
+
+        :func:`run_fleet` merges the per-worker trace streams after
+        ``run_units`` returns and reports any dropped tail lines here,
+        so :meth:`supervision_report` of a persistent pool carries the
+        full loss record, not just the crash record.
+        """
+        for path, count in losses.items():
+            self._trace_losses[path] = (
+                self._trace_losses.get(path, 0) + int(count)
+            )
+
     def supervision_report(self) -> Dict[str, Any]:
         """Everything the pool has survived so far."""
         return {
@@ -831,6 +857,8 @@ class FleetWorkerPool:
             "respawns": self._respawns,
             "crashes": [dict(crash) for crash in self._crashes],
             "degraded_units": self._degraded_units,
+            "leases": self._leases_observed,
+            "trace_losses": dict(self._trace_losses),
         }
 
     def _collect_warm_states(self, timeout: float) -> None:
@@ -1176,13 +1204,60 @@ def _write_merged_trace(
     config: FleetConfig,
     trace_path: str,
     shard_files: Sequence[str],
-) -> None:
-    """Merge unit/worker JSONL files into the canonical merged trace."""
+) -> Dict[str, int]:
+    """Merge unit/worker JSONL files into the canonical merged trace.
+
+    Returns the torn-tail losses the tolerant merge absorbed
+    (stream path → dropped line count) so callers can surface them in
+    the run's ``worker_report`` instead of losing events silently.
+    """
+    losses: Dict[str, int] = {}
     writer = TraceWriter()
     writer.emit("fleet", config=config.to_canonical())
-    for event in merge_trace_files(sorted(shard_files)):
+    for event in merge_trace_files(sorted(shard_files), losses=losses):
         writer.emit(event.pop("event"), **event)
     writer.write(trace_path, canonical_order=True)
+    return losses
+
+
+def _merged_telemetry(
+    shard_results: Sequence[ShardResult],
+    report: Dict[str, Any],
+) -> Optional[Dict[str, Any]]:
+    """Fold per-unit engine snapshots plus pool counters into one block.
+
+    Unit snapshots travel sample-bearing over the result channel, so
+    the merged histograms report fleet-wide percentiles; the pool's
+    supervision record contributes the lease/respawn/crash/degraded
+    counters.  Returns ``None`` when observability is disabled (no unit
+    carried a snapshot).
+    """
+    from repro.obs import MetricsRegistry
+
+    snapshots = [r.telemetry for r in shard_results if r.telemetry]
+    if not snapshots:
+        return None
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    registry.counter("pool.units").inc(len(shard_results))
+    supervision = report.get("supervision")
+    if supervision is not None:
+        registry.counter("pool.leases").inc(
+            int(supervision.get("leases") or 0)
+        )
+        registry.counter("pool.respawns").inc(
+            int(supervision.get("respawns") or 0)
+        )
+        registry.counter("pool.crashes").inc(
+            len(supervision.get("crashes") or ())
+        )
+        registry.counter("pool.degraded_units").inc(
+            int(supervision.get("degraded_units") or 0)
+        )
+    for path, count in (report.get("trace_losses") or {}).items():
+        registry.counter("trace.torn_tail_lines_dropped").inc(int(count))
+    return registry.snapshot()
 
 
 def run_fleet(
@@ -1285,9 +1360,18 @@ def run_fleet(
     merged = merge_shard_results(
         config, shard_results, wall_seconds=time.perf_counter() - started
     )
+    losses: Dict[str, int] = {}
     if config.trace_path:
-        _write_merged_trace(config, config.trace_path, trace_files)
+        losses = _write_merged_trace(config, config.trace_path, trace_files)
     report["merge_seconds"] = round(time.perf_counter() - merge_started, 6)
     report["num_units"] = len(specs)
+    report["trace_losses"] = losses
+    if losses:
+        supervision = report.get("supervision")
+        if supervision is not None:
+            supervision["trace_losses"] = dict(losses)
+        if pool is not None:
+            pool.note_trace_losses(losses)
+    report["telemetry"] = _merged_telemetry(shard_results, report)
     merged.worker_report = report
     return merged

@@ -1,0 +1,238 @@
+"""Campaign forensics report built from a recorded trace.
+
+One trace in, one incident-response artifact out: campaign summary
+(precision/recall/FPR and the per-scenario detection matrix, exactly as
+:meth:`~repro.sim.campaign.CampaignResult.summary` computes them),
+time-to-detection percentiles over the detected campaign journeys, and
+a blame summary (which hosts were blamed, and whether blame landed on
+the actual strike target).  The JSON form is the machine artifact (CI
+uploads it per campaign-smoke run); the HTML form is a dependency-free
+single file an operator can open from the artifact store.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs import percentile
+from repro.sim.trace import attack_events
+from repro.trace import campaign_result_from_trace
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "build_report",
+    "render_html",
+    "write_report",
+]
+
+#: Version of the report JSON artifact.
+REPORT_SCHEMA = "repro-trace-report/1"
+
+
+def _time_to_detection(events: Iterable[Dict[str, Any]],
+                       result: Any) -> Dict[str, Any]:
+    times = sorted(
+        outcome.time_to_detection
+        for outcome in result.campaign_journeys
+        if outcome.detected and outcome.time_to_detection is not None
+    )
+    return {
+        "detections": len(times),
+        "p50": percentile(times, 0.50) if times else None,
+        "p95": percentile(times, 0.95) if times else None,
+        "p99": percentile(times, 0.99) if times else None,
+        "mean": (sum(times) / len(times)) if times else None,
+        "max": times[-1] if times else None,
+    }
+
+
+def _blame_summary(events: Iterable[Dict[str, Any]],
+                   result: Any) -> Dict[str, Any]:
+    ordered = list(events)
+    attacks = attack_events(ordered)
+    blamed_counts: Dict[str, int] = {}
+    correct = 0
+    blamed_journeys = 0
+    for outcome in result.campaign_journeys:
+        if not outcome.blamed_hosts:
+            continue
+        blamed_journeys += 1
+        for host in outcome.blamed_hosts:
+            blamed_counts[host] = blamed_counts.get(host, 0) + 1
+        attack = attacks.get(outcome.journey_id)
+        if attack is not None and attack.get("target") in outcome.blamed_hosts:
+            correct += 1
+    return {
+        "blamed_journeys": blamed_journeys,
+        "correct_blame": correct,
+        "blame_accuracy": (
+            correct / blamed_journeys if blamed_journeys else None
+        ),
+        "hosts": dict(sorted(
+            blamed_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )),
+    }
+
+
+def build_report(events: Iterable[Dict[str, Any]],
+                 source: Optional[str] = None) -> Dict[str, Any]:
+    """The complete forensics report of one trace, JSON-ready."""
+    ordered = list(events)
+    result = campaign_result_from_trace(ordered)
+    return {
+        "schema": REPORT_SCHEMA,
+        "source": source,
+        "config": result.config.to_canonical(),
+        "campaign": result.summary(),
+        "time_to_detection": _time_to_detection(ordered, result),
+        "blame": _blame_summary(ordered, result),
+    }
+
+
+# -- HTML rendering ----------------------------------------------------------------
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1b1f24; max-width: 70em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #d0d7de; padding: 0.35em 0.8em;
+         text-align: left; font-size: 0.9em; }
+th { background: #f6f8fa; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #1a7f37; } .bad { color: #cf222e; }
+.meta { color: #57606a; font-size: 0.85em; }
+"""
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return ("%%.%df" % digits) % value
+    return html.escape(str(value))
+
+
+def _kv_table(rows: List[Any]) -> str:
+    cells = "".join(
+        "<tr><th>%s</th><td class='num'>%s</td></tr>"
+        % (html.escape(str(key)), _fmt(value))
+        for key, value in rows
+    )
+    return "<table>%s</table>" % cells
+
+
+def render_html(report: Dict[str, Any]) -> str:
+    """Render the report dict as one self-contained HTML page."""
+    campaign = report["campaign"]
+    ttd = report["time_to_detection"]
+    blame = report["blame"]
+
+    summary_rows = [
+        ("journeys", campaign["journeys"]),
+        ("campaign attacked", campaign["campaign_attacked"]),
+        ("benign", campaign["benign_journeys"]),
+        ("precision", campaign["precision"]),
+        ("recall", campaign["recall"]),
+        ("false positive rate", campaign["false_positive_rate"]),
+        ("always-detectable recall", campaign["always_detectable_recall"]),
+    ]
+    ttd_rows = [
+        ("detections", ttd["detections"]),
+        ("p50 (virtual s)", ttd["p50"]),
+        ("p95 (virtual s)", ttd["p95"]),
+        ("p99 (virtual s)", ttd["p99"]),
+        ("mean", ttd["mean"]),
+        ("max", ttd["max"]),
+    ]
+
+    scenario_cells = []
+    for name, stats in sorted(campaign["per_scenario"].items()):
+        expected = stats["expected_detected"]
+        rate = stats["detection_rate"]
+        cls = "ok" if (rate or 0.0) >= 1.0 or not expected else "bad"
+        scenario_cells.append(
+            "<tr><td>%s</td><td class='num'>%s</td><td class='num'>%s</td>"
+            "<td class='num %s'>%s</td><td>%s</td>"
+            "<td class='num'>%s</td><td class='num'>%s</td></tr>" % (
+                html.escape(name),
+                _fmt(stats["injected"]),
+                _fmt(stats["detected"]),
+                cls, _fmt(rate),
+                _fmt(expected),
+                _fmt(stats["mean_hops_to_detection"], 2),
+                _fmt(stats["mean_time_to_detection"]),
+            )
+        )
+    matrix_cells = []
+    for cls_name, row in sorted(campaign["detectability_matrix"].items()):
+        matrix_cells.append(
+            "<tr><td>%s</td><td>%s</td><td class='num'>%s</td>"
+            "<td class='num'>%s</td><td class='num'>%s</td></tr>" % (
+                html.escape(cls_name),
+                html.escape(", ".join(str(a) for a in row["areas"])),
+                _fmt(row["mounted"]),
+                _fmt(row["detected"]),
+                _fmt(row["detection_rate"]),
+            )
+        )
+    blame_cells = "".join(
+        "<tr><td>%s</td><td class='num'>%d</td></tr>"
+        % (html.escape(host), count)
+        for host, count in blame["hosts"].items()
+    )
+
+    return """<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>repro trace report</title>
+<style>%(style)s</style></head><body>
+<h1>Campaign forensics report</h1>
+<p class="meta">schema %(schema)s · source %(source)s ·
+attack fraction %(fraction)s · seed %(seed)s</p>
+<h2>Campaign summary</h2>
+%(summary)s
+<h2>Time to detection (virtual seconds, detected campaign journeys)</h2>
+%(ttd)s
+<h2>Per-scenario detection</h2>
+<table><tr><th>scenario</th><th>injected</th><th>detected</th>
+<th>rate</th><th>expected</th><th>mean hops-to-det</th>
+<th>mean time-to-det</th></tr>%(scenarios)s</table>
+<h2>Detectability matrix</h2>
+<table><tr><th>class</th><th>areas</th><th>mounted</th>
+<th>detected</th><th>rate</th></tr>%(matrix)s</table>
+<h2>Blame (%(blamed)s journeys blamed, accuracy %(accuracy)s)</h2>
+<table><tr><th>host</th><th>blamed count</th></tr>%(blame)s</table>
+</body></html>
+""" % {
+        "style": _STYLE,
+        "schema": html.escape(str(report["schema"])),
+        "source": html.escape(str(report.get("source") or "-")),
+        "fraction": _fmt(report["config"].get("attack_fraction")),
+        "seed": _fmt(report["config"].get("seed")),
+        "summary": _kv_table(summary_rows),
+        "ttd": _kv_table(ttd_rows),
+        "scenarios": "".join(scenario_cells),
+        "matrix": "".join(matrix_cells),
+        "blamed": _fmt(blame["blamed_journeys"]),
+        "accuracy": _fmt(blame["blame_accuracy"]),
+        "blame": blame_cells,
+    }
+
+
+def write_report(
+    report: Dict[str, Any],
+    json_path: Optional[str] = None,
+    html_path: Optional[str] = None,
+) -> None:
+    """Write the JSON and/or HTML artifacts."""
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if html_path:
+        with open(html_path, "w", encoding="utf-8") as handle:
+            handle.write(render_html(report))

@@ -345,6 +345,37 @@ class TestSectionFiltering:
         assert main(["--sections", "fleet,bogus"]) == 2
 
 
+class TestTelemetrySection:
+    """Structural checks for the observability leg of the fleet
+    section.  The strict ≤2% overhead *gate* runs in the bench suite
+    (benchmarks/test_observability_overhead.py) where timing variance
+    belongs; tier-1 only pins shape and bookkeeping."""
+
+    def test_overhead_leg_reports_interleaved_walls(self):
+        from repro.bench.harness import bench_telemetry_overhead
+        from repro.obs import obs_enabled
+
+        before = obs_enabled()
+        result = bench_telemetry_overhead(_tiny_config(), repeats=1)
+        assert obs_enabled() == before  # the leg restores the switch
+        assert result["num_agents"] == 8
+        assert result["repeats"] == 1
+        assert result["disabled_wall_seconds"] > 0
+        assert result["enabled_wall_seconds"] > 0
+        assert isinstance(result["overhead_fraction"], float)
+
+    def test_fleet_section_carries_telemetry_and_overhead(self):
+        report = build_report(_tiny_config(), workers=1, quick=True,
+                              sections=["fleet"])
+        fleet = report["benchmarks"]["fleet"]
+        overhead = fleet["telemetry_overhead"]
+        assert overhead["repeats"] >= 1
+        telemetry = fleet["telemetry"]
+        assert telemetry is not None
+        assert telemetry["counters"]["fleet.journeys"] == 8
+        assert json.loads(json.dumps(fleet)) == fleet
+
+
 _TINY_CLI = [
     "--agents", "8", "--hosts", "6", "--hops", "2",
     "--campaign-agents", "10", "--workers", "1",
@@ -376,6 +407,22 @@ class TestCommandLine:
             "--baseline", str(baseline_path),
         ])
         assert status == 1
+
+    def test_main_writes_the_telemetry_snapshot(self, tmp_path):
+        from repro.obs import TELEMETRY_SCHEMA
+
+        metrics = tmp_path / "BENCH_telemetry.json"
+        assert main([
+            "--agents", "8", "--hosts", "6", "--hops", "2",
+            "--workers", "1", "--sections", "fleet",
+            "--output", str(tmp_path / "report.json"),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == TELEMETRY_SCHEMA
+        assert snapshot["telemetry"]["counters"]["fleet.journeys"] == 8
+        assert snapshot["telemetry_overhead"]["repeats"] >= 1
+        assert snapshot["environment"]["cpu_count"] >= 1
 
     def test_main_enforces_the_campaign_recall_floor(self, tmp_path):
         # An impossible floor (> 1.0) must trip the gate even on a

@@ -184,6 +184,70 @@ class TestPublicSurface:
         )
 
 
+class TestStatsEnvelopeParity:
+    """Satellite: every service-tier endpoint answers ``stats`` with
+    the same schema-versioned envelope (``repro.obs.STATS_SCHEMA``),
+    so dashboards and the loadgen's ``--metrics-out`` snapshot can
+    consume a verifier and a gateway interchangeably."""
+
+    SHARED_KEYS = {"schema", "role", "instance", "wire", "counters",
+                   "telemetry", "config"}
+
+    def _assert_envelope(self, stats, role):
+        from repro.obs import STATS_SCHEMA, TELEMETRY_SCHEMA
+
+        missing = self.SHARED_KEYS - set(stats)
+        assert not missing, "%s stats missing %s" % (role, sorted(missing))
+        assert stats["schema"] == STATS_SCHEMA
+        assert stats["role"] == role
+        assert stats["wire"] == WIRE_VERSION
+        assert isinstance(stats["counters"], dict)
+        assert stats["telemetry"]["schema"] == TELEMETRY_SCHEMA
+        assert isinstance(stats["config"], dict)
+
+    def test_verifier_and_gateway_share_one_envelope(self):
+        from repro.service.cluster import ClusterConfig, ClusterGateway
+        from repro.service.server import VerificationService
+
+        async def run():
+            service = VerificationService(
+                ServiceConfig(max_delay=0.001, fleet_hosts=4)
+            )
+            address = await service.start()
+            gateway = ClusterGateway(ClusterConfig(
+                backends=(address,), gather_delay=0.001,
+                health_interval=30.0,
+            ))
+            await gateway.start()
+            client = await connect(gateway)
+            try:
+                identity = Identity.generate("host-001")
+                message = b"parity probe"
+                await client.verify(
+                    "host-001", message,
+                    identity.private_key.sign_recoverable(message),
+                )
+
+                self._assert_envelope(service.stats(), "verifier")
+                self._assert_envelope(gateway.stats(), "gateway")
+
+                # The same envelope travels over the wire "stats" op.
+                over_wire = await client.stats()
+                self._assert_envelope(over_wire, "gateway")
+                assert over_wire["counters"]["verify_requests"] >= 1
+            finally:
+                await client.close()
+                await gateway.stop()
+                await service.stop()
+
+        asyncio.run(run())
+
+    def test_service_thread_exposes_the_hosted_envelope(self):
+        with ServiceThread(ServiceConfig(max_delay=0.001)) as thread:
+            stats = thread.stats()
+        self._assert_envelope(stats, "verifier")
+
+
 class TestSlotSelfHealing:
     def test_client_redials_a_dead_slot_after_server_restart(self):
         """A pooled connection killed by a backend restart is re-dialed

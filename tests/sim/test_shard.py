@@ -263,6 +263,82 @@ class TestPlanUnits:
             plan_units(_config(), workers=2, unit_size=0)
 
 
+class TestObservabilityPlumbing:
+    """Satellite: merge-time trace losses must surface in
+    ``worker_report`` / ``supervision_report()`` instead of vanishing,
+    and per-unit telemetry snapshots must fold into one fleet-wide
+    block on the merged result."""
+
+    def test_clean_run_reports_empty_trace_losses(self, tmp_path):
+        path = str(tmp_path / "fleet.jsonl")
+        result = run_fleet(_config(trace_path=path), workers=2, num_shards=4)
+        report = result.worker_report
+        assert report["trace_losses"] == {}
+        assert report["supervision"]["trace_losses"] == {}
+
+    def test_merged_trace_write_reports_torn_tail_losses(self, tmp_path):
+        import json
+
+        from repro.sim.shard import _write_merged_trace
+
+        intact = tmp_path / "w0.jsonl"
+        intact.write_text(
+            json.dumps({"event": "hop", "ts": 1.0, "journey": "j00000"})
+            + "\n",
+            encoding="utf-8",
+        )
+        torn = tmp_path / "w1.jsonl"
+        torn.write_text(
+            json.dumps({"event": "hop", "ts": 2.0, "journey": "j00001"})
+            + "\n" + '{"event": "set',  # the interrupted append
+            encoding="utf-8",
+        )
+        merged = str(tmp_path / "merged.jsonl")
+        losses = _write_merged_trace(_config(), merged, [str(intact),
+                                                         str(torn)])
+        assert losses == {str(torn): 1}
+        from repro.sim import read_trace
+
+        events = read_trace(merged)
+        assert events[0]["event"] == "fleet"
+        assert [e.get("journey") for e in events[1:]] == ["j00000", "j00001"]
+
+    def test_note_trace_losses_accumulates_into_supervision_report(self):
+        with FleetWorkerPool(1) as pool:
+            pool.note_trace_losses({"/tmp/w0.jsonl": 1})
+            pool.note_trace_losses({"/tmp/w0.jsonl": 2, "/tmp/w1.jsonl": 1})
+            report = pool.supervision_report()
+        assert report["trace_losses"] == {
+            "/tmp/w0.jsonl": 3, "/tmp/w1.jsonl": 1,
+        }
+
+    def test_worker_report_carries_merged_telemetry(self):
+        from repro.obs import TELEMETRY_SCHEMA
+
+        result = run_fleet(_config(), workers=2, num_shards=4)
+        telemetry = result.worker_report["telemetry"]
+        assert telemetry is not None
+        assert telemetry["schema"] == TELEMETRY_SCHEMA
+        counters = telemetry["counters"]
+        assert counters["fleet.journeys"] == 24
+        assert counters["pool.units"] == 4
+        assert counters["pool.leases"] >= 4
+        # fleet-wide latency histograms carry every hop observation
+        histograms = telemetry["histograms"]
+        assert histograms["fleet.hop.seconds"]["count"] == counters["fleet.hops"]
+        assert histograms["fleet.check.seconds"]["count"] > 0
+
+    def test_disabled_observability_yields_no_telemetry(self):
+        from repro.obs import set_obs_enabled
+
+        previous = set_obs_enabled(False)
+        try:
+            result = run_fleet(_config(), workers=1)
+        finally:
+            set_obs_enabled(previous)
+        assert result.worker_report["telemetry"] is None
+
+
 class TestSchedulingIndependence:
     """Tentpole property: any (workers, unit size) schedule — including
     a forced-adversarial one where a stalled worker's units are stolen

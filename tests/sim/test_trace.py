@@ -14,7 +14,11 @@ from repro.sim import (
     journey_events,
     read_trace,
 )
-from repro.sim.trace import merge_trace_files, sanitize_stream_file
+from repro.sim.trace import (
+    _read_events_tolerant,
+    merge_trace_files,
+    sanitize_stream_file,
+)
 
 
 class TestTraceWriter:
@@ -156,3 +160,42 @@ class TestTruncatedStreams:
         assert report == {
             "events_kept": 0, "events_dropped": 0, "lines_truncated": 0
         }
+
+
+class TestTolerantReader:
+    """Edge cases of the tolerant JSONL reader the forensics console
+    (``repro.trace``) sits on: only a *final* torn line is a crash
+    signature; anything earlier is corruption and must still raise."""
+
+    def test_empty_file_yields_no_events_and_no_losses(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        events, dropped = _read_events_tolerant(str(path))
+        assert events == []
+        assert dropped == 0
+
+    def test_file_holding_only_a_torn_line_drops_exactly_it(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"event": "hop", "ts"', encoding="utf-8")
+        events, dropped = _read_events_tolerant(str(path))
+        assert events == []
+        assert dropped == 1
+
+    def test_torn_line_followed_by_a_valid_line_raises(self, tmp_path):
+        # A tear can only happen at the tail — a decodable line *after*
+        # an undecodable one proves the file is corrupt, and tolerating
+        # it would silently lose mid-stream events.
+        path = tmp_path / "corrupt.jsonl"
+        good = json.dumps({"event": "hop", "ts": 1.0, "journey": "j00000"})
+        path.write_text('{"event": "hop", "ts"\n' + good + "\n",
+                        encoding="utf-8")
+        with pytest.raises(ValueError):
+            _read_events_tolerant(str(path))
+
+    def test_blank_lines_are_skipped_not_counted_as_torn(self, tmp_path):
+        path = tmp_path / "blanks.jsonl"
+        good = json.dumps({"event": "hop", "ts": 1.0, "journey": "j00000"})
+        path.write_text("\n" + good + "\n\n", encoding="utf-8")
+        events, dropped = _read_events_tolerant(str(path))
+        assert [e["journey"] for e in events] == ["j00000"]
+        assert dropped == 0

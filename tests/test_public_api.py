@@ -25,6 +25,10 @@ _PACKAGES = [
     "repro.bench",
     "repro.sim",
     "repro.service",
+    "repro.obs",
+    "repro.trace",
+    "repro.trace.replay",
+    "repro.trace.report",
 ]
 
 
